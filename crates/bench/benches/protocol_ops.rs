@@ -1,0 +1,109 @@
+//! Criterion benchmarks of individual protocol operations: the cost of a
+//! lock hand-off carrying notices, a warm miss resolving diffs, and a
+//! barrier episode, for the lazy engine — plus the eager flush for
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrc_core::{LrcConfig, LrcEngine, Policy};
+use lrc_eager::{EagerConfig, EagerEngine};
+use lrc_sync::{BarrierId, LockId};
+use lrc_vclock::ProcId;
+use std::hint::black_box;
+
+const PROCS: usize = 8;
+const MEM: u64 = 64 * 4096;
+
+fn p(i: u16) -> ProcId {
+    ProcId::new(i)
+}
+
+/// A full migratory round under LI: acquire, read, write, release, with
+/// the resulting warm miss. This is the steady-state hot path of the lazy
+/// engine.
+fn bench_lazy_round(c: &mut Criterion) {
+    c.bench_function("protocol/li_migratory_round", |b| {
+        let mut dsm =
+            LrcEngine::new(LrcConfig::new(PROCS, MEM).policy(Policy::Invalidate)).unwrap();
+        let lock = LockId::new(1);
+        let mut turn = 0u64;
+        b.iter(|| {
+            let proc = p((turn % PROCS as u64) as u16);
+            dsm.acquire(proc, lock).unwrap();
+            let v = dsm.read_u64(proc, 128);
+            dsm.write_u64(proc, 128, v + 1);
+            dsm.release(proc, lock).unwrap();
+            turn += 1;
+            black_box(v)
+        });
+    });
+}
+
+/// The same round under LU — the acquire pulls the diffs instead of the
+/// subsequent access.
+fn bench_lazy_update_round(c: &mut Criterion) {
+    c.bench_function("protocol/lu_migratory_round", |b| {
+        let mut dsm = LrcEngine::new(LrcConfig::new(PROCS, MEM).policy(Policy::Update)).unwrap();
+        let lock = LockId::new(1);
+        let mut turn = 0u64;
+        b.iter(|| {
+            let proc = p((turn % PROCS as u64) as u16);
+            dsm.acquire(proc, lock).unwrap();
+            let v = dsm.read_u64(proc, 128);
+            dsm.write_u64(proc, 128, v + 1);
+            dsm.release(proc, lock).unwrap();
+            turn += 1;
+            black_box(v)
+        });
+    });
+}
+
+/// The eager counterpart: the release pays a flush to every cacher.
+fn bench_eager_round(c: &mut Criterion) {
+    c.bench_function("protocol/eu_migratory_round", |b| {
+        let mut dsm =
+            EagerEngine::new(EagerConfig::new(PROCS, MEM).policy(Policy::Update)).unwrap();
+        // Warm every cache so flushes have destinations.
+        for i in 0..PROCS as u16 {
+            dsm.read_u64(p(i), 128);
+        }
+        let lock = LockId::new(1);
+        let mut turn = 0u64;
+        b.iter(|| {
+            let proc = p((turn % PROCS as u64) as u16);
+            dsm.acquire(proc, lock).unwrap();
+            let v = dsm.read_u64(proc, 128);
+            dsm.write_u64(proc, 128, v + 1);
+            dsm.release(proc, lock).unwrap();
+            turn += 1;
+            black_box(v)
+        });
+    });
+}
+
+/// One barrier episode with fresh write notices from every processor.
+fn bench_barrier_episode(c: &mut Criterion) {
+    c.bench_function("protocol/li_barrier_episode", |b| {
+        let mut dsm =
+            LrcEngine::new(LrcConfig::new(PROCS, MEM).policy(Policy::Invalidate)).unwrap();
+        let barrier = BarrierId::new(0);
+        let mut round = 0u64;
+        b.iter(|| {
+            for i in 0..PROCS as u16 {
+                dsm.write_u64(p(i), 4096 * i as u64, round);
+            }
+            for i in 0..PROCS as u16 {
+                dsm.barrier(p(i), barrier).unwrap();
+            }
+            round += 1;
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lazy_round,
+    bench_lazy_update_round,
+    bench_eager_round,
+    bench_barrier_episode
+);
+criterion_main!(benches);

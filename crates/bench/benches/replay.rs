@@ -1,0 +1,29 @@
+//! Criterion benchmarks of whole-trace replays: one measurement per paper
+//! figure pair (application × representative protocols), quantifying the
+//! simulator throughput behind Figures 5–14.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrc_bench::{app_trace, criterion_scale, replay_cell};
+use lrc_sim::ProtocolKind;
+use lrc_workloads::AppKind;
+use std::hint::black_box;
+
+fn bench_replays(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(10);
+    let scale = criterion_scale();
+    for app in AppKind::ALL {
+        let trace = app_trace(app, &scale);
+        let (fig_m, fig_d) = app.figures();
+        for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::EagerInvalidate] {
+            let id = format!("fig{fig_m:02}_{fig_d:02}/{}/{}", app.name(), kind.label());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &trace, |b, trace| {
+                b.iter(|| black_box(replay_cell(trace, kind, 4096)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replays);
+criterion_main!(benches);

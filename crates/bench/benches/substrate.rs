@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the substrates: diff creation, application and
+//! squashing across write densities, and vector-clock operations. These
+//! are the inner loops of every protocol run; their costs are the
+//! "run-time cost of the algorithm" the paper defers to future work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrc_pagemem::{Diff, PageBuf, PageSize};
+use lrc_vclock::{IntervalId, ProcId, VectorClock};
+use std::hint::black_box;
+
+fn dirty_page(size: PageSize, writes: usize, stride: usize) -> (PageBuf, PageBuf) {
+    let twin = PageBuf::zeroed(size);
+    let mut page = twin.clone();
+    for i in 0..writes {
+        let offset = (i * stride) % (size.bytes() - 8);
+        page.write(offset, &(i as u64).to_le_bytes());
+    }
+    (twin, page)
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diff");
+    for &(writes, stride) in &[(4usize, 64usize), (64, 64), (64, 8), (512, 8)] {
+        let size = PageSize::new(4096).unwrap();
+        let (twin, page) = dirty_page(size, writes, stride);
+        group.bench_with_input(
+            BenchmarkId::new("create", format!("{writes}w_stride{stride}")),
+            &(&twin, &page),
+            |b, (twin, page)| b.iter(|| black_box(Diff::between(twin, page))),
+        );
+        let diff = Diff::between(&twin, &page);
+        group.bench_with_input(
+            BenchmarkId::new("apply", format!("{writes}w_stride{stride}")),
+            &diff,
+            |b, diff| {
+                let mut target = twin.clone();
+                b.iter(|| diff.apply_to(black_box(&mut target)))
+            },
+        );
+    }
+    // Squashing a migratory chain of diffs, the wire-size computation of
+    // every multi-interval reply.
+    let size = PageSize::new(4096).unwrap();
+    let chain: Vec<Diff> = (0..8)
+        .map(|i| {
+            let (twin, page) = dirty_page(size, 32, 8 + i);
+            Diff::between(&twin, &page)
+        })
+        .collect();
+    group.bench_function("squash/8_diffs", |b| {
+        b.iter(|| black_box(Diff::squash(chain.iter())))
+    });
+    group.finish();
+}
+
+fn bench_vclock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vclock");
+    for &n in &[16usize, 64] {
+        let mut a = VectorClock::new(n);
+        let mut b2 = VectorClock::new(n);
+        for i in 0..n {
+            a.set(ProcId::new(i as u16), (i * 7 % 13) as u32);
+            b2.set(ProcId::new(i as u16), (i * 5 % 11) as u32);
+        }
+        group.bench_with_input(BenchmarkId::new("merge", n), &(&a, &b2), |bench, (a, b2)| {
+            bench.iter(|| {
+                let mut m = (*a).clone();
+                m.merge(b2);
+                black_box(m)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("causal_cmp", n), &(&a, &b2), |bench, (a, b2)| {
+            bench.iter(|| black_box(a.causal_cmp(b2)))
+        });
+        group.bench_with_input(BenchmarkId::new("covers", n), &a, |bench, a| {
+            bench.iter(|| black_box(a.covers(IntervalId::new(ProcId::new(3), 5))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diff, bench_vclock);
+criterion_main!(benches);

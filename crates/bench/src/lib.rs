@@ -1,0 +1,50 @@
+//! Shared pieces of the benchmark harness.
+//!
+//! The crate has two faces:
+//!
+//! * **`cargo bench`** — Criterion benchmarks of the substrates (diffs,
+//!   vector clocks), the protocol operations (lock transfer, miss
+//!   resolution, barrier episodes) and whole-trace replays of each
+//!   application × protocol;
+//! * **`cargo run -p lrc-bench --bin figures`** — regenerates every table
+//!   and figure of the paper's evaluation section as text tables (see
+//!   EXPERIMENTS.md for the recorded output and comparison).
+
+use lrc_sim::{run_trace, ProtocolKind, SimOptions};
+use lrc_trace::Trace;
+use lrc_workloads::{AppKind, Scale};
+
+/// The scale used by benches and default figure runs: the paper's 16
+/// processors with enough work for stable shapes.
+pub fn bench_scale() -> Scale {
+    Scale::paper()
+}
+
+/// A smaller scale for per-iteration Criterion measurements.
+pub fn criterion_scale() -> Scale {
+    Scale { procs: 8, units: 30, seed: 1992 }
+}
+
+/// Generates the trace of one application at a scale (convenience).
+pub fn app_trace(app: AppKind, scale: &Scale) -> Trace {
+    app.generate(scale)
+}
+
+/// Replays one cell (no oracle) and returns `(messages, bytes)`.
+pub fn replay_cell(trace: &Trace, kind: ProtocolKind, page: usize) -> (u64, u64) {
+    let report = run_trace(trace, kind, page, &SimOptions::fast()).expect("legal trace");
+    (report.messages(), report.data_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_cell_runs() {
+        let trace = app_trace(AppKind::Water, &Scale::small(2));
+        let (msgs, bytes) = replay_cell(&trace, ProtocolKind::LazyInvalidate, 512);
+        assert!(msgs > 0);
+        assert!(bytes > 0);
+    }
+}

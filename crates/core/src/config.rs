@@ -1,0 +1,257 @@
+use std::error::Error;
+use std::fmt;
+
+use lrc_pagemem::{AddrSpace, PageSize, PageSizeError};
+
+/// Maximum processors per system. Diff-possession tracking uses a 64-bit
+/// mask; the paper's evaluation uses 16 processors.
+pub const MAX_PROCS: usize = 64;
+
+/// Data-movement policy of a release-consistent protocol (§4.3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Policy {
+    /// Invalidate on write notice; pull diffs at the next access miss.
+    /// With the lazy engine this is the paper's **LI** protocol.
+    #[default]
+    Invalidate,
+    /// Update: pull diffs for all cached pages when notices arrive (at
+    /// acquires and barriers), keeping caches valid. The paper's **LU**.
+    Update,
+}
+
+impl Policy {
+    /// Short protocol suffix used in reports ("I" / "U").
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Policy::Invalidate => "I",
+            Policy::Update => "U",
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::Invalidate => f.write_str("invalidate"),
+            Policy::Update => f.write_str("update"),
+        }
+    }
+}
+
+/// Configuration of an [`LrcEngine`](crate::LrcEngine).
+///
+/// Start from [`LrcConfig::new`] and chain setters:
+///
+/// ```
+/// use lrc_core::{LrcConfig, Policy};
+///
+/// let cfg = LrcConfig::new(16, 1 << 20)
+///     .page_size(2048)
+///     .policy(Policy::Update)
+///     .locks(8)
+///     .barriers(2);
+/// assert_eq!(cfg.n_procs, 16);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LrcConfig {
+    /// Number of processors (1 to [`MAX_PROCS`]).
+    pub n_procs: usize,
+    /// Shared address space size in bytes.
+    pub mem_bytes: u64,
+    /// Page size in bytes (power of two, 64–65536). Default 4096.
+    pub page_bytes: usize,
+    /// Number of locks available. Default 16.
+    pub n_locks: usize,
+    /// Number of barriers available. Default 4.
+    pub n_barriers: usize,
+    /// Data-movement policy. Default invalidate (LI).
+    pub policy: Policy,
+    /// Piggyback write notices on lock-grant and barrier messages (the
+    /// paper's design). When disabled — an ablation — notices travel in a
+    /// separate message per acquire, like a naive implementation would
+    /// send. Default `true`.
+    pub piggyback_notices: bool,
+    /// When `true` — an ablation — a processor holding an invalidated copy
+    /// re-fetches the entire page on a miss instead of only diffs,
+    /// disabling the optimization of §4.3.3. Default `false`.
+    pub full_page_misses: bool,
+    /// Garbage-collect consistency information at every barrier (the
+    /// TreadMarks approach to the unbounded-history problem the paper
+    /// leaves to future work): every processor validates its cached pages,
+    /// then all interval records and diffs are discarded. Cold misses
+    /// afterwards fetch whole pages from the last writer. Default `false`.
+    pub gc_at_barriers: bool,
+}
+
+impl LrcConfig {
+    /// Creates a configuration with the given processor count and shared
+    /// space, and defaults for everything else.
+    pub fn new(n_procs: usize, mem_bytes: u64) -> Self {
+        LrcConfig {
+            n_procs,
+            mem_bytes,
+            page_bytes: 4096,
+            n_locks: 16,
+            n_barriers: 4,
+            policy: Policy::Invalidate,
+            piggyback_notices: true,
+            full_page_misses: false,
+            gc_at_barriers: false,
+        }
+    }
+
+    /// Sets the page size in bytes.
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.page_bytes = bytes;
+        self
+    }
+
+    /// Sets the data-movement policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the number of locks.
+    pub fn locks(mut self, n: usize) -> Self {
+        self.n_locks = n;
+        self
+    }
+
+    /// Sets the number of barriers.
+    pub fn barriers(mut self, n: usize) -> Self {
+        self.n_barriers = n;
+        self
+    }
+
+    /// Disables write-notice piggybacking (ablation).
+    pub fn no_piggyback(mut self) -> Self {
+        self.piggyback_notices = false;
+        self
+    }
+
+    /// Forces full-page fetches on every miss (ablation of §4.3.3).
+    pub fn full_page_misses(mut self) -> Self {
+        self.full_page_misses = true;
+        self
+    }
+
+    /// Enables barrier-time garbage collection of consistency information.
+    pub fn gc_at_barriers(mut self) -> Self {
+        self.gc_at_barriers = true;
+        self
+    }
+
+    /// Validates the configuration and derives the address space.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if the processor count or page size is out of range
+    /// or the space is empty.
+    pub fn address_space(&self) -> Result<AddrSpace, ConfigError> {
+        if self.n_procs == 0 || self.n_procs > MAX_PROCS {
+            return Err(ConfigError::BadProcs(self.n_procs));
+        }
+        if self.mem_bytes == 0 {
+            return Err(ConfigError::EmptySpace);
+        }
+        let size = PageSize::new(self.page_bytes).map_err(ConfigError::BadPageSize)?;
+        Ok(AddrSpace::with_capacity(size, self.mem_bytes))
+    }
+}
+
+/// Errors from validating an [`LrcConfig`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// Processor count outside `1..=MAX_PROCS`.
+    BadProcs(usize),
+    /// Shared space of zero bytes.
+    EmptySpace,
+    /// Invalid page size.
+    BadPageSize(PageSizeError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadProcs(n) => {
+                write!(f, "processor count {n} outside 1..={MAX_PROCS}")
+            }
+            ConfigError::EmptySpace => f.write_str("shared address space is empty"),
+            ConfigError::BadPageSize(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ConfigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConfigError::BadPageSize(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let cfg = LrcConfig::new(4, 1 << 16);
+        assert_eq!(cfg.page_bytes, 4096);
+        assert_eq!(cfg.policy, Policy::Invalidate);
+        assert!(cfg.piggyback_notices);
+        assert!(!cfg.full_page_misses);
+        let space = cfg.address_space().unwrap();
+        assert_eq!(space.n_pages(), 16);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = LrcConfig::new(8, 1 << 20)
+            .page_size(512)
+            .policy(Policy::Update)
+            .locks(3)
+            .barriers(1)
+            .no_piggyback()
+            .full_page_misses()
+            .gc_at_barriers();
+        assert_eq!(cfg.page_bytes, 512);
+        assert_eq!(cfg.policy, Policy::Update);
+        assert_eq!(cfg.n_locks, 3);
+        assert_eq!(cfg.n_barriers, 1);
+        assert!(!cfg.piggyback_notices);
+        assert!(cfg.full_page_misses);
+        assert!(cfg.gc_at_barriers);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert_eq!(
+            LrcConfig::new(0, 1024).address_space(),
+            Err(ConfigError::BadProcs(0))
+        );
+        assert_eq!(
+            LrcConfig::new(65, 1024).address_space(),
+            Err(ConfigError::BadProcs(65))
+        );
+        assert_eq!(LrcConfig::new(2, 0).address_space(), Err(ConfigError::EmptySpace));
+        assert!(matches!(
+            LrcConfig::new(2, 1024).page_size(100).address_space(),
+            Err(ConfigError::BadPageSize(_))
+        ));
+    }
+
+    #[test]
+    fn policy_display() {
+        assert_eq!(Policy::Invalidate.to_string(), "invalidate");
+        assert_eq!(Policy::Update.suffix(), "U");
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ConfigError::BadProcs(0).to_string().contains("0"));
+        assert!(ConfigError::EmptySpace.to_string().contains("empty"));
+    }
+}

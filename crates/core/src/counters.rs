@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Protocol-level event counters of an [`LrcEngine`](crate::LrcEngine),
+/// complementing the message/byte accounting of the fabric.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LazyCounters {
+    /// Access misses on pages never cached before (base copy needed).
+    pub cold_misses: u64,
+    /// Access misses on resident but invalidated copies (diffs only).
+    pub warm_misses: u64,
+    /// Diffs applied to local copies.
+    pub diffs_applied: u64,
+    /// Write notices received (at acquires and barrier exits).
+    pub notices_received: u64,
+    /// Pages invalidated on notice arrival (invalidate policy).
+    pub invalidations: u64,
+    /// Acquire- or barrier-time page updates (update policy).
+    pub updates: u64,
+    /// Intervals closed with at least one modified page.
+    pub intervals_closed: u64,
+    /// Lock acquires processed.
+    pub acquires: u64,
+    /// Lock releases processed.
+    pub releases: u64,
+    /// Barrier episodes completed.
+    pub barrier_episodes: u64,
+    /// Garbage-collection rounds performed (gc_at_barriers).
+    pub gc_rounds: u64,
+    /// Pages force-validated by garbage collection.
+    pub gc_validated_pages: u64,
+}
+
+impl LazyCounters {
+    /// Total access misses.
+    pub fn misses(&self) -> u64 {
+        self.cold_misses + self.warm_misses
+    }
+}
+
+impl fmt::Display for LazyCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "misses {} (cold {} / warm {}), diffs {}, notices {}, inv {}, upd {}, intervals {}",
+            self.misses(),
+            self.cold_misses,
+            self.warm_misses,
+            self.diffs_applied,
+            self.notices_received,
+            self.invalidations,
+            self.updates,
+            self.intervals_closed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misses_sum_cold_and_warm() {
+        let c = LazyCounters { cold_misses: 2, warm_misses: 3, ..Default::default() };
+        assert_eq!(c.misses(), 5);
+        assert!(c.to_string().contains("misses 5"));
+    }
+}

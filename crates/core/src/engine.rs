@@ -1,0 +1,668 @@
+use lrc_pagemem::{AddrSpace, Diff, PageId};
+use lrc_simnet::{
+    notice_batch_bytes, vc_bytes, Fabric, MsgKind, BARRIER_ID_BYTES,
+    DIFF_REQUEST_ENTRY_BYTES, LOCK_ID_BYTES, PAGE_ID_BYTES,
+};
+use lrc_sync::{
+    BarrierArrival, BarrierError, BarrierId, BarrierSet, LockError, LockId, LockTable,
+};
+use lrc_vclock::{IntervalId, ProcId, StampedInterval, VectorClock};
+
+use crate::pagestate::PageEntry;
+use crate::{ConfigError, FetchPlan, IntervalStore, LazyCounters, LrcConfig, Policy};
+
+/// The lazy release consistency engine: `n` processors, their page copies,
+/// interval bookkeeping, and the full acquire/release/barrier/miss protocol
+/// of §4, with every message charged to an internal [`Fabric`].
+///
+/// The engine is *data-full*: writes carry real bytes, and reads return the
+/// bytes a processor of the simulated DSM would observe — which on a
+/// properly-labeled program must equal sequential consistency (the `lrc-sim`
+/// crate checks exactly that).
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct LrcEngine {
+    cfg: LrcConfig,
+    space: AddrSpace,
+    /// Per-processor vector time; own entry = the *open* interval's seq.
+    clocks: Vec<VectorClock>,
+    /// Per-processor list of pages dirtied in the open interval.
+    dirty: Vec<Vec<PageId>>,
+    /// Per-processor page table.
+    pages: Vec<Vec<PageEntry>>,
+    store: IntervalStore,
+    locks: LockTable,
+    barriers: BarrierSet,
+    /// After garbage collection: the processor holding the authoritative
+    /// copy of each page whose diff history was discarded.
+    gc_owner: Vec<Option<ProcId>>,
+    net: Fabric,
+    counters: LazyCounters,
+}
+
+impl LrcEngine {
+    /// Builds an engine from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration does not validate.
+    pub fn new(cfg: LrcConfig) -> Result<Self, ConfigError> {
+        let space = cfg.address_space()?;
+        let n = cfg.n_procs;
+        let clocks = ProcId::all(n)
+            .map(|p| {
+                let mut vc = VectorClock::new(n);
+                vc.set(p, 1); // interval numbering starts at 1
+                vc
+            })
+            .collect();
+        Ok(LrcEngine {
+            space,
+            clocks,
+            dirty: vec![Vec::new(); n],
+            pages: (0..n)
+                .map(|_| (0..space.n_pages()).map(|_| PageEntry::default()).collect())
+                .collect(),
+            store: IntervalStore::new(n),
+            locks: LockTable::new(cfg.n_locks, n),
+            barriers: BarrierSet::new(cfg.n_barriers, n),
+            gc_owner: vec![None; space.n_pages() as usize],
+            net: Fabric::new(n),
+            counters: LazyCounters::default(),
+            cfg,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &LrcConfig {
+        &self.cfg
+    }
+
+    /// The derived address space.
+    pub fn space(&self) -> AddrSpace {
+        self.space
+    }
+
+    /// The network meter.
+    pub fn net(&self) -> &Fabric {
+        &self.net
+    }
+
+    /// Enables per-message logging on the internal fabric (for tests).
+    pub fn enable_net_trace(&mut self) {
+        self.net.enable_trace();
+    }
+
+    /// Protocol event counters.
+    pub fn counters(&self) -> &LazyCounters {
+        &self.counters
+    }
+
+    /// The interval/diff store (read-only view).
+    pub fn store(&self) -> &IntervalStore {
+        &self.store
+    }
+
+    /// Processor `p`'s current vector time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn clock(&self, p: ProcId) -> &VectorClock {
+        &self.clocks[p.index()]
+    }
+
+    /// True if `p` holds a valid copy of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `page` is out of range.
+    pub fn page_valid(&self, p: ProcId, page: PageId) -> bool {
+        self.pages[p.index()][page.index()].valid
+    }
+
+    /// The home processor of a page (supplies cold copies with no known
+    /// modifier).
+    pub fn page_home(&self, page: PageId) -> ProcId {
+        ProcId::new((page.index() % self.cfg.n_procs) as u16)
+    }
+
+    // ---- ordinary accesses ----
+
+    /// Reads `buf.len()` bytes at `addr` as processor `p`, resolving
+    /// access misses as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `p` is out of range.
+    pub fn read_into(&mut self, p: ProcId, addr: u64, buf: &mut [u8]) {
+        let mut cursor = 0;
+        for seg in self.space.segments(addr, buf.len()) {
+            self.ensure_valid(p, seg.page);
+            let entry = &self.pages[p.index()][seg.page.index()];
+            let copy = entry.copy.as_ref().expect("valid page has a copy");
+            copy.read(seg.offset, &mut buf[cursor..cursor + seg.len]);
+            cursor += seg.len;
+        }
+    }
+
+    /// Reads `len` bytes at `addr` into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// See [`LrcEngine::read_into`].
+    pub fn read_vec(&mut self, p: ProcId, addr: u64, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        self.read_into(p, addr, &mut buf);
+        buf
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// See [`LrcEngine::read_into`].
+    pub fn read_u64(&mut self, p: ProcId, addr: u64) -> u64 {
+        let mut raw = [0u8; 8];
+        self.read_into(p, addr, &mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Writes `data` at `addr` as processor `p`. The first write to a page
+    /// in an interval twins it (§4.3.1); misses resolve first so the twin
+    /// reflects all noticed modifications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `p` is out of range.
+    pub fn write(&mut self, p: ProcId, addr: u64, data: &[u8]) {
+        let mut cursor = 0;
+        for seg in self.space.segments(addr, data.len()) {
+            self.ensure_valid(p, seg.page);
+            let entry = &mut self.pages[p.index()][seg.page.index()];
+            if !entry.is_dirty() {
+                entry.ensure_twin();
+                self.dirty[p.index()].push(seg.page);
+            }
+            let copy = entry.copy.as_mut().expect("valid page has a copy");
+            copy.write(seg.offset, &data[cursor..cursor + seg.len]);
+            cursor += seg.len;
+        }
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// See [`LrcEngine::write`].
+    pub fn write_u64(&mut self, p: ProcId, addr: u64, value: u64) {
+        self.write(p, addr, &value.to_le_bytes());
+    }
+
+    // ---- special accesses ----
+
+    /// Acquires `lock` as processor `p`: finds and transfers the lock (up
+    /// to 3 messages), receives piggybacked write notices for every
+    /// interval performed at the grantor but not at `p`, and — under the
+    /// update policy — pulls diffs to bring all cached pages up to date.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LockError`] (held lock, unknown ids). Callers replaying
+    /// a legal trace never see errors; a runtime must wait until the lock
+    /// is free.
+    pub fn acquire(&mut self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+        self.close_interval(p);
+        let path = self.locks.acquire(p, lock)?;
+        self.counters.acquires += 1;
+        let q = path.grantor;
+        if q == p {
+            // Local re-acquire: nothing new to learn, nothing on the wire.
+            return Ok(());
+        }
+
+        // Request and forward hops carry the acquirer's vector clock so the
+        // grantor can compute the missing write notices (§4.2).
+        let hop_payload = LOCK_ID_BYTES + vc_bytes(self.cfg.n_procs);
+        if let Some((src, dst)) = path.request {
+            self.net.send(src, dst, MsgKind::LockRequest, hop_payload);
+        }
+        if let Some((src, dst)) = path.forward {
+            self.net.send(src, dst, MsgKind::LockForward, hop_payload);
+        }
+
+        // Write notices the grantor has and the acquirer lacks.
+        let know_q = self.knowledge(q);
+        let notices = self.store.notices_missing(&self.clocks[p.index()], &know_q);
+        self.deliver_notices(p, &notices);
+        self.clocks[p.index()].merge(&know_q);
+
+        // Update policy: bring every cached page up to date now. Diffs the
+        // grantor holds ride the grant; the rest cost 2 messages per other
+        // concurrent last modifier (Table 1's `2h`).
+        let mut grant_payload =
+            LOCK_ID_BYTES + vc_bytes(self.cfg.n_procs) + Self::notice_bytes(&notices);
+        if self.cfg.policy == Policy::Update {
+            let needed = self.needed_for_cached_pages(p);
+            let plan = FetchPlan::build(&self.store, p, Some(q), &needed);
+            grant_payload += self.diff_payload(&plan.from_free);
+            let targets = plan.targets.clone();
+            for (target, diffs) in &targets {
+                self.fetch_round_trip(
+                    p,
+                    *target,
+                    diffs,
+                    MsgKind::AcquireDiffRequest,
+                    MsgKind::AcquireDiffReply,
+                );
+            }
+            self.counters.updates += self.apply_plan(p, &plan) as u64;
+        }
+
+        if self.cfg.piggyback_notices {
+            if let Some((src, dst)) = path.grant {
+                self.net.send(src, dst, MsgKind::LockGrant, grant_payload);
+            }
+        } else {
+            // Ablation: the grant carries only the lock; consistency data
+            // travels in a separate message.
+            if let Some((src, dst)) = path.grant {
+                self.net.send(src, dst, MsgKind::LockGrant, LOCK_ID_BYTES);
+                self.net.send(src, dst, MsgKind::LockGrant, grant_payload - LOCK_ID_BYTES);
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases `lock`. Purely local under LRC: the interval closes (diffs
+    /// are made for dirtied pages) and the lock table records `p` as the
+    /// last releaser. **No messages are sent** (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LockError::NotHolder`] and range errors.
+    pub fn release(&mut self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+        self.close_interval(p);
+        self.locks.release(p, lock)?;
+        self.counters.releases += 1;
+        Ok(())
+    }
+
+    /// Arrives at `barrier` as processor `p`. Arrival messages carry the
+    /// processor's clock and fresh write notices to the master; when the
+    /// last processor arrives, exit messages distribute the merged
+    /// knowledge: `2(n-1)` messages per episode, with all consistency
+    /// information piggybacked (Table 1, LI row). Under the update policy
+    /// each processor then pulls diffs for its cached pages (`2u`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BarrierError`] (double arrival, range errors).
+    pub fn barrier(&mut self, p: ProcId, barrier: BarrierId) -> Result<BarrierArrival, BarrierError> {
+        self.barriers.check_arrival(p, barrier)?;
+        self.close_interval(p);
+        let master = self.barriers.master(barrier);
+        if p != master {
+            let fresh = self
+                .store
+                .notices_missing(&self.clocks[master.index()], &self.knowledge(p));
+            let payload =
+                BARRIER_ID_BYTES + vc_bytes(self.cfg.n_procs) + Self::notice_bytes(&fresh);
+            self.net.send(p, master, MsgKind::BarrierArrival, payload);
+        }
+        let outcome = self.barriers.arrive(p, barrier)?;
+        if let BarrierArrival::Complete { .. } = outcome {
+            self.complete_barrier(master);
+        }
+        Ok(outcome)
+    }
+
+    // ---- internals ----
+
+    /// Closes `p`'s open interval: diffs every dirtied page against its
+    /// twin, records the interval (if any page actually changed), and opens
+    /// the next interval.
+    fn close_interval(&mut self, p: ProcId) {
+        let dirtied = std::mem::take(&mut self.dirty[p.index()]);
+        let mut page_diffs = Vec::with_capacity(dirtied.len());
+        for g in dirtied {
+            let entry = &mut self.pages[p.index()][g.index()];
+            let twin = entry.twin.take().expect("dirty page has a twin");
+            let copy = entry.copy.as_ref().expect("dirty page has a copy");
+            let diff = Diff::between(&twin, copy);
+            if !diff.is_empty() {
+                page_diffs.push((g, diff));
+            }
+        }
+        if page_diffs.is_empty() {
+            return;
+        }
+        let seq = self.clocks[p.index()].get(p);
+        let stamp = StampedInterval::new(IntervalId::new(p, seq), self.clocks[p.index()].clone());
+        self.store.close_interval(stamp, page_diffs);
+        self.counters.intervals_closed += 1;
+        self.clocks[p.index()].bump(p);
+    }
+
+    /// `p`'s transferable knowledge: its clock with the own entry lowered
+    /// to the last *closed* interval.
+    fn knowledge(&self, p: ProcId) -> VectorClock {
+        let mut vc = self.clocks[p.index()].clone();
+        let open = vc.get(p);
+        vc.set(p, open - 1);
+        vc
+    }
+
+    /// Wire size of a batch of write notices: one header per distinct
+    /// interval plus a page id per notice (TreadMarks-style interval
+    /// records).
+    fn notice_bytes(notices: &[crate::WriteNotice]) -> u64 {
+        let mut intervals: Vec<_> = notices.iter().map(|n| n.interval).collect();
+        intervals.sort();
+        intervals.dedup();
+        notice_batch_bytes(intervals.len(), notices.len())
+    }
+
+    /// Delivers write notices to `p`: pending lists grow and, under the
+    /// invalidate policy, resident valid copies are invalidated.
+    fn deliver_notices(&mut self, p: ProcId, notices: &[crate::WriteNotice]) {
+        self.counters.notices_received += notices.len() as u64;
+        for n in notices {
+            debug_assert_ne!(n.interval.proc(), p, "no notices for own intervals");
+            let entry = &mut self.pages[p.index()][n.page.index()];
+            entry.pending.push(n.interval);
+            if self.cfg.policy == Policy::Invalidate && entry.valid {
+                entry.valid = false;
+                self.counters.invalidations += 1;
+            }
+        }
+    }
+
+    /// All pending diffs of pages `p` has a copy of (the update policy's
+    /// working set at acquires and barriers).
+    fn needed_for_cached_pages(&self, p: ProcId) -> Vec<(IntervalId, PageId)> {
+        let mut needed = Vec::new();
+        for (gi, entry) in self.pages[p.index()].iter().enumerate() {
+            if entry.copy.is_some() && !entry.pending.is_empty() {
+                let g = PageId::new(gi as u32);
+                needed.extend(entry.pending.iter().map(|&iv| (iv, g)));
+            }
+        }
+        needed
+    }
+
+    /// Wire size of a batch of diffs supplied by one processor: per page,
+    /// the chain is squashed in happened-before order before shipping, so
+    /// overwritten modifications never cross the wire (§4.3.2's pruning of
+    /// intervals "in which the modification was overwritten").
+    fn diff_payload(&self, diffs: &[(IntervalId, PageId)]) -> u64 {
+        let mut by_page: Vec<(PageId, Vec<IntervalId>)> = Vec::new();
+        for &(iv, g) in diffs {
+            match by_page.iter_mut().find(|(page, _)| *page == g) {
+                Some((_, ivs)) => ivs.push(iv),
+                None => by_page.push((g, vec![iv])),
+            }
+        }
+        let mut total = 0u64;
+        for (g, mut ivs) in by_page {
+            ivs.sort_by_key(|&iv| {
+                let w = self.store.stamp(iv).expect("planned interval recorded").clock().weight();
+                (w, iv.proc(), iv.seq())
+            });
+            let chain: Vec<&Diff> = ivs
+                .iter()
+                .map(|&iv| self.store.diff(iv, g).expect("planned diff exists"))
+                .collect();
+            total += if chain.len() == 1 {
+                chain[0].encoded_size() as u64
+            } else {
+                Diff::squash(chain).encoded_size() as u64
+            };
+        }
+        total
+    }
+
+    /// One request/reply exchange fetching `diffs` from `target`.
+    fn fetch_round_trip(
+        &mut self,
+        p: ProcId,
+        target: ProcId,
+        diffs: &[(IntervalId, PageId)],
+        request: MsgKind,
+        reply: MsgKind,
+    ) {
+        let request_payload = diffs.len() as u64 * DIFF_REQUEST_ENTRY_BYTES;
+        let reply_payload = if self.cfg.full_page_misses && request == MsgKind::MissRequest {
+            // Ablation of §4.3.3: the reply ships whole pages instead of
+            // diffs.
+            let mut pages: Vec<PageId> = diffs.iter().map(|&(_, g)| g).collect();
+            pages.sort();
+            pages.dedup();
+            pages.len() as u64 * self.space.page_size().bytes() as u64
+        } else {
+            self.diff_payload(diffs)
+        };
+        self.net.round_trip(p, target, request, request_payload, reply, reply_payload);
+    }
+
+    /// Applies every diff of a plan to `p`'s copies in happened-before
+    /// order, page by page, and marks the touched pages valid. Returns the
+    /// number of distinct pages touched.
+    fn apply_plan(&mut self, p: ProcId, plan: &FetchPlan) -> usize {
+        let mut all: Vec<(IntervalId, PageId)> = plan.from_free.clone();
+        for (_, diffs) in &plan.targets {
+            all.extend_from_slice(diffs);
+        }
+        if all.is_empty() {
+            return 0;
+        }
+        // Linear extension of happened-before: stamp weight, then id.
+        all.sort_by_key(|&(iv, _)| {
+            let w = self.store.stamp(iv).expect("planned interval recorded").clock().weight();
+            (w, iv.proc(), iv.seq())
+        });
+        let mut touched: Vec<PageId> = Vec::new();
+        for (iv, g) in all {
+            let diff = self.store.diff(iv, g).expect("planned diff exists").clone();
+            let entry = &mut self.pages[p.index()][g.index()];
+            let copy = entry.copy_mut(self.space.page_size());
+            diff.apply_to(copy);
+            if let Some(twin) = entry.twin.as_mut() {
+                // Concurrent writer here: keep the twin in sync so this
+                // processor's own diff stays minimal and correct.
+                diff.apply_to(twin);
+            }
+            self.store.add_holder(p, iv, g);
+            self.counters.diffs_applied += 1;
+            touched.push(g);
+        }
+        touched.sort();
+        touched.dedup();
+        let count = touched.len();
+        for g in touched {
+            let entry = &mut self.pages[p.index()][g.index()];
+            entry.pending.clear();
+            entry.valid = true;
+        }
+        count
+    }
+
+    /// Resolves an access miss on `page` at `p` (§4.3.2/§4.3.3): pulls the
+    /// needed diffs from the concurrent last modifiers (2m messages), plus
+    /// a base copy if the page was never resident.
+    fn ensure_valid(&mut self, p: ProcId, page: PageId) {
+        let entry = &self.pages[p.index()][page.index()];
+        if entry.valid {
+            return;
+        }
+        let cold = entry.copy.is_none();
+        if cold {
+            self.counters.cold_misses += 1;
+        } else {
+            self.counters.warm_misses += 1;
+        }
+
+        let needed: Vec<(IntervalId, PageId)> =
+            entry.pending.iter().map(|&iv| (iv, page)).collect();
+        let plan = FetchPlan::build(&self.store, p, None, &needed);
+
+        if cold {
+            // "A copy of the page may have to be retrieved" (§4.3.3): the
+            // base ships from the first diff supplier when there is one,
+            // from the post-GC owner if the history was collected, and
+            // from the page's home (the initial contents) otherwise.
+            let supplier = plan
+                .targets
+                .first()
+                .map(|(t, _)| *t)
+                .or(self.gc_owner[page.index()])
+                .unwrap_or_else(|| self.page_home(page));
+            let base = if supplier == p {
+                // Only possible for the untouched-home case: the initial
+                // contents are local.
+                lrc_pagemem::PageBuf::zeroed(self.space.page_size())
+            } else {
+                // Clone the supplier's copy without disturbing its state;
+                // a never-touched home supplies the initial zero page.
+                let base = match &self.pages[supplier.index()][page.index()].copy {
+                    Some(copy) => copy.clone(),
+                    None => lrc_pagemem::PageBuf::zeroed(self.space.page_size()),
+                };
+                // The base rides the first diff reply when the supplier is
+                // also a fetch target; otherwise it is its own round trip.
+                if plan.targets.first().is_none_or(|(t, _)| *t != supplier) {
+                    self.net.round_trip(
+                        p,
+                        supplier,
+                        MsgKind::MissRequest,
+                        PAGE_ID_BYTES,
+                        MsgKind::MissReply,
+                        self.space.page_size().bytes() as u64,
+                    );
+                }
+                base
+            };
+            self.pages[p.index()][page.index()].copy = Some(base);
+        }
+        debug_assert!(
+            cold || !plan.is_empty(),
+            "warm miss without pending diffs cannot occur"
+        );
+
+        let targets = plan.targets.clone();
+        for (i, (target, diffs)) in targets.iter().enumerate() {
+            if cold && i == 0 {
+                // The first supplier's reply also carries the base page.
+                let request_payload =
+                    diffs.len() as u64 * DIFF_REQUEST_ENTRY_BYTES + PAGE_ID_BYTES;
+                let reply_payload =
+                    self.diff_payload(diffs) + self.space.page_size().bytes() as u64;
+                self.net.round_trip(
+                    p,
+                    *target,
+                    MsgKind::MissRequest,
+                    request_payload,
+                    MsgKind::MissReply,
+                    reply_payload,
+                );
+            } else {
+                self.fetch_round_trip(p, *target, diffs, MsgKind::MissRequest, MsgKind::MissReply);
+            }
+        }
+        self.apply_plan(p, &plan);
+        let entry = &mut self.pages[p.index()][page.index()];
+        entry.pending.clear();
+        entry.valid = true;
+    }
+
+    /// Completes a barrier episode at `master`: merge all knowledge, send
+    /// exit messages with the notices each processor lacks, and apply the
+    /// policy.
+    fn complete_barrier(&mut self, master: ProcId) {
+        let n = self.cfg.n_procs;
+        let mut merged = VectorClock::new(n);
+        for r in ProcId::all(n) {
+            merged.merge(&self.knowledge(r));
+        }
+        // Compute per-processor missing notices against pre-merge clocks.
+        let missing: Vec<Vec<crate::WriteNotice>> = ProcId::all(n)
+            .map(|r| self.store.notices_missing(&self.clocks[r.index()], &merged))
+            .collect();
+        for r in ProcId::all(n) {
+            if r != master {
+                let payload = BARRIER_ID_BYTES
+                    + vc_bytes(n)
+                    + Self::notice_bytes(&missing[r.index()]);
+                self.net.send(master, r, MsgKind::BarrierExit, payload);
+            }
+            self.deliver_notices(r, &missing[r.index()]);
+            self.clocks[r.index()].merge(&merged);
+        }
+        if self.cfg.policy == Policy::Update {
+            // Every processor pulls the diffs for its cached pages: one
+            // round trip per (cacher, modifier) pair — Table 1's `2u`.
+            for r in ProcId::all(n) {
+                let needed = self.needed_for_cached_pages(r);
+                let plan = FetchPlan::build(&self.store, r, None, &needed);
+                let targets = plan.targets.clone();
+                for (target, diffs) in &targets {
+                    self.fetch_round_trip(
+                        r,
+                        *target,
+                        diffs,
+                        MsgKind::BarrierDiffRequest,
+                        MsgKind::BarrierDiffReply,
+                    );
+                }
+                self.counters.updates += self.apply_plan(r, &plan) as u64;
+            }
+        }
+        self.counters.barrier_episodes += 1;
+        if self.cfg.gc_at_barriers {
+            self.collect_garbage();
+        }
+    }
+
+    /// Barrier-time garbage collection (TreadMarks-style): every processor
+    /// brings its resident pages fully up to date (charged as barrier
+    /// traffic), pages never cached anywhere keep only an owner pointer,
+    /// and the entire interval/diff history is discarded. Safe exactly at
+    /// barrier completion, when every interval has performed everywhere.
+    fn collect_garbage(&mut self) {
+        let n = self.cfg.n_procs;
+        // Validate every resident copy (the update policy already did).
+        if self.cfg.policy == Policy::Invalidate {
+            for r in ProcId::all(n) {
+                let needed = self.needed_for_cached_pages(r);
+                if needed.is_empty() {
+                    continue;
+                }
+                let plan = FetchPlan::build(&self.store, r, None, &needed);
+                let targets = plan.targets.clone();
+                for (target, diffs) in &targets {
+                    self.fetch_round_trip(
+                        r,
+                        *target,
+                        diffs,
+                        MsgKind::BarrierDiffRequest,
+                        MsgKind::BarrierDiffReply,
+                    );
+                }
+                self.counters.gc_validated_pages += self.apply_plan(r, &plan) as u64;
+            }
+        }
+        // Record the authoritative owner of every page whose history is
+        // about to disappear, then drop the history and dangling notices.
+        for (page, owner) in self.store.latest_writers() {
+            self.gc_owner[page.index()] = Some(owner);
+        }
+        for r in ProcId::all(n) {
+            for entry in &mut self.pages[r.index()] {
+                entry.pending.clear();
+            }
+        }
+        self.store.clear();
+        self.counters.gc_rounds += 1;
+    }
+}

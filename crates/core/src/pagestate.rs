@@ -1,0 +1,105 @@
+use lrc_pagemem::{PageBuf, PageSize};
+use lrc_vclock::IntervalId;
+
+/// One processor's view of one page.
+///
+/// Invariants maintained by the engine:
+///
+/// * `valid` implies `copy.is_some()` and `pending.is_empty()` — a valid
+///   copy reflects every modification the processor has been noticed about;
+/// * `twin.is_some()` iff the page is dirty in the current interval;
+/// * `pending` holds notices (in arrival order) whose diffs have not yet
+///   been applied to `copy`. Pages never cached (`copy.is_none()`) keep
+///   accumulating notices so a cold miss knows the page's full known write
+///   history.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PageEntry {
+    /// The processor's copy of the page, if it ever fetched or wrote it.
+    pub copy: Option<PageBuf>,
+    /// Twin made before the first write of the current interval.
+    pub twin: Option<PageBuf>,
+    /// True if `copy` reflects all known modifications.
+    pub valid: bool,
+    /// Noticed-but-unapplied intervals that modified this page.
+    pub pending: Vec<IntervalId>,
+}
+
+impl PageEntry {
+    /// True if the page is writable in the current interval (dirty).
+    pub fn is_dirty(&self) -> bool {
+        self.twin.is_some()
+    }
+
+    /// Ensures a zeroed copy exists (cold pages start as the initial,
+    /// all-zero contents) and returns it mutably.
+    pub fn copy_mut(&mut self, size: PageSize) -> &mut PageBuf {
+        self.copy.get_or_insert_with(|| PageBuf::zeroed(size))
+    }
+
+    /// Makes the twin if the page is not yet dirty in this interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page has no copy yet; the engine always resolves the
+    /// miss (creating the copy) before the first write.
+    pub fn ensure_twin(&mut self) {
+        if self.twin.is_none() {
+            let copy = self.copy.as_ref().expect("twin requires a resident copy");
+            self.twin = Some(copy.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrc_vclock::ProcId;
+
+    fn size() -> PageSize {
+        PageSize::new(128).unwrap()
+    }
+
+    #[test]
+    fn default_entry_is_cold() {
+        let e = PageEntry::default();
+        assert!(e.copy.is_none());
+        assert!(!e.valid);
+        assert!(!e.is_dirty());
+        assert!(e.pending.is_empty());
+    }
+
+    #[test]
+    fn copy_mut_materializes_zeroed_page() {
+        let mut e = PageEntry::default();
+        let copy = e.copy_mut(size());
+        assert!(copy.as_bytes().iter().all(|&b| b == 0));
+        copy.write(0, &[5]);
+        assert_eq!(e.copy.as_ref().unwrap().as_bytes()[0], 5);
+    }
+
+    #[test]
+    fn ensure_twin_snapshots_once() {
+        let mut e = PageEntry::default();
+        e.copy_mut(size()).write(0, &[1]);
+        e.ensure_twin();
+        assert!(e.is_dirty());
+        // Further writes do not disturb the twin.
+        e.copy.as_mut().unwrap().write(0, &[2]);
+        e.ensure_twin();
+        assert_eq!(e.twin.as_ref().unwrap().as_bytes()[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "resident copy")]
+    fn twin_requires_copy() {
+        let mut e = PageEntry::default();
+        e.ensure_twin();
+    }
+
+    #[test]
+    fn pending_tracks_notices() {
+        let mut e = PageEntry::default();
+        e.pending.push(IntervalId::new(ProcId::new(1), 3));
+        assert_eq!(e.pending.len(), 1);
+    }
+}

@@ -1,0 +1,107 @@
+use lrc_core::ConfigError;
+use lrc_sim::{AnyEngine, EngineParams, ProtocolKind};
+
+use crate::cluster::Dsm;
+
+/// Configures and builds a [`Dsm`] runtime.
+///
+/// # Example
+///
+/// ```
+/// use lrc_dsm::DsmBuilder;
+/// use lrc_sim::ProtocolKind;
+///
+/// let dsm = DsmBuilder::new(ProtocolKind::LazyUpdate, 2, 1 << 14)
+///     .page_size(512)
+///     .locks(4)
+///     .barriers(2)
+///     .build()?;
+/// assert_eq!(dsm.n_procs(), 2);
+/// # Ok::<(), lrc_core::ConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DsmBuilder {
+    kind: ProtocolKind,
+    params: EngineParams,
+}
+
+impl DsmBuilder {
+    /// Starts a builder for `n_procs` processors sharing `mem_bytes` bytes
+    /// under the given protocol.
+    pub fn new(kind: ProtocolKind, n_procs: usize, mem_bytes: u64) -> Self {
+        DsmBuilder {
+            kind,
+            params: EngineParams {
+                n_procs,
+                mem_bytes,
+                page_bytes: 4096,
+                n_locks: 16,
+                n_barriers: 4,
+                piggyback_notices: true,
+                full_page_misses: false,
+                gc_at_barriers: false,
+            },
+        }
+    }
+
+    /// Sets the page size in bytes (power of two, 64–65536).
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.params.page_bytes = bytes;
+        self
+    }
+
+    /// Sets the number of locks.
+    pub fn locks(mut self, n: usize) -> Self {
+        self.params.n_locks = n;
+        self
+    }
+
+    /// Sets the number of barriers.
+    pub fn barriers(mut self, n: usize) -> Self {
+        self.params.n_barriers = n;
+        self
+    }
+
+    /// Enables barrier-time garbage collection of consistency information
+    /// (lazy protocols only; see [`lrc_core::LrcConfig::gc_at_barriers`]).
+    pub fn gc_at_barriers(mut self) -> Self {
+        self.params.gc_at_barriers = true;
+        self
+    }
+
+    /// Builds the runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the parameters do not validate.
+    pub fn build(self) -> Result<Dsm, ConfigError> {
+        let engine = AnyEngine::build(self.kind, &self.params)?;
+        Ok(Dsm::from_engine(engine, self.kind, self.params.n_locks, self.params.n_barriers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates() {
+        assert!(DsmBuilder::new(ProtocolKind::LazyInvalidate, 0, 1024).build().is_err());
+        assert!(DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1024)
+            .page_size(100)
+            .build()
+            .is_err());
+        let dsm = DsmBuilder::new(ProtocolKind::EagerUpdate, 3, 1 << 14)
+            .page_size(256)
+            .locks(2)
+            .barriers(1)
+            .build()
+            .unwrap();
+        let gc = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 14)
+            .gc_at_barriers()
+            .build();
+        assert!(gc.is_ok());
+        assert_eq!(dsm.n_procs(), 3);
+        assert_eq!(dsm.kind(), ProtocolKind::EagerUpdate);
+    }
+}

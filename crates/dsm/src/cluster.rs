@@ -1,0 +1,206 @@
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use lrc_simnet::NetStats;
+use lrc_sim::{AnyEngine, ProtocolKind};
+use lrc_sync::{BarrierError, LockError};
+use lrc_vclock::ProcId;
+
+use crate::ProcHandle;
+
+/// Errors surfaced by the runtime API.
+///
+/// Lock contention is *not* an error — [`ProcHandle::acquire`] blocks — so
+/// what remains is genuine misuse: unknown ids, double acquires, releasing
+/// an unheld lock.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DsmError {
+    /// A lock operation was invalid.
+    Lock(LockError),
+    /// A barrier operation was invalid.
+    Barrier(BarrierError),
+}
+
+impl fmt::Display for DsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsmError::Lock(e) => write!(f, "lock error: {e}"),
+            DsmError::Barrier(e) => write!(f, "barrier error: {e}"),
+        }
+    }
+}
+
+impl Error for DsmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DsmError::Lock(e) => Some(e),
+            DsmError::Barrier(e) => Some(e),
+        }
+    }
+}
+
+impl From<LockError> for DsmError {
+    fn from(e: LockError) -> Self {
+        DsmError::Lock(e)
+    }
+}
+
+impl From<BarrierError> for DsmError {
+    fn from(e: BarrierError) -> Self {
+        DsmError::Barrier(e)
+    }
+}
+
+/// Shared state of the runtime: the protocol engine behind a mutex, plus
+/// condition variables for lock hand-off and barrier episodes.
+pub(crate) struct Cluster {
+    pub(crate) engine: parking_lot::Mutex<AnyEngine>,
+    /// Woken whenever any lock is released (waiters re-try their acquire).
+    pub(crate) lock_cv: parking_lot::Condvar,
+    /// Woken when a barrier episode completes.
+    pub(crate) barrier_cv: parking_lot::Condvar,
+    /// Completed episodes per barrier, advanced by the closing arrival.
+    pub(crate) episodes: parking_lot::Mutex<Vec<u64>>,
+    pub(crate) n_procs: usize,
+}
+
+/// A running DSM: `n` simulated processors sharing a paged address space
+/// under one of the four protocols of the paper.
+///
+/// Spawn work with [`Dsm::parallel`] (one thread per processor) or drive
+/// processors manually via [`Dsm::handle`]. All protocol traffic is
+/// metered; read it back with [`Dsm::net_stats`].
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Clone)]
+pub struct Dsm {
+    cluster: Arc<Cluster>,
+    kind: ProtocolKind,
+    n_locks: usize,
+    n_barriers: usize,
+}
+
+impl Dsm {
+    pub(crate) fn from_engine(
+        engine: AnyEngine,
+        kind: ProtocolKind,
+        n_locks: usize,
+        n_barriers: usize,
+    ) -> Self {
+        let n_procs = match &engine {
+            AnyEngine::Lazy(e) => e.config().n_procs,
+            AnyEngine::Eager(e) => e.config().n_procs,
+        };
+        Dsm {
+            cluster: Arc::new(Cluster {
+                engine: parking_lot::Mutex::new(engine),
+                lock_cv: parking_lot::Condvar::new(),
+                barrier_cv: parking_lot::Condvar::new(),
+                episodes: parking_lot::Mutex::new(vec![0; n_barriers]),
+                n_procs,
+            }),
+            kind,
+            n_locks,
+            n_barriers,
+        }
+    }
+
+    /// Number of processors.
+    pub fn n_procs(&self) -> usize {
+        self.cluster.n_procs
+    }
+
+    /// The protocol in use.
+    pub fn kind(&self) -> ProtocolKind {
+        self.kind
+    }
+
+    /// Locks available.
+    pub fn n_locks(&self) -> usize {
+        self.n_locks
+    }
+
+    /// Barriers available.
+    pub fn n_barriers(&self) -> usize {
+        self.n_barriers
+    }
+
+    /// A handle for driving processor `p` from the current thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn handle(&self, p: ProcId) -> ProcHandle {
+        assert!(p.index() < self.cluster.n_procs, "processor {p} out of range");
+        ProcHandle::new(Arc::clone(&self.cluster), p)
+    }
+
+    /// Runs `body` once per processor, each on its own OS thread, and
+    /// joins them all. The closure receives that processor's handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first processor's [`DsmError`], if any fails.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from the worker threads.
+    pub fn parallel<F>(&self, body: F) -> Result<(), DsmError>
+    where
+        F: Fn(&mut ProcHandle) -> Result<(), DsmError> + Send + Sync,
+    {
+        let results: Vec<Result<(), DsmError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.cluster.n_procs)
+                .map(|i| {
+                    let mut proc = self.handle(ProcId::new(i as u16));
+                    let body = &body;
+                    scope.spawn(move || body(&mut proc))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("DSM worker thread panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// Snapshot of the accumulated network statistics.
+    pub fn net_stats(&self) -> NetStats {
+        self.cluster.engine.lock().net_stats()
+    }
+}
+
+impl fmt::Debug for Dsm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Dsm({} procs, {}, {} locks, {} barriers)",
+            self.cluster.n_procs, self.kind, self.n_locks, self.n_barriers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DsmBuilder;
+
+    #[test]
+    fn debug_and_accessors() {
+        let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 14).build().unwrap();
+        assert_eq!(dsm.n_procs(), 2);
+        assert_eq!(dsm.n_locks(), 16);
+        assert_eq!(dsm.n_barriers(), 4);
+        assert!(format!("{dsm:?}").contains("2 procs"));
+        assert_eq!(dsm.net_stats().total().msgs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn handle_validates_proc() {
+        let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 14).build().unwrap();
+        dsm.handle(ProcId::new(5));
+    }
+}

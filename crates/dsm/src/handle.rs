@@ -1,0 +1,181 @@
+use std::fmt;
+use std::sync::Arc;
+
+use lrc_sync::{BarrierArrival, BarrierError, BarrierId, LockError, LockId};
+use lrc_vclock::ProcId;
+
+use crate::cluster::Cluster;
+use crate::DsmError;
+
+/// One simulated processor of a running [`Dsm`](crate::Dsm).
+///
+/// A handle is the thread-side API of the DSM: typed shared-memory
+/// accesses plus blocking lock and barrier operations. Handles are `Send`;
+/// drive each processor from exactly one thread at a time (methods take
+/// `&mut self` to enforce it).
+pub struct ProcHandle {
+    cluster: Arc<Cluster>,
+    proc: ProcId,
+}
+
+impl ProcHandle {
+    pub(crate) fn new(cluster: Arc<Cluster>, proc: ProcId) -> Self {
+        ProcHandle { cluster, proc }
+    }
+
+    /// This handle's processor id.
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    /// Reads `buf.len()` bytes at `addr`, running the protocol's miss
+    /// resolution as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside the shared space.
+    pub fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) {
+        self.cluster.engine.lock().read_into(self.proc, addr, buf);
+    }
+
+    /// Writes `data` at `addr` (twinning pages on first write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside the shared space.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        self.cluster.engine.lock().write(self.proc, addr, data);
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside the shared space.
+    pub fn read_u64(&mut self, addr: u64) -> u64 {
+        let mut raw = [0u8; 8];
+        self.read_bytes(addr, &mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside the shared space.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Acquires `lock`, blocking while another processor holds it. Under
+    /// the lazy protocols this is where consistency information arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`DsmError::Lock`] on misuse (unknown lock, double acquire).
+    pub fn acquire(&mut self, lock: LockId) -> Result<(), DsmError> {
+        let mut engine = self.cluster.engine.lock();
+        loop {
+            match engine.acquire(self.proc, lock) {
+                Ok(()) => return Ok(()),
+                Err(LockError::HeldByOther { .. }) => {
+                    // Wait for any release, then retry the hand-off.
+                    self.cluster.lock_cv.wait(&mut engine);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Releases `lock`. Purely local under the lazy protocols; pushes
+    /// updates or invalidations to all cachers under the eager ones.
+    ///
+    /// # Errors
+    ///
+    /// [`DsmError::Lock`] if this processor does not hold the lock.
+    pub fn release(&mut self, lock: LockId) -> Result<(), DsmError> {
+        let mut engine = self.cluster.engine.lock();
+        engine.release(self.proc, lock)?;
+        drop(engine);
+        self.cluster.lock_cv.notify_all();
+        Ok(())
+    }
+
+    /// Arrives at `barrier` and blocks until every processor has arrived.
+    ///
+    /// # Errors
+    ///
+    /// [`DsmError::Barrier`] on misuse (unknown barrier).
+    pub fn barrier(&mut self, barrier: BarrierId) -> Result<(), DsmError> {
+        // Capture the episode we are about to complete. Between this
+        // capture and our arrival the episode cannot complete — it needs
+        // our arrival — so the target is stable.
+        let target = {
+            let episodes = self.cluster.episodes.lock();
+            match episodes.get(barrier.index()) {
+                Some(done) => done + 1,
+                None => {
+                    return Err(DsmError::Barrier(BarrierError::UnknownBarrier(barrier)))
+                }
+            }
+        };
+        let mut engine = self.cluster.engine.lock();
+        match engine.barrier(self.proc, barrier)? {
+            BarrierArrival::Complete { .. } => {
+                drop(engine);
+                let mut episodes = self.cluster.episodes.lock();
+                episodes[barrier.index()] += 1;
+                drop(episodes);
+                self.cluster.barrier_cv.notify_all();
+                Ok(())
+            }
+            BarrierArrival::Waiting { .. } => {
+                drop(engine);
+                let mut episodes = self.cluster.episodes.lock();
+                while episodes[barrier.index()] < target {
+                    self.cluster.barrier_cv.wait(&mut episodes);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ProcHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProcHandle({})", self.proc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DsmBuilder;
+    use lrc_sim::ProtocolKind;
+
+    #[test]
+    fn single_proc_smoke() {
+        let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 1, 1 << 12)
+            .page_size(256)
+            .build()
+            .unwrap();
+        let mut p = dsm.handle(ProcId::new(0));
+        assert_eq!(p.proc(), ProcId::new(0));
+        p.write_u64(8, 99);
+        assert_eq!(p.read_u64(8), 99);
+        p.acquire(LockId::new(0)).unwrap();
+        p.release(LockId::new(0)).unwrap();
+        p.barrier(BarrierId::new(0)).unwrap();
+        assert!(format!("{p:?}").contains("p0"));
+    }
+
+    #[test]
+    fn misuse_is_reported() {
+        let dsm = DsmBuilder::new(ProtocolKind::EagerInvalidate, 1, 1 << 12).build().unwrap();
+        let mut p = dsm.handle(ProcId::new(0));
+        assert!(matches!(p.release(LockId::new(0)), Err(DsmError::Lock(_))));
+        assert!(matches!(p.barrier(BarrierId::new(99)), Err(DsmError::Barrier(_))));
+        p.acquire(LockId::new(1)).unwrap();
+        assert!(matches!(p.acquire(LockId::new(1)), Err(DsmError::Lock(_))));
+    }
+}

@@ -1,0 +1,183 @@
+//! Concurrency tests for the threaded runtime: real threads, real
+//! interleavings, protocol invariants that must hold under all of them.
+
+use lrc_dsm::DsmBuilder;
+use lrc_sim::ProtocolKind;
+use lrc_sync::{BarrierId, LockId};
+use lrc_vclock::ProcId;
+
+/// The classic DSM smoke test: concurrent lock-protected increments must
+/// never lose an update, under every protocol.
+#[test]
+fn lock_protected_counter_is_exact() {
+    for kind in ProtocolKind::ALL {
+        let dsm = DsmBuilder::new(kind, 4, 1 << 14).page_size(512).build().unwrap();
+        let lock = LockId::new(0);
+        dsm.parallel(|proc| {
+            for _ in 0..50 {
+                proc.acquire(lock)?;
+                let v = proc.read_u64(64);
+                proc.write_u64(64, v + 1);
+                proc.release(lock)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let mut check = dsm.handle(ProcId::new(0));
+        check.acquire(lock).unwrap();
+        assert_eq!(check.read_u64(64), 200, "{kind} lost updates");
+        check.release(lock).unwrap();
+        assert!(dsm.net_stats().total().msgs > 0);
+    }
+}
+
+/// Multiple counters under multiple locks: independent critical sections
+/// interleave freely without corrupting each other.
+#[test]
+fn independent_locks_do_not_interfere() {
+    for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::EagerUpdate] {
+        let dsm = DsmBuilder::new(kind, 4, 1 << 14).page_size(512).locks(4).build().unwrap();
+        dsm.parallel(|proc| {
+            for i in 0..30u64 {
+                let which = (proc.proc().index() as u64 + i) % 4;
+                let lock = LockId::new(which as u32);
+                // Counters on different pages to exercise several pages.
+                let addr = 512 * which + 8;
+                proc.acquire(lock)?;
+                let v = proc.read_u64(addr);
+                proc.write_u64(addr, v + 1);
+                proc.release(lock)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let mut check = dsm.handle(ProcId::new(0));
+        let mut total = 0;
+        for which in 0..4u64 {
+            let lock = LockId::new(which as u32);
+            check.acquire(lock).unwrap();
+            total += check.read_u64(512 * which + 8);
+            check.release(lock).unwrap();
+        }
+        assert_eq!(total, 4 * 30, "{kind} lost updates across locks");
+    }
+}
+
+/// Barrier-phased false sharing: disjoint words of one page written by all
+/// processors, visible to everyone after the barrier — the multiple-writer
+/// guarantee under real threads.
+#[test]
+fn false_sharing_merges_across_barriers() {
+    for kind in ProtocolKind::ALL {
+        let dsm = DsmBuilder::new(kind, 4, 1 << 13).page_size(4096).build().unwrap();
+        let barrier = BarrierId::new(0);
+        dsm.parallel(|proc| {
+            let me = proc.proc().index() as u64;
+            for phase in 0..5u64 {
+                proc.write_u64(8 * me, 100 * phase + me);
+                proc.barrier(barrier)?;
+                // Everyone sees every writer's word from this phase.
+                for other in 0..4u64 {
+                    let got = proc.read_u64(8 * other);
+                    assert_eq!(got, 100 * phase + other, "{kind} phase {phase}");
+                }
+                proc.barrier(barrier)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+}
+
+/// Producer/consumer through a lock-protected mailbox: consumers always
+/// observe a consistent (seq, payload) pair.
+#[test]
+fn producer_consumer_mailbox_is_consistent() {
+    for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::LazyUpdate] {
+        let dsm = DsmBuilder::new(kind, 3, 1 << 13).page_size(512).build().unwrap();
+        let lock = LockId::new(0);
+        dsm.parallel(|proc| {
+            if proc.proc().index() == 0 {
+                for seq in 1..=40u64 {
+                    proc.acquire(lock)?;
+                    proc.write_u64(0, seq);
+                    proc.write_u64(8, seq * 1000);
+                    proc.release(lock)?;
+                }
+            } else {
+                let mut last = 0;
+                while last < 40 {
+                    proc.acquire(lock)?;
+                    let seq = proc.read_u64(0);
+                    let payload = proc.read_u64(8);
+                    proc.release(lock)?;
+                    assert_eq!(payload, seq * 1000, "{kind}: torn mailbox");
+                    assert!(seq >= last, "{kind}: mailbox went backwards");
+                    last = seq;
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+}
+
+/// Handles can be driven from manually-managed threads, not just
+/// `parallel`, and the runtime can be shared via clones.
+#[test]
+fn manual_threads_and_clone() {
+    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 13).build().unwrap();
+    let dsm2 = dsm.clone();
+    let lock = LockId::new(0);
+    let t = std::thread::spawn(move || {
+        let mut p1 = dsm2.handle(ProcId::new(1));
+        p1.acquire(lock).unwrap();
+        p1.write_u64(128, 7);
+        p1.release(lock).unwrap();
+    });
+    t.join().unwrap();
+    let mut p0 = dsm.handle(ProcId::new(0));
+    p0.acquire(lock).unwrap();
+    assert_eq!(p0.read_u64(128), 7);
+    p0.release(lock).unwrap();
+}
+
+/// Heavy contention on one lock: no deadlocks, no lost wakeups.
+#[test]
+fn contended_lock_storm() {
+    let dsm = DsmBuilder::new(ProtocolKind::LazyUpdate, 8, 1 << 14).page_size(1024).build().unwrap();
+    let lock = LockId::new(0);
+    dsm.parallel(|proc| {
+        for _ in 0..100 {
+            proc.acquire(lock)?;
+            let v = proc.read_u64(0);
+            proc.write_u64(0, v + 1);
+            proc.release(lock)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let mut check = dsm.handle(ProcId::new(0));
+    check.acquire(lock).unwrap();
+    assert_eq!(check.read_u64(0), 800);
+    check.release(lock).unwrap();
+}
+
+/// Barriers alone synchronize repeated phases without deadlock, and the
+/// runtime keeps exact message statistics while doing it.
+#[test]
+fn barrier_phases_and_stats() {
+    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 4, 1 << 13).build().unwrap();
+    let barrier = BarrierId::new(1);
+    let before = dsm.net_stats();
+    dsm.parallel(|proc| {
+        for _ in 0..10 {
+            proc.barrier(barrier)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let delta = dsm.net_stats().since(&before);
+    // 10 episodes x 2(n-1) messages.
+    assert_eq!(delta.total().msgs, 10 * 2 * 3);
+}

@@ -1,0 +1,109 @@
+use lrc_core::{ConfigError, Policy};
+use lrc_pagemem::AddrSpace;
+
+/// Configuration of an [`EagerEngine`](crate::EagerEngine).
+///
+/// Mirrors [`lrc_core::LrcConfig`] so sweeps can run both engines from the
+/// same parameters.
+///
+/// ```
+/// use lrc_core::Policy;
+/// use lrc_eager::EagerConfig;
+///
+/// let cfg = EagerConfig::new(16, 1 << 20).page_size(1024).policy(Policy::Invalidate);
+/// assert_eq!(cfg.page_bytes, 1024);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EagerConfig {
+    /// Number of processors (1 to [`lrc_core::MAX_PROCS`]).
+    pub n_procs: usize,
+    /// Shared address space size in bytes.
+    pub mem_bytes: u64,
+    /// Page size in bytes (power of two, 64–65536). Default 4096.
+    pub page_bytes: usize,
+    /// Number of locks available. Default 16.
+    pub n_locks: usize,
+    /// Number of barriers available. Default 4.
+    pub n_barriers: usize,
+    /// Data-movement policy: update (EU) or invalidate (EI). Default EI.
+    pub policy: Policy,
+}
+
+impl EagerConfig {
+    /// Creates a configuration with defaults matching
+    /// [`lrc_core::LrcConfig::new`].
+    pub fn new(n_procs: usize, mem_bytes: u64) -> Self {
+        EagerConfig {
+            n_procs,
+            mem_bytes,
+            page_bytes: 4096,
+            n_locks: 16,
+            n_barriers: 4,
+            policy: Policy::Invalidate,
+        }
+    }
+
+    /// Sets the page size in bytes.
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.page_bytes = bytes;
+        self
+    }
+
+    /// Sets the data-movement policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the number of locks.
+    pub fn locks(mut self, n: usize) -> Self {
+        self.n_locks = n;
+        self
+    }
+
+    /// Sets the number of barriers.
+    pub fn barriers(mut self, n: usize) -> Self {
+        self.n_barriers = n;
+        self
+    }
+
+    /// Validates the configuration and derives the address space.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] under the same rules as
+    /// [`lrc_core::LrcConfig::address_space`].
+    pub fn address_space(&self) -> Result<AddrSpace, ConfigError> {
+        lrc_core::LrcConfig::new(self.n_procs, self.mem_bytes)
+            .page_size(self.page_bytes)
+            .address_space()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_mirror_core() {
+        let cfg = EagerConfig::new(4, 1 << 16);
+        assert_eq!(cfg.page_bytes, 4096);
+        assert_eq!(cfg.policy, Policy::Invalidate);
+        assert_eq!(cfg.address_space().unwrap().n_pages(), 16);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = EagerConfig::new(2, 4096).page_size(512).policy(Policy::Update).locks(1).barriers(1);
+        assert_eq!(cfg.page_bytes, 512);
+        assert_eq!(cfg.policy, Policy::Update);
+        assert_eq!(cfg.n_locks, 1);
+        assert_eq!(cfg.n_barriers, 1);
+    }
+
+    #[test]
+    fn validation_delegates_to_core() {
+        assert!(EagerConfig::new(0, 4096).address_space().is_err());
+        assert!(EagerConfig::new(2, 4096).page_size(999).address_space().is_err());
+    }
+}

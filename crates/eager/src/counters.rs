@@ -1,0 +1,64 @@
+use std::fmt;
+
+/// Protocol-level event counters of an [`EagerEngine`](crate::EagerEngine).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EagerCounters {
+    /// Access misses served in two messages (directory home had the page).
+    pub misses_2hop: u64,
+    /// Access misses served in three messages (forwarded to the owner).
+    pub misses_3hop: u64,
+    /// Update messages sent at releases and barriers (EU).
+    pub updates_sent: u64,
+    /// Invalidation messages sent at releases (EI); barrier invalidations
+    /// are piggybacked and not counted here.
+    pub invalidations_sent: u64,
+    /// Pages invalidated (EI), however delivered.
+    pub pages_invalidated: u64,
+    /// Diffs written back by concurrent writers hit by an invalidation.
+    pub writebacks: u64,
+    /// Excess invalidators resolved at barriers (Table 1's `v`).
+    pub excess_invalidators: u64,
+    /// Flush episodes (releases and barrier arrivals with dirty pages).
+    pub flushes: u64,
+    /// Lock acquires processed.
+    pub acquires: u64,
+    /// Lock releases processed.
+    pub releases: u64,
+    /// Barrier episodes completed.
+    pub barrier_episodes: u64,
+}
+
+impl EagerCounters {
+    /// Total access misses.
+    pub fn misses(&self) -> u64 {
+        self.misses_2hop + self.misses_3hop
+    }
+}
+
+impl fmt::Display for EagerCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "misses {} (2hop {} / 3hop {}), updates {}, invalidations {}, writebacks {}, excess {}",
+            self.misses(),
+            self.misses_2hop,
+            self.misses_3hop,
+            self.updates_sent,
+            self.invalidations_sent,
+            self.writebacks,
+            self.excess_invalidators,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misses_sum_hops() {
+        let c = EagerCounters { misses_2hop: 4, misses_3hop: 1, ..Default::default() };
+        assert_eq!(c.misses(), 5);
+        assert!(c.to_string().contains("misses 5"));
+    }
+}

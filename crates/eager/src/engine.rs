@@ -1,0 +1,543 @@
+use std::collections::HashMap;
+
+use lrc_core::{ConfigError, Policy};
+use lrc_pagemem::{AddrSpace, Diff, PageBuf, PageId};
+use lrc_simnet::{
+    invalidation_bytes, Fabric, MsgKind, BARRIER_ID_BYTES, LOCK_ID_BYTES, PAGE_ID_BYTES,
+};
+use lrc_sync::{
+    BarrierArrival, BarrierError, BarrierId, BarrierSet, LockError, LockId, LockTable,
+};
+use lrc_vclock::ProcId;
+
+use crate::{EagerConfig, EagerCounters};
+
+/// One processor's view of one page under the eager protocol.
+#[derive(Clone, Debug, Default)]
+struct EPage {
+    copy: Option<PageBuf>,
+    twin: Option<PageBuf>,
+    valid: bool,
+}
+
+/// Directory entry: who caches the page and who reconciled it last.
+#[derive(Clone, Copy, Debug)]
+struct DirEntry {
+    /// Bitmask of processors with valid copies.
+    copyset: u64,
+    /// The processor a miss is forwarded to when the home has no copy.
+    owner: ProcId,
+}
+
+/// A modification buffered at a barrier arrival under EI, awaiting
+/// episode-end resolution.
+#[derive(Clone, Debug)]
+struct EpochMod {
+    writer: ProcId,
+    page: PageId,
+    diff: Diff,
+}
+
+/// The eager release consistency engine (Munin-style write-shared
+/// protocol): modifications propagate to **all cachers at release time**,
+/// access misses go through a directory, and acquires carry no consistency
+/// information.
+///
+/// Like [`lrc_core::LrcEngine`], the engine is data-full and charges every
+/// message to an internal [`Fabric`], so lazy and eager runs are directly
+/// comparable. See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct EagerEngine {
+    cfg: EagerConfig,
+    space: AddrSpace,
+    pages: Vec<Vec<EPage>>,
+    dirty: Vec<Vec<PageId>>,
+    dir: Vec<DirEntry>,
+    locks: LockTable,
+    barriers: BarrierSet,
+    /// EI: modifications buffered per barrier episode (keyed by barrier).
+    epoch_mods: HashMap<u32, Vec<EpochMod>>,
+    net: Fabric,
+    counters: EagerCounters,
+}
+
+impl EagerEngine {
+    /// Builds an engine from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration does not validate.
+    pub fn new(cfg: EagerConfig) -> Result<Self, ConfigError> {
+        let space = cfg.address_space()?;
+        let n = cfg.n_procs;
+        let dir = space
+            .pages()
+            .map(|g| {
+                let home = ProcId::new((g.index() % n) as u16);
+                // The home starts with the (all-zero) initial copy.
+                DirEntry { copyset: 1u64 << home.index(), owner: home }
+            })
+            .collect();
+        Ok(EagerEngine {
+            space,
+            pages: (0..n)
+                .map(|_| (0..space.n_pages()).map(|_| EPage::default()).collect())
+                .collect(),
+            dirty: vec![Vec::new(); n],
+            dir,
+            locks: LockTable::new(cfg.n_locks, n),
+            barriers: BarrierSet::new(cfg.n_barriers, n),
+            epoch_mods: HashMap::new(),
+            net: Fabric::new(n),
+            counters: EagerCounters::default(),
+            cfg,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EagerConfig {
+        &self.cfg
+    }
+
+    /// The derived address space.
+    pub fn space(&self) -> AddrSpace {
+        self.space
+    }
+
+    /// The network meter.
+    pub fn net(&self) -> &Fabric {
+        &self.net
+    }
+
+    /// Enables per-message logging on the internal fabric (for tests).
+    pub fn enable_net_trace(&mut self) {
+        self.net.enable_trace();
+    }
+
+    /// Protocol event counters.
+    pub fn counters(&self) -> &EagerCounters {
+        &self.counters
+    }
+
+    /// True if `p` holds a valid copy of `page` (the initial home copy
+    /// counts, even before materialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `page` is out of range.
+    pub fn page_valid(&self, p: ProcId, page: PageId) -> bool {
+        self.pages[p.index()][page.index()].valid
+            || self.dir[page.index()].copyset & (1u64 << p.index()) != 0
+    }
+
+    /// Processors currently caching `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn copyset(&self, page: PageId) -> Vec<ProcId> {
+        let mask = self.dir[page.index()].copyset;
+        ProcId::all(self.cfg.n_procs).filter(|p| mask & (1u64 << p.index()) != 0).collect()
+    }
+
+    // ---- ordinary accesses ----
+
+    /// Reads `buf.len()` bytes at `addr` as processor `p`, taking directory
+    /// misses as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `p` is out of range.
+    pub fn read_into(&mut self, p: ProcId, addr: u64, buf: &mut [u8]) {
+        let mut cursor = 0;
+        for seg in self.space.segments(addr, buf.len()) {
+            self.ensure_valid(p, seg.page);
+            let entry = &self.pages[p.index()][seg.page.index()];
+            let copy = entry.copy.as_ref().expect("valid page has a copy");
+            copy.read(seg.offset, &mut buf[cursor..cursor + seg.len]);
+            cursor += seg.len;
+        }
+    }
+
+    /// Reads `len` bytes at `addr` into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// See [`EagerEngine::read_into`].
+    pub fn read_vec(&mut self, p: ProcId, addr: u64, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        self.read_into(p, addr, &mut buf);
+        buf
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// See [`EagerEngine::read_into`].
+    pub fn read_u64(&mut self, p: ProcId, addr: u64) -> u64 {
+        let mut raw = [0u8; 8];
+        self.read_into(p, addr, &mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Writes `data` at `addr` as processor `p` (twinning on the first
+    /// write of the epoch — eager RC is also a multiple-writer protocol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `p` is out of range.
+    pub fn write(&mut self, p: ProcId, addr: u64, data: &[u8]) {
+        let mut cursor = 0;
+        for seg in self.space.segments(addr, data.len()) {
+            self.ensure_valid(p, seg.page);
+            let entry = &mut self.pages[p.index()][seg.page.index()];
+            if entry.twin.is_none() {
+                entry.twin = Some(entry.copy.as_ref().expect("valid page has a copy").clone());
+                self.dirty[p.index()].push(seg.page);
+            }
+            let copy = entry.copy.as_mut().expect("valid page has a copy");
+            copy.write(seg.offset, &data[cursor..cursor + seg.len]);
+            cursor += seg.len;
+        }
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// See [`EagerEngine::write`].
+    pub fn write_u64(&mut self, p: ProcId, addr: u64, value: u64) {
+        self.write(p, addr, &value.to_le_bytes());
+    }
+
+    // ---- special accesses ----
+
+    /// Acquires `lock`: find-and-transfer messages only. Eager RC performs
+    /// **no consistency actions at acquires** (§3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LockError`].
+    pub fn acquire(&mut self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+        let path = self.locks.acquire(p, lock)?;
+        self.counters.acquires += 1;
+        if let Some((src, dst)) = path.request {
+            self.net.send(src, dst, MsgKind::LockRequest, LOCK_ID_BYTES);
+        }
+        if let Some((src, dst)) = path.forward {
+            self.net.send(src, dst, MsgKind::LockForward, LOCK_ID_BYTES);
+        }
+        if let Some((src, dst)) = path.grant {
+            self.net.send(src, dst, MsgKind::LockGrant, LOCK_ID_BYTES);
+        }
+        Ok(())
+    }
+
+    /// Releases `lock`, first propagating every modification of the epoch
+    /// to all other cachers (updates under EU, invalidations under EI) and
+    /// blocking for their acknowledgments — Table 1's `2c`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LockError::NotHolder`] and range errors.
+    pub fn release(&mut self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+        // Validate before flushing so an illegal release has no effect.
+        if self.locks.holder(lock) != Some(p) {
+            self.locks.release(p, lock)?;
+            unreachable!("release of unheld lock must error");
+        }
+        self.flush_at_release(p);
+        self.locks.release(p, lock)?;
+        self.counters.releases += 1;
+        Ok(())
+    }
+
+    /// Arrives at `barrier`, flushing like a release. EU pushes update
+    /// messages immediately (`2u`); EI piggybacks its invalidations on the
+    /// barrier traffic and pays only `2v` to resolve multiple concurrent
+    /// invalidators of one page (Table 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BarrierError`].
+    pub fn barrier(&mut self, p: ProcId, barrier: BarrierId) -> Result<BarrierArrival, BarrierError> {
+        // Validate the arrival before performing any flush side effects.
+        self.barriers.check_arrival(p, barrier)?;
+        let master = self.barriers.master(barrier);
+        let diffs = self.take_epoch_diffs(p);
+        let mut piggyback_pages = 0usize;
+        match self.cfg.policy {
+            Policy::Update => self.push_updates(
+                p,
+                &diffs,
+                MsgKind::BarrierUpdate,
+                MsgKind::BarrierUpdateAck,
+            ),
+            Policy::Invalidate => {
+                piggyback_pages = diffs.len();
+                let buffer = self.epoch_mods.entry(barrier.raw()).or_default();
+                for (page, diff) in diffs {
+                    buffer.push(EpochMod { writer: p, page, diff });
+                }
+            }
+        }
+        if p != master {
+            let payload = BARRIER_ID_BYTES + invalidation_bytes(piggyback_pages);
+            self.net.send(p, master, MsgKind::BarrierArrival, payload);
+        }
+        let outcome = self.barriers.arrive(p, barrier)?;
+        if let BarrierArrival::Complete { .. } = outcome {
+            self.complete_barrier(barrier, master);
+        }
+        Ok(outcome)
+    }
+
+    // ---- internals ----
+
+    /// Ends `p`'s current epoch: diffs all dirty pages against their twins
+    /// and transfers ownership to `p`.
+    fn take_epoch_diffs(&mut self, p: ProcId) -> Vec<(PageId, Diff)> {
+        let dirtied = std::mem::take(&mut self.dirty[p.index()]);
+        let mut out = Vec::with_capacity(dirtied.len());
+        for g in dirtied {
+            let entry = &mut self.pages[p.index()][g.index()];
+            let twin = entry.twin.take().expect("dirty page has a twin");
+            let copy = entry.copy.as_ref().expect("dirty page has a copy");
+            let diff = Diff::between(&twin, copy);
+            if !diff.is_empty() {
+                self.dir[g.index()].owner = p;
+                out.push((g, diff));
+            }
+        }
+        if !out.is_empty() {
+            self.counters.flushes += 1;
+        }
+        out
+    }
+
+    /// Release-time propagation: updates (EU) or invalidations (EI) to all
+    /// other cachers, one merged message per destination, plus acks.
+    fn flush_at_release(&mut self, p: ProcId) {
+        let diffs = self.take_epoch_diffs(p);
+        if diffs.is_empty() {
+            return;
+        }
+        match self.cfg.policy {
+            Policy::Update => {
+                self.push_updates(p, &diffs, MsgKind::ReleaseUpdate, MsgKind::ReleaseAck)
+            }
+            Policy::Invalidate => self.push_invalidations(p, &diffs),
+        }
+    }
+
+    /// Destinations (other cachers) per page, merged per destination.
+    fn destinations(&self, p: ProcId, diffs: &[(PageId, Diff)]) -> Vec<(ProcId, Vec<usize>)> {
+        let mut per_dest: HashMap<ProcId, Vec<usize>> = HashMap::new();
+        for (i, (g, _)) in diffs.iter().enumerate() {
+            let mask = self.dir[g.index()].copyset & !(1u64 << p.index());
+            for d in ProcId::all(self.cfg.n_procs) {
+                if mask & (1u64 << d.index()) != 0 {
+                    per_dest.entry(d).or_default().push(i);
+                }
+            }
+        }
+        let mut out: Vec<_> = per_dest.into_iter().collect();
+        out.sort_by_key(|(d, _)| *d);
+        out
+    }
+
+    /// EU: one update message per destination carrying the diffs of every
+    /// modified page that destination caches, plus an ack each.
+    fn push_updates(
+        &mut self,
+        p: ProcId,
+        diffs: &[(PageId, Diff)],
+        update_kind: MsgKind,
+        ack_kind: MsgKind,
+    ) {
+        for (dest, indices) in self.destinations(p, diffs) {
+            let payload: u64 =
+                indices.iter().map(|&i| diffs[i].1.encoded_size() as u64).sum();
+            self.net.send(p, dest, update_kind, payload);
+            for &i in &indices {
+                let (g, ref diff) = diffs[i];
+                let entry = &mut self.pages[dest.index()][g.index()];
+                let copy = entry
+                    .copy
+                    .get_or_insert_with(|| PageBuf::zeroed(self.space.page_size()));
+                diff.apply_to(copy);
+                if let Some(twin) = entry.twin.as_mut() {
+                    diff.apply_to(twin);
+                }
+                entry.valid = true;
+            }
+            self.net.send(dest, p, ack_kind, 0);
+            self.counters.updates_sent += 1;
+        }
+    }
+
+    /// EI at a release: write notices to every other cacher; cachers drop
+    /// their copies (writing back their own concurrent modifications
+    /// first), leaving the releaser the only valid copy.
+    fn push_invalidations(&mut self, p: ProcId, diffs: &[(PageId, Diff)]) {
+        for (dest, indices) in self.destinations(p, diffs) {
+            let payload = invalidation_bytes(indices.len());
+            self.net.send(p, dest, MsgKind::ReleaseInvalidate, payload);
+            self.counters.invalidations_sent += 1;
+            for &i in &indices {
+                let g = diffs[i].0;
+                let entry = &mut self.pages[dest.index()][g.index()];
+                if entry.twin.is_some() {
+                    // The destination wrote the page concurrently (false
+                    // sharing): its modifications ride back to the releaser
+                    // before the copy is dropped.
+                    let twin = entry.twin.take().expect("checked above");
+                    let copy = entry.copy.as_ref().expect("dirty page has a copy");
+                    let wb = Diff::between(&twin, copy);
+                    self.dirty[dest.index()].retain(|&d| d != g);
+                    entry.valid = false;
+                    if !wb.is_empty() {
+                        self.net.send(
+                            dest,
+                            p,
+                            MsgKind::WritebackReply,
+                            wb.encoded_size() as u64,
+                        );
+                        self.counters.writebacks += 1;
+                        let releaser = &mut self.pages[p.index()][g.index()];
+                        let copy = releaser.copy.as_mut().expect("releaser has the page");
+                        wb.apply_to(copy);
+                    }
+                } else {
+                    entry.valid = false;
+                }
+                self.dir[g.index()].copyset &= !(1u64 << dest.index());
+                self.counters.pages_invalidated += 1;
+            }
+            self.net.send(dest, p, MsgKind::ReleaseAck, 0);
+        }
+        for (g, _) in diffs {
+            // The releaser keeps the only valid copy.
+            self.dir[g.index()].copyset |= 1u64 << p.index();
+        }
+    }
+
+    /// EI barrier completion: resolve multiple invalidators per page (the
+    /// `2v` term), invalidate all other cachers (piggybacked, free), and
+    /// send exit messages carrying the aggregated notices.
+    fn complete_barrier(&mut self, barrier: BarrierId, master: ProcId) {
+        let mods = self.epoch_mods.remove(&barrier.raw()).unwrap_or_default();
+        let mut by_page: HashMap<PageId, Vec<(ProcId, Diff)>> = HashMap::new();
+        for m in mods {
+            by_page.entry(m.page).or_default().push((m.writer, m.diff));
+        }
+        let total_pages = by_page.len();
+        let mut pages: Vec<_> = by_page.into_iter().collect();
+        pages.sort_by_key(|(g, _)| *g);
+        for (g, mut writers) in pages {
+            writers.sort_by_key(|(w, _)| *w);
+            let winner = writers.last().expect("page has at least one writer").0;
+            for (w, diff) in &writers {
+                if *w == winner {
+                    continue;
+                }
+                // Excess invalidator: its modifications merge into the
+                // winner's copy with one round trip.
+                self.net.send(*w, winner, MsgKind::BarrierResolve, diff.encoded_size() as u64);
+                self.net.send(winner, *w, MsgKind::BarrierResolveAck, 0);
+                let entry = &mut self.pages[winner.index()][g.index()];
+                let copy = entry.copy.as_mut().expect("winner wrote the page");
+                diff.apply_to(copy);
+                self.counters.excess_invalidators += 1;
+            }
+            // Everyone but the winner drops the page (notices piggybacked
+            // on the barrier messages — no extra traffic).
+            let mask = self.dir[g.index()].copyset;
+            for d in ProcId::all(self.cfg.n_procs) {
+                if d != winner && mask & (1u64 << d.index()) != 0 {
+                    self.pages[d.index()][g.index()].valid = false;
+                    self.counters.pages_invalidated += 1;
+                }
+            }
+            self.dir[g.index()].copyset = 1u64 << winner.index();
+            self.dir[g.index()].owner = winner;
+        }
+        for r in ProcId::all(self.cfg.n_procs) {
+            if r != master {
+                let payload = BARRIER_ID_BYTES + invalidation_bytes(total_pages);
+                self.net.send(master, r, MsgKind::BarrierExit, payload);
+            }
+        }
+        self.counters.barrier_episodes += 1;
+    }
+
+    /// Directory miss: two messages when the home has a valid copy, three
+    /// when the request is forwarded to the owner (§3).
+    fn ensure_valid(&mut self, p: ProcId, page: PageId) {
+        if self.pages[p.index()][page.index()].valid {
+            return;
+        }
+        let gi = page.index();
+        let home = ProcId::new((gi % self.cfg.n_procs) as u16);
+        let pbit = 1u64 << p.index();
+        if self.dir[gi].copyset & pbit != 0 {
+            // Initial home copy: materialize the zero page locally.
+            let entry = &mut self.pages[p.index()][gi];
+            entry.copy.get_or_insert_with(|| PageBuf::zeroed(self.space.page_size()));
+            entry.valid = true;
+            return;
+        }
+        let home_has = self.dir[gi].copyset & (1u64 << home.index()) != 0;
+        let source = if home_has { home } else { self.dir[gi].owner };
+        debug_assert_ne!(source, p, "a missing processor cannot be the source");
+
+        // Materialize the source copy (the home's initial copy is zeros).
+        let content = {
+            let entry = &mut self.pages[source.index()][gi];
+            entry
+                .copy
+                .get_or_insert_with(|| PageBuf::zeroed(self.space.page_size()))
+                .clone()
+        };
+        let page_bytes = self.space.page_size().bytes() as u64;
+        if home_has {
+            if p != home {
+                self.net.round_trip(
+                    p,
+                    home,
+                    MsgKind::MissRequest,
+                    PAGE_ID_BYTES,
+                    MsgKind::MissReply,
+                    page_bytes,
+                );
+                self.counters.misses_2hop += 1;
+            }
+            // p == home cannot happen here (its copyset bit would be set),
+            // but the branch above keeps the accounting honest if the
+            // directory ever says otherwise.
+        } else {
+            if p != home {
+                self.net.send(p, home, MsgKind::MissRequest, PAGE_ID_BYTES);
+                self.net.send(home, source, MsgKind::MissForward, PAGE_ID_BYTES);
+                self.net.send(source, p, MsgKind::MissReply, page_bytes);
+                self.counters.misses_3hop += 1;
+            } else {
+                // The home itself misses: it forwards directly.
+                self.net.round_trip(
+                    p,
+                    source,
+                    MsgKind::MissRequest,
+                    PAGE_ID_BYTES,
+                    MsgKind::MissReply,
+                    page_bytes,
+                );
+                self.counters.misses_2hop += 1;
+            }
+        }
+        let entry = &mut self.pages[p.index()][gi];
+        entry.copy = Some(content);
+        entry.valid = true;
+        self.dir[gi].copyset |= pbit;
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the diff machinery: diffs must exactly
+//! reconstruct pages, commute when disjoint, and respect the size model.
+
+use lrc_pagemem::{Diff, PageBuf, PageSize};
+use proptest::prelude::*;
+
+const PAGE: usize = 256;
+
+fn size() -> PageSize {
+    PageSize::new(PAGE).unwrap()
+}
+
+/// A set of writes: (offset, bytes) pairs kept inside the page.
+fn writes() -> impl Strategy<Value = Vec<(usize, Vec<u8>)>> {
+    prop::collection::vec(
+        (0..PAGE).prop_flat_map(|off| {
+            let max_len = (PAGE - off).clamp(1, 16);
+            (Just(off), prop::collection::vec(any::<u8>(), 1..=max_len))
+        }),
+        0..12,
+    )
+}
+
+fn apply_writes(page: &mut PageBuf, ws: &[(usize, Vec<u8>)]) {
+    for (off, data) in ws {
+        page.write(*off, data);
+    }
+}
+
+proptest! {
+    #[test]
+    fn diff_reconstructs_exactly(ws in writes()) {
+        let twin = PageBuf::zeroed(size());
+        let mut cur = twin.clone();
+        apply_writes(&mut cur, &ws);
+        let diff = Diff::between(&twin, &cur);
+        let mut rebuilt = twin.clone();
+        diff.apply_to(&mut rebuilt);
+        prop_assert_eq!(rebuilt.as_bytes(), cur.as_bytes());
+    }
+
+    #[test]
+    fn diff_from_nonzero_base_reconstructs(base in prop::collection::vec(any::<u8>(), PAGE), ws in writes()) {
+        let twin = PageBuf::from_bytes(base);
+        let mut cur = twin.clone();
+        apply_writes(&mut cur, &ws);
+        let diff = Diff::between(&twin, &cur);
+        let mut rebuilt = twin.clone();
+        diff.apply_to(&mut rebuilt);
+        prop_assert_eq!(rebuilt.as_bytes(), cur.as_bytes());
+    }
+
+    #[test]
+    fn diff_is_minimal(ws in writes()) {
+        // Every byte the diff carries really differs between twin and page.
+        let twin = PageBuf::zeroed(size());
+        let mut cur = twin.clone();
+        apply_writes(&mut cur, &ws);
+        let diff = Diff::between(&twin, &cur);
+        for run in diff.runs() {
+            for (i, &b) in run.data().iter().enumerate() {
+                let off = run.offset() as usize + i;
+                prop_assert_ne!(twin.as_bytes()[off], b, "byte {} did not change", off);
+                prop_assert_eq!(cur.as_bytes()[off], b);
+            }
+        }
+        // And it carries exactly the changed byte count.
+        let changed = twin
+            .as_bytes()
+            .iter()
+            .zip(cur.as_bytes())
+            .filter(|(a, b)| a != b)
+            .count();
+        prop_assert_eq!(diff.modified_bytes(), changed);
+    }
+
+    #[test]
+    fn runs_are_sorted_disjoint_and_maximal(ws in writes()) {
+        let twin = PageBuf::zeroed(size());
+        let mut cur = twin.clone();
+        apply_writes(&mut cur, &ws);
+        let diff = Diff::between(&twin, &cur);
+        let runs: Vec<_> = diff.runs().collect();
+        for pair in runs.windows(2) {
+            let gap_start = pair[0].offset() as usize + pair[0].len();
+            let gap_end = pair[1].offset() as usize;
+            // Sorted and disjoint with at least one unmodified byte between
+            // runs (otherwise they would have coalesced).
+            prop_assert!(gap_start < gap_end);
+            prop_assert!((gap_start..gap_end).any(|i| twin.as_bytes()[i] == cur.as_bytes()[i]));
+        }
+    }
+
+    #[test]
+    fn disjoint_halves_commute(left in prop::collection::vec(any::<u8>(), 1..64),
+                               right in prop::collection::vec(any::<u8>(), 1..64)) {
+        // Two "processors" write disjoint halves of the same page (false
+        // sharing). Their diffs must merge to the same result in either
+        // order — the multiple-writer guarantee.
+        let twin = PageBuf::zeroed(size());
+        let mut a = twin.clone();
+        a.write(0, &left);
+        let mut b = twin.clone();
+        b.write(PAGE / 2, &right);
+        let da = Diff::between(&twin, &a);
+        let db = Diff::between(&twin, &b);
+        prop_assert!(!da.overlaps(&db));
+
+        let mut ab = twin.clone();
+        da.apply_to(&mut ab);
+        db.apply_to(&mut ab);
+        let mut ba = twin.clone();
+        db.apply_to(&mut ba);
+        da.apply_to(&mut ba);
+        prop_assert_eq!(ab.as_bytes(), ba.as_bytes());
+    }
+
+    #[test]
+    fn encoded_size_matches_model(ws in writes()) {
+        let twin = PageBuf::zeroed(size());
+        let mut cur = twin.clone();
+        apply_writes(&mut cur, &ws);
+        let diff = Diff::between(&twin, &cur);
+        let expected = lrc_pagemem::DIFF_HEADER_BYTES
+            + diff
+                .runs()
+                .map(|r| lrc_pagemem::RUN_HEADER_BYTES + r.len())
+                .sum::<usize>();
+        prop_assert_eq!(diff.encoded_size(), expected);
+        // A diff never costs more than header + one run covering the page.
+        prop_assert!(diff.modified_bytes() <= PAGE);
+    }
+
+    #[test]
+    fn sequential_diffs_compose(ws1 in writes(), ws2 in writes()) {
+        // Interval 1 then interval 2 on the same page: applying both diffs
+        // in happened-before order reproduces the final page.
+        let base = PageBuf::zeroed(size());
+        let mut after1 = base.clone();
+        apply_writes(&mut after1, &ws1);
+        let d1 = Diff::between(&base, &after1);
+        let mut after2 = after1.clone();
+        apply_writes(&mut after2, &ws2);
+        let d2 = Diff::between(&after1, &after2);
+
+        let mut rebuilt = base.clone();
+        d1.apply_to(&mut rebuilt);
+        d2.apply_to(&mut rebuilt);
+        prop_assert_eq!(rebuilt.as_bytes(), after2.as_bytes());
+    }
+}

@@ -1,0 +1,237 @@
+use lrc_core::{ConfigError, LrcConfig, LrcEngine};
+use lrc_eager::{EagerConfig, EagerEngine};
+use lrc_pagemem::AddrSpace;
+use lrc_simnet::NetStats;
+use lrc_sync::{BarrierArrival, BarrierError, BarrierId, LockError, LockId};
+use lrc_vclock::ProcId;
+
+use crate::ProtocolKind;
+
+/// A protocol engine of either family behind one interface.
+///
+/// The simulator, the runtime DSM, and the benches all drive protocols
+/// through this type so a run is parameterized by [`ProtocolKind`] alone.
+#[derive(Debug)]
+pub enum AnyEngine {
+    /// A lazy release consistency engine (LI or LU).
+    Lazy(LrcEngine),
+    /// An eager release consistency engine (EI or EU).
+    Eager(EagerEngine),
+}
+
+/// Construction parameters shared by both engine families.
+#[derive(Clone, Debug)]
+pub struct EngineParams {
+    /// Number of processors.
+    pub n_procs: usize,
+    /// Shared space in bytes.
+    pub mem_bytes: u64,
+    /// Page size in bytes.
+    pub page_bytes: usize,
+    /// Locks available.
+    pub n_locks: usize,
+    /// Barriers available.
+    pub n_barriers: usize,
+    /// Disable write-notice piggybacking (lazy engines only; ablation).
+    pub piggyback_notices: bool,
+    /// Ship whole pages on warm misses (lazy engines only; ablation).
+    pub full_page_misses: bool,
+    /// Garbage-collect consistency information at barriers (lazy engines
+    /// only; the TreadMarks extension).
+    pub gc_at_barriers: bool,
+}
+
+impl AnyEngine {
+    /// Builds an engine of the given kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the parameters do not validate.
+    pub fn build(kind: ProtocolKind, params: &EngineParams) -> Result<Self, ConfigError> {
+        if kind.is_lazy() {
+            let mut cfg = LrcConfig::new(params.n_procs, params.mem_bytes)
+                .page_size(params.page_bytes)
+                .policy(kind.policy())
+                .locks(params.n_locks)
+                .barriers(params.n_barriers);
+            if !params.piggyback_notices {
+                cfg = cfg.no_piggyback();
+            }
+            if params.full_page_misses {
+                cfg = cfg.full_page_misses();
+            }
+            if params.gc_at_barriers {
+                cfg = cfg.gc_at_barriers();
+            }
+            Ok(AnyEngine::Lazy(LrcEngine::new(cfg)?))
+        } else {
+            let cfg = EagerConfig::new(params.n_procs, params.mem_bytes)
+                .page_size(params.page_bytes)
+                .policy(kind.policy())
+                .locks(params.n_locks)
+                .barriers(params.n_barriers);
+            Ok(AnyEngine::Eager(EagerEngine::new(cfg)?))
+        }
+    }
+
+    /// The engine's address space.
+    pub fn space(&self) -> AddrSpace {
+        match self {
+            AnyEngine::Lazy(e) => e.space(),
+            AnyEngine::Eager(e) => e.space(),
+        }
+    }
+
+    /// Reads bytes, resolving misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range accesses (see the engines' docs).
+    pub fn read_into(&mut self, p: ProcId, addr: u64, buf: &mut [u8]) {
+        match self {
+            AnyEngine::Lazy(e) => e.read_into(p, addr, buf),
+            AnyEngine::Eager(e) => e.read_into(p, addr, buf),
+        }
+    }
+
+    /// Writes bytes, twinning as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range accesses (see the engines' docs).
+    pub fn write(&mut self, p: ProcId, addr: u64, data: &[u8]) {
+        match self {
+            AnyEngine::Lazy(e) => e.write(p, addr, data),
+            AnyEngine::Eager(e) => e.write(p, addr, data),
+        }
+    }
+
+    /// Acquires a lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LockError`].
+    pub fn acquire(&mut self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+        match self {
+            AnyEngine::Lazy(e) => e.acquire(p, lock),
+            AnyEngine::Eager(e) => e.acquire(p, lock),
+        }
+    }
+
+    /// Releases a lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LockError`].
+    pub fn release(&mut self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+        match self {
+            AnyEngine::Lazy(e) => e.release(p, lock),
+            AnyEngine::Eager(e) => e.release(p, lock),
+        }
+    }
+
+    /// Arrives at a barrier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BarrierError`].
+    pub fn barrier(&mut self, p: ProcId, barrier: BarrierId) -> Result<BarrierArrival, BarrierError> {
+        match self {
+            AnyEngine::Lazy(e) => e.barrier(p, barrier),
+            AnyEngine::Eager(e) => e.barrier(p, barrier),
+        }
+    }
+
+    /// Enables per-message logging on the engine's fabric.
+    pub fn enable_net_trace(&mut self) {
+        match self {
+            AnyEngine::Lazy(e) => e.enable_net_trace(),
+            AnyEngine::Eager(e) => e.enable_net_trace(),
+        }
+    }
+
+    /// The logged messages (empty unless tracing was enabled).
+    pub fn net_records(&self) -> &[lrc_simnet::MsgRecord] {
+        match self {
+            AnyEngine::Lazy(e) => e.net().traced(),
+            AnyEngine::Eager(e) => e.net().traced(),
+        }
+    }
+
+    /// Snapshot of the network statistics.
+    pub fn net_stats(&self) -> NetStats {
+        match self {
+            AnyEngine::Lazy(e) => e.net().stats().clone(),
+            AnyEngine::Eager(e) => e.net().stats().clone(),
+        }
+    }
+
+    /// The lazy engine, if this is one.
+    pub fn as_lazy(&self) -> Option<&LrcEngine> {
+        match self {
+            AnyEngine::Lazy(e) => Some(e),
+            AnyEngine::Eager(_) => None,
+        }
+    }
+
+    /// The eager engine, if this is one.
+    pub fn as_eager(&self) -> Option<&EagerEngine> {
+        match self {
+            AnyEngine::Lazy(_) => None,
+            AnyEngine::Eager(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> EngineParams {
+        EngineParams {
+            n_procs: 2,
+            mem_bytes: 1 << 14,
+            page_bytes: 512,
+            n_locks: 2,
+            n_barriers: 1,
+            piggyback_notices: true,
+            full_page_misses: false,
+            gc_at_barriers: false,
+        }
+    }
+
+    #[test]
+    fn builds_all_kinds() {
+        for kind in ProtocolKind::ALL {
+            let engine = AnyEngine::build(kind, &params()).unwrap();
+            assert_eq!(engine.space().page_size().bytes(), 512);
+            assert_eq!(engine.as_lazy().is_some(), kind.is_lazy());
+            assert_eq!(engine.as_eager().is_some(), !kind.is_lazy());
+        }
+    }
+
+    #[test]
+    fn dispatch_works_end_to_end() {
+        for kind in ProtocolKind::ALL {
+            let mut e = AnyEngine::build(kind, &params()).unwrap();
+            let (p0, p1) = (ProcId::new(0), ProcId::new(1));
+            let l = LockId::new(0);
+            e.acquire(p0, l).unwrap();
+            e.write(p0, 0, &[1, 2, 3]);
+            e.release(p0, l).unwrap();
+            e.acquire(p1, l).unwrap();
+            let mut buf = [0u8; 3];
+            e.read_into(p1, 0, &mut buf);
+            assert_eq!(buf, [1, 2, 3], "{kind}");
+            e.release(p1, l).unwrap();
+            assert!(e.net_stats().total().msgs > 0);
+        }
+    }
+
+    #[test]
+    fn bad_params_error() {
+        let mut bad = params();
+        bad.page_bytes = 1000;
+        assert!(AnyEngine::build(ProtocolKind::LazyInvalidate, &bad).is_err());
+    }
+}

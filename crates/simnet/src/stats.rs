@@ -1,0 +1,215 @@
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use crate::{MsgKind, OpClass};
+
+/// A message count and byte total for one slice of the traffic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Counter {
+    /// Number of messages.
+    pub msgs: u64,
+    /// Total bytes, including per-message headers.
+    pub bytes: u64,
+}
+
+impl Counter {
+    /// The zero counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Bytes expressed in the paper's figure unit (kilobytes).
+    pub fn kbytes(&self) -> f64 {
+        self.bytes as f64 / 1024.0
+    }
+}
+
+impl Add for Counter {
+    type Output = Counter;
+
+    fn add(self, rhs: Counter) -> Counter {
+        Counter { msgs: self.msgs + rhs.msgs, bytes: self.bytes + rhs.bytes }
+    }
+}
+
+impl AddAssign for Counter {
+    fn add_assign(&mut self, rhs: Counter) {
+        self.msgs += rhs.msgs;
+        self.bytes += rhs.bytes;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} msgs / {} bytes", self.msgs, self.bytes)
+    }
+}
+
+/// Accumulated traffic, broken down by [`MsgKind`].
+///
+/// # Example
+///
+/// ```
+/// use lrc_simnet::{MsgKind, NetStats, OpClass};
+///
+/// let mut stats = NetStats::new();
+/// stats.record(MsgKind::BarrierArrival, 8);
+/// stats.record(MsgKind::BarrierExit, 8);
+/// assert_eq!(stats.class(OpClass::Barrier).msgs, 2);
+/// assert_eq!(stats.total().msgs, 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct NetStats {
+    by_kind: [Counter; MsgKind::COUNT],
+}
+
+impl NetStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Records one message of `kind` carrying `payload_bytes` of payload.
+    /// The fixed transport header is added automatically.
+    pub fn record(&mut self, kind: MsgKind, payload_bytes: u64) {
+        let c = &mut self.by_kind[kind.index()];
+        c.msgs += 1;
+        c.bytes += crate::MSG_HEADER_BYTES + payload_bytes;
+    }
+
+    /// Traffic of one message kind.
+    pub fn kind(&self, kind: MsgKind) -> Counter {
+        self.by_kind[kind.index()]
+    }
+
+    /// Traffic of one Table 1 operation class.
+    pub fn class(&self, class: OpClass) -> Counter {
+        MsgKind::ALL
+            .iter()
+            .filter(|k| k.class() == class)
+            .map(|k| self.kind(*k))
+            .fold(Counter::new(), Add::add)
+    }
+
+    /// All traffic.
+    pub fn total(&self) -> Counter {
+        self.by_kind.iter().copied().fold(Counter::new(), Add::add)
+    }
+
+    /// Adds another statistics block into this one.
+    pub fn merge(&mut self, other: &NetStats) {
+        for (a, b) in self.by_kind.iter_mut().zip(&other.by_kind) {
+            *a += *b;
+        }
+    }
+
+    /// The traffic accumulated since `earlier` (pointwise subtraction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` has counts exceeding `self` (it is not actually
+    /// earlier).
+    pub fn since(&self, earlier: &NetStats) -> NetStats {
+        let mut out = NetStats::new();
+        for (i, (a, b)) in self.by_kind.iter().zip(&earlier.by_kind).enumerate() {
+            assert!(
+                a.msgs >= b.msgs && a.bytes >= b.bytes,
+                "snapshot is not earlier at kind index {i}"
+            );
+            out.by_kind[i] = Counter { msgs: a.msgs - b.msgs, bytes: a.bytes - b.bytes };
+        }
+        out
+    }
+
+    /// Iterates over `(kind, counter)` pairs with non-zero traffic.
+    pub fn iter(&self) -> impl Iterator<Item = (MsgKind, Counter)> + '_ {
+        MsgKind::ALL
+            .iter()
+            .map(|&k| (k, self.kind(k)))
+            .filter(|(_, c)| c.msgs > 0)
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<22} {:>12} {:>14}", "kind", "messages", "bytes")?;
+        for (kind, c) in self.iter() {
+            writeln!(f, "{:<22} {:>12} {:>14}", kind.to_string(), c.msgs, c.bytes)?;
+        }
+        let t = self.total();
+        write!(f, "{:<22} {:>12} {:>14}", "total", t.msgs, t.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_header_and_payload() {
+        let mut s = NetStats::new();
+        s.record(MsgKind::MissRequest, 4);
+        s.record(MsgKind::MissRequest, 4);
+        let c = s.kind(MsgKind::MissRequest);
+        assert_eq!(c.msgs, 2);
+        assert_eq!(c.bytes, 2 * (crate::MSG_HEADER_BYTES + 4));
+    }
+
+    #[test]
+    fn class_sums_member_kinds() {
+        let mut s = NetStats::new();
+        s.record(MsgKind::MissRequest, 0);
+        s.record(MsgKind::MissForward, 0);
+        s.record(MsgKind::MissReply, 100);
+        s.record(MsgKind::LockRequest, 0);
+        assert_eq!(s.class(OpClass::Miss).msgs, 3);
+        assert_eq!(s.class(OpClass::Lock).msgs, 1);
+        assert_eq!(s.class(OpClass::Unlock).msgs, 0);
+        assert_eq!(s.total().msgs, 4);
+    }
+
+    #[test]
+    fn merge_and_since_are_inverses() {
+        let mut a = NetStats::new();
+        a.record(MsgKind::BarrierArrival, 8);
+        let snapshot = a.clone();
+        a.record(MsgKind::BarrierExit, 8);
+        a.record(MsgKind::BarrierExit, 8);
+        let delta = a.since(&snapshot);
+        assert_eq!(delta.kind(MsgKind::BarrierArrival).msgs, 0);
+        assert_eq!(delta.kind(MsgKind::BarrierExit).msgs, 2);
+
+        let mut rebuilt = snapshot.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "not earlier")]
+    fn since_rejects_later_snapshot() {
+        let mut later = NetStats::new();
+        later.record(MsgKind::LockGrant, 0);
+        NetStats::new().since(&later);
+    }
+
+    #[test]
+    fn counter_arithmetic() {
+        let a = Counter { msgs: 1, bytes: 100 };
+        let b = Counter { msgs: 2, bytes: 200 };
+        assert_eq!(a + b, Counter { msgs: 3, bytes: 300 });
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Counter { msgs: 3, bytes: 300 });
+        assert_eq!(Counter { msgs: 0, bytes: 2048 }.kbytes(), 2.0);
+    }
+
+    #[test]
+    fn display_lists_nonzero_kinds() {
+        let mut s = NetStats::new();
+        s.record(MsgKind::LockRequest, 8);
+        let text = s.to_string();
+        assert!(text.contains("LockRequest"));
+        assert!(!text.contains("MissReply"));
+        assert!(text.contains("total"));
+    }
+}

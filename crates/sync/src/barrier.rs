@@ -1,0 +1,276 @@
+use std::error::Error;
+use std::fmt;
+
+use lrc_vclock::ProcId;
+
+/// Identifier of a barrier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct BarrierId(u32);
+
+impl BarrierId {
+    /// Creates a barrier id from its dense index.
+    pub fn new(index: u32) -> Self {
+        BarrierId(index)
+    }
+
+    /// Returns the id as a table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric id.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for BarrierId {
+    fn from(index: u32) -> Self {
+        BarrierId(index)
+    }
+}
+
+impl fmt::Display for BarrierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "br{}", self.0)
+    }
+}
+
+/// Errors from barrier operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BarrierError {
+    /// The barrier id is outside the set.
+    UnknownBarrier(BarrierId),
+    /// The processor id is outside the system.
+    UnknownProc(ProcId),
+    /// A processor arrived twice in one episode — the trace is illegal,
+    /// since it should have blocked until everyone arrived.
+    DoubleArrival {
+        /// The barrier.
+        barrier: BarrierId,
+        /// The processor that arrived twice.
+        proc: ProcId,
+    },
+}
+
+impl fmt::Display for BarrierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BarrierError::UnknownBarrier(b) => write!(f, "unknown barrier {b}"),
+            BarrierError::UnknownProc(p) => write!(f, "unknown processor {p}"),
+            BarrierError::DoubleArrival { barrier, proc } => {
+                write!(f, "{proc} arrived at {barrier} twice in one episode")
+            }
+        }
+    }
+}
+
+impl Error for BarrierError {}
+
+/// Outcome of one arrival at a barrier.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BarrierArrival {
+    /// The processor must wait; `arrived` processors (including it) are in.
+    Waiting {
+        /// Number of processors that have arrived so far this episode.
+        arrived: usize,
+    },
+    /// This arrival completed the episode: every processor is present and
+    /// the master releases them all. The episode counter has advanced.
+    Complete {
+        /// The completed episode's index (0 for the first episode).
+        episode: u64,
+    },
+}
+
+/// A set of centralized barriers.
+///
+/// Each barrier has a static *master* (`barrier mod n_procs`). An episode
+/// completes when all `n_procs` processors have arrived; the master then
+/// sends exit messages. The paper charges `2(n-1)` messages per episode:
+/// one arrival and one exit per non-master processor (§5.2). The protocol
+/// engines charge those messages with their own piggybacked payloads.
+///
+/// # Example
+///
+/// ```
+/// use lrc_sync::{BarrierArrival, BarrierId, BarrierSet};
+/// use lrc_vclock::ProcId;
+///
+/// let mut barriers = BarrierSet::new(1, 2);
+/// let b = BarrierId::new(0);
+/// assert_eq!(
+///     barriers.arrive(ProcId::new(0), b)?,
+///     BarrierArrival::Waiting { arrived: 1 }
+/// );
+/// assert_eq!(
+///     barriers.arrive(ProcId::new(1), b)?,
+///     BarrierArrival::Complete { episode: 0 }
+/// );
+/// # Ok::<(), lrc_sync::BarrierError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct BarrierSet {
+    n_procs: usize,
+    arrived: Vec<Vec<bool>>,
+    count: Vec<usize>,
+    episode: Vec<u64>,
+}
+
+impl BarrierSet {
+    /// Creates `n_barriers` barriers for an `n_procs` system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_procs` is zero.
+    pub fn new(n_barriers: usize, n_procs: usize) -> Self {
+        assert!(n_procs > 0, "barrier set needs at least one processor");
+        BarrierSet {
+            n_procs,
+            arrived: vec![vec![false; n_procs]; n_barriers],
+            count: vec![0; n_barriers],
+            episode: vec![0; n_barriers],
+        }
+    }
+
+    /// Number of barriers in the set.
+    pub fn n_barriers(&self) -> usize {
+        self.arrived.len()
+    }
+
+    /// The static master of `barrier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `barrier` is out of range.
+    pub fn master(&self, barrier: BarrierId) -> ProcId {
+        assert!(barrier.index() < self.arrived.len(), "unknown barrier {barrier}");
+        ProcId::new((barrier.index() % self.n_procs) as u16)
+    }
+
+    /// Episodes completed so far at `barrier`.
+    pub fn episodes_completed(&self, barrier: BarrierId) -> Option<u64> {
+        self.episode.get(barrier.index()).copied()
+    }
+
+    /// Validates that `p` may arrive at `barrier`, without mutating state.
+    /// Protocol engines call this before performing arrival side effects
+    /// (flushes, interval closes) so a rejected arrival leaves no trace.
+    ///
+    /// # Errors
+    ///
+    /// The same errors [`BarrierSet::arrive`] would return.
+    pub fn check_arrival(&self, p: ProcId, barrier: BarrierId) -> Result<(), BarrierError> {
+        if barrier.index() >= self.arrived.len() {
+            return Err(BarrierError::UnknownBarrier(barrier));
+        }
+        if p.index() >= self.n_procs {
+            return Err(BarrierError::UnknownProc(p));
+        }
+        if self.arrived[barrier.index()][p.index()] {
+            return Err(BarrierError::DoubleArrival { barrier, proc: p });
+        }
+        Ok(())
+    }
+
+    /// Records the arrival of `p` at `barrier`.
+    ///
+    /// # Errors
+    ///
+    /// [`BarrierError::DoubleArrival`] if `p` already arrived this episode,
+    /// plus range errors.
+    pub fn arrive(&mut self, p: ProcId, barrier: BarrierId) -> Result<BarrierArrival, BarrierError> {
+        if barrier.index() >= self.arrived.len() {
+            return Err(BarrierError::UnknownBarrier(barrier));
+        }
+        if p.index() >= self.n_procs {
+            return Err(BarrierError::UnknownProc(p));
+        }
+        let flags = &mut self.arrived[barrier.index()];
+        if flags[p.index()] {
+            return Err(BarrierError::DoubleArrival { barrier, proc: p });
+        }
+        flags[p.index()] = true;
+        self.count[barrier.index()] += 1;
+        if self.count[barrier.index()] == self.n_procs {
+            flags.iter_mut().for_each(|f| *f = false);
+            self.count[barrier.index()] = 0;
+            let episode = self.episode[barrier.index()];
+            self.episode[barrier.index()] += 1;
+            Ok(BarrierArrival::Complete { episode })
+        } else {
+            Ok(BarrierArrival::Waiting { arrived: self.count[barrier.index()] })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    #[test]
+    fn episode_completes_when_all_arrive() {
+        let mut b = BarrierSet::new(1, 3);
+        let id = BarrierId::new(0);
+        assert_eq!(b.arrive(p(1), id).unwrap(), BarrierArrival::Waiting { arrived: 1 });
+        assert_eq!(b.arrive(p(0), id).unwrap(), BarrierArrival::Waiting { arrived: 2 });
+        assert_eq!(b.arrive(p(2), id).unwrap(), BarrierArrival::Complete { episode: 0 });
+        assert_eq!(b.episodes_completed(id), Some(1));
+    }
+
+    #[test]
+    fn episodes_chain() {
+        let mut b = BarrierSet::new(1, 2);
+        let id = BarrierId::new(0);
+        for episode in 0..5 {
+            b.arrive(p(0), id).unwrap();
+            assert_eq!(b.arrive(p(1), id).unwrap(), BarrierArrival::Complete { episode });
+        }
+    }
+
+    #[test]
+    fn double_arrival_rejected() {
+        let mut b = BarrierSet::new(1, 2);
+        let id = BarrierId::new(0);
+        b.arrive(p(0), id).unwrap();
+        assert_eq!(
+            b.arrive(p(0), id),
+            Err(BarrierError::DoubleArrival { barrier: id, proc: p(0) })
+        );
+    }
+
+    #[test]
+    fn masters_distributed_round_robin() {
+        let b = BarrierSet::new(3, 2);
+        assert_eq!(b.master(BarrierId::new(0)), p(0));
+        assert_eq!(b.master(BarrierId::new(1)), p(1));
+        assert_eq!(b.master(BarrierId::new(2)), p(0));
+        assert_eq!(b.n_barriers(), 3);
+    }
+
+    #[test]
+    fn range_errors() {
+        let mut b = BarrierSet::new(1, 2);
+        assert_eq!(
+            b.arrive(p(0), BarrierId::new(4)),
+            Err(BarrierError::UnknownBarrier(BarrierId::new(4)))
+        );
+        assert_eq!(
+            b.arrive(p(9), BarrierId::new(0)),
+            Err(BarrierError::UnknownProc(p(9)))
+        );
+    }
+
+    #[test]
+    fn single_proc_barrier_completes_immediately() {
+        let mut b = BarrierSet::new(1, 1);
+        assert_eq!(
+            b.arrive(p(0), BarrierId::new(0)).unwrap(),
+            BarrierArrival::Complete { episode: 0 }
+        );
+    }
+}

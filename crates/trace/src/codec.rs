@@ -1,0 +1,467 @@
+//! Trace serialization: a line-oriented text format and a compact binary
+//! format.
+//!
+//! Both formats round-trip exactly and validate legality on read, so a
+//! deserialized [`Trace`] carries the same guarantees as a built one.
+//!
+//! # Text format
+//!
+//! ```text
+//! lrc-trace v1
+//! meta <name> procs=<n> locks=<n> barriers=<n> mem=<bytes>
+//! r <proc> <addr> <len>
+//! w <proc> <addr> <len>
+//! a <proc> <lock>
+//! l <proc> <lock>
+//! b <proc> <barrier>
+//! ```
+//!
+//! # Binary format
+//!
+//! Magic `LRCT`, format version, metadata, event count, then one
+//! tag-prefixed little-endian record per event.
+//!
+//! # Example
+//!
+//! ```
+//! use lrc_trace::{codec, TraceBuilder, TraceMeta};
+//! use lrc_vclock::ProcId;
+//!
+//! let mut b = TraceBuilder::new(TraceMeta::new("demo", 1, 0, 0, 1024));
+//! b.write(ProcId::new(0), 0, 8)?;
+//! let trace = b.finish()?;
+//!
+//! let text = codec::to_text(&trace);
+//! let back = codec::from_text(&text)?;
+//! assert_eq!(trace, back);
+//!
+//! let mut buf = Vec::new();
+//! codec::write_binary(&trace, &mut buf)?;
+//! let back = codec::read_binary(&buf[..])?;
+//! assert_eq!(trace, back);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use lrc_sync::{BarrierId, LockId};
+use lrc_vclock::ProcId;
+
+use crate::{Event, Op, Trace, TraceError, TraceMeta};
+
+const TEXT_HEADER: &str = "lrc-trace v1";
+const BINARY_MAGIC: &[u8; 4] = b"LRCT";
+const BINARY_VERSION: u32 = 1;
+
+/// Errors produced while decoding a trace.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The input is not in the expected format.
+    Malformed {
+        /// Line number (text) or byte offset (binary), best effort.
+        at: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The decoded trace is illegal.
+    Illegal(TraceError),
+    /// An underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Malformed { at, detail } => write!(f, "malformed trace at {at}: {detail}"),
+            CodecError::Illegal(e) => write!(f, "decoded trace is illegal: {e}"),
+            CodecError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for CodecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CodecError::Illegal(e) => Some(e),
+            CodecError::Io(e) => Some(e),
+            CodecError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<TraceError> for CodecError {
+    fn from(e: TraceError) -> Self {
+        CodecError::Illegal(e)
+    }
+}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+/// Renders a trace in the text format.
+pub fn to_text(trace: &Trace) -> String {
+    let meta = trace.meta();
+    let mut out = String::with_capacity(trace.len() * 16 + 128);
+    out.push_str(TEXT_HEADER);
+    out.push('\n');
+    out.push_str(&format!(
+        "meta {} procs={} locks={} barriers={} mem={}\n",
+        meta.name(),
+        meta.n_procs(),
+        meta.n_locks(),
+        meta.n_barriers(),
+        meta.mem_bytes()
+    ));
+    for event in trace.iter() {
+        let p = event.proc.raw();
+        match event.op {
+            Op::Read { addr, len } => out.push_str(&format!("r {p} {addr} {len}\n")),
+            Op::Write { addr, len } => out.push_str(&format!("w {p} {addr} {len}\n")),
+            Op::Acquire(l) => out.push_str(&format!("a {p} {}\n", l.raw())),
+            Op::Release(l) => out.push_str(&format!("l {p} {}\n", l.raw())),
+            Op::Barrier(b) => out.push_str(&format!("b {p} {}\n", b.raw())),
+        }
+    }
+    out
+}
+
+fn malformed(at: usize, detail: impl Into<String>) -> CodecError {
+    CodecError::Malformed { at, detail: detail.into() }
+}
+
+/// Parses the text format.
+///
+/// # Errors
+///
+/// [`CodecError::Malformed`] on syntax errors, [`CodecError::Illegal`] if
+/// the events do not form a legal trace.
+pub fn from_text(text: &str) -> Result<Trace, CodecError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| malformed(1, "empty input"))?;
+    if header.trim() != TEXT_HEADER {
+        return Err(malformed(1, format!("expected header '{TEXT_HEADER}'")));
+    }
+    let (_, meta_line) = lines.next().ok_or_else(|| malformed(2, "missing meta line"))?;
+    let meta = parse_meta_line(meta_line).map_err(|d| malformed(2, d))?;
+
+    let mut events = Vec::new();
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = i + 1;
+        let mut parts = line.split_ascii_whitespace();
+        let tag = parts.next().expect("non-empty line has a first token");
+        let mut next_u64 = |what: &str| -> Result<u64, CodecError> {
+            parts
+                .next()
+                .ok_or_else(|| malformed(lineno, format!("missing {what}")))?
+                .parse::<u64>()
+                .map_err(|_| malformed(lineno, format!("bad {what}")))
+        };
+        let proc = ProcId::new(next_u64("proc")? as u16);
+        let op = match tag {
+            "r" => Op::Read { addr: next_u64("addr")?, len: next_u64("len")? as u32 },
+            "w" => Op::Write { addr: next_u64("addr")?, len: next_u64("len")? as u32 },
+            "a" => Op::Acquire(LockId::new(next_u64("lock")? as u32)),
+            "l" => Op::Release(LockId::new(next_u64("lock")? as u32)),
+            "b" => Op::Barrier(BarrierId::new(next_u64("barrier")? as u32)),
+            other => return Err(malformed(lineno, format!("unknown tag '{other}'"))),
+        };
+        if parts.next().is_some() {
+            return Err(malformed(lineno, "trailing tokens"));
+        }
+        events.push(Event::new(proc, op));
+    }
+    Trace::from_parts(meta, events).map_err(CodecError::from)
+}
+
+fn parse_meta_line(line: &str) -> Result<TraceMeta, String> {
+    let mut parts = line.split_ascii_whitespace();
+    if parts.next() != Some("meta") {
+        return Err("expected 'meta' line".to_string());
+    }
+    let name = parts.next().ok_or("missing name")?.to_string();
+    let mut procs = None;
+    let mut locks = None;
+    let mut barriers = None;
+    let mut mem = None;
+    for kv in parts {
+        let (key, value) = kv.split_once('=').ok_or_else(|| format!("bad field '{kv}'"))?;
+        let value: u64 = value.parse().map_err(|_| format!("bad value in '{kv}'"))?;
+        match key {
+            "procs" => procs = Some(value as usize),
+            "locks" => locks = Some(value as usize),
+            "barriers" => barriers = Some(value as usize),
+            "mem" => mem = Some(value),
+            other => return Err(format!("unknown field '{other}'")),
+        }
+    }
+    match (procs, locks, barriers, mem) {
+        (Some(p), Some(l), Some(b), Some(m)) if p > 0 && m > 0 => {
+            Ok(TraceMeta::new(name, p, l, b, m))
+        }
+        _ => Err("meta line needs procs=, locks=, barriers=, mem= (procs and mem non-zero)"
+            .to_string()),
+    }
+}
+
+// ---- binary ----
+
+const TAG_READ: u8 = 0;
+const TAG_WRITE: u8 = 1;
+const TAG_ACQUIRE: u8 = 2;
+const TAG_RELEASE: u8 = 3;
+const TAG_BARRIER: u8 = 4;
+
+fn put_u32(out: &mut impl Write, v: u32) -> io::Result<()> {
+    out.write_all(&v.to_le_bytes())
+}
+
+fn put_u64(out: &mut impl Write, v: u64) -> io::Result<()> {
+    out.write_all(&v.to_le_bytes())
+}
+
+/// Writes a trace in the binary format.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `out`.
+pub fn write_binary(trace: &Trace, mut out: impl Write) -> Result<(), CodecError> {
+    let meta = trace.meta();
+    out.write_all(BINARY_MAGIC)?;
+    put_u32(&mut out, BINARY_VERSION)?;
+    let name = meta.name().as_bytes();
+    put_u32(&mut out, name.len() as u32)?;
+    out.write_all(name)?;
+    put_u32(&mut out, meta.n_procs() as u32)?;
+    put_u32(&mut out, meta.n_locks() as u32)?;
+    put_u32(&mut out, meta.n_barriers() as u32)?;
+    put_u64(&mut out, meta.mem_bytes())?;
+    put_u64(&mut out, trace.len() as u64)?;
+    for event in trace.iter() {
+        let p = event.proc.raw();
+        match event.op {
+            Op::Read { addr, len } => {
+                out.write_all(&[TAG_READ])?;
+                out.write_all(&p.to_le_bytes())?;
+                put_u64(&mut out, addr)?;
+                put_u32(&mut out, len)?;
+            }
+            Op::Write { addr, len } => {
+                out.write_all(&[TAG_WRITE])?;
+                out.write_all(&p.to_le_bytes())?;
+                put_u64(&mut out, addr)?;
+                put_u32(&mut out, len)?;
+            }
+            Op::Acquire(l) => {
+                out.write_all(&[TAG_ACQUIRE])?;
+                out.write_all(&p.to_le_bytes())?;
+                put_u32(&mut out, l.raw())?;
+            }
+            Op::Release(l) => {
+                out.write_all(&[TAG_RELEASE])?;
+                out.write_all(&p.to_le_bytes())?;
+                put_u32(&mut out, l.raw())?;
+            }
+            Op::Barrier(b) => {
+                out.write_all(&[TAG_BARRIER])?;
+                out.write_all(&p.to_le_bytes())?;
+                put_u32(&mut out, b.raw())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+struct Reader<R> {
+    inner: R,
+    offset: usize,
+}
+
+impl<R: Read> Reader<R> {
+    fn exact(&mut self, buf: &mut [u8]) -> Result<(), CodecError> {
+        self.inner
+            .read_exact(buf)
+            .map_err(|e| malformed(self.offset, format!("truncated input: {e}")))?;
+        self.offset += buf.len();
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        let mut b = [0u8; 1];
+        self.exact(&mut b)?;
+        Ok(b[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        let mut b = [0u8; 2];
+        self.exact(&mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let mut b = [0u8; 4];
+        self.exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let mut b = [0u8; 8];
+        self.exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
+/// Reads a trace in the binary format.
+///
+/// # Errors
+///
+/// [`CodecError::Malformed`] on format errors, [`CodecError::Illegal`] if
+/// the decoded events do not form a legal trace.
+pub fn read_binary(input: impl Read) -> Result<Trace, CodecError> {
+    let mut r = Reader { inner: input, offset: 0 };
+    let mut magic = [0u8; 4];
+    r.exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(malformed(0, "bad magic"));
+    }
+    let version = r.u32()?;
+    if version != BINARY_VERSION {
+        return Err(malformed(4, format!("unsupported version {version}")));
+    }
+    let name_len = r.u32()? as usize;
+    if name_len > 4096 {
+        return Err(malformed(8, "unreasonable name length"));
+    }
+    let mut name = vec![0u8; name_len];
+    r.exact(&mut name)?;
+    let name = String::from_utf8(name).map_err(|_| malformed(12, "name is not UTF-8"))?;
+    let n_procs = r.u32()? as usize;
+    let n_locks = r.u32()? as usize;
+    let n_barriers = r.u32()? as usize;
+    let mem_bytes = r.u64()?;
+    if n_procs == 0 || n_procs > u16::MAX as usize || mem_bytes == 0 {
+        return Err(malformed(r.offset, "bad meta fields"));
+    }
+    let meta = TraceMeta::new(name, n_procs, n_locks, n_barriers, mem_bytes);
+    let count = r.u64()? as usize;
+    let mut events = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let tag = r.u8()?;
+        let proc = ProcId::new(r.u16()?);
+        let op = match tag {
+            TAG_READ => Op::Read { addr: r.u64()?, len: r.u32()? },
+            TAG_WRITE => Op::Write { addr: r.u64()?, len: r.u32()? },
+            TAG_ACQUIRE => Op::Acquire(LockId::new(r.u32()?)),
+            TAG_RELEASE => Op::Release(LockId::new(r.u32()?)),
+            TAG_BARRIER => Op::Barrier(BarrierId::new(r.u32()?)),
+            other => return Err(malformed(r.offset, format!("unknown tag {other}"))),
+        };
+        events.push(Event::new(proc, op));
+    }
+    Trace::from_parts(meta, events).map_err(CodecError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuilder;
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new(TraceMeta::new("sample", 2, 1, 1, 65536));
+        b.acquire(p(0), LockId::new(0)).unwrap();
+        b.write(p(0), 4096, 8).unwrap();
+        b.release(p(0), LockId::new(0)).unwrap();
+        b.read(p(1), 512, 16).unwrap();
+        b.barrier_all(BarrierId::new(0)).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = sample();
+        let text = to_text(&t);
+        assert!(text.starts_with("lrc-trace v1\nmeta sample procs=2"));
+        let back = from_text(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn text_tolerates_comments_and_blank_lines() {
+        let t = sample();
+        let mut text = to_text(&t);
+        text.push_str("\n# trailing comment\n\n");
+        assert_eq!(from_text(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(from_text("").is_err());
+        assert!(from_text("wrong header\n").is_err());
+        assert!(from_text("lrc-trace v1\nmeta t procs=1 locks=0 barriers=0\n").is_err());
+        let bad_tag = "lrc-trace v1\nmeta t procs=1 locks=0 barriers=0 mem=64\nx 0 0 4\n";
+        assert!(matches!(from_text(bad_tag), Err(CodecError::Malformed { .. })));
+        let trailing = "lrc-trace v1\nmeta t procs=1 locks=0 barriers=0 mem=64\nr 0 0 4 9\n";
+        assert!(from_text(trailing).is_err());
+    }
+
+    #[test]
+    fn text_rejects_illegal_trace() {
+        let illegal = "lrc-trace v1\nmeta t procs=1 locks=1 barriers=0 mem=64\nl 0 0\n";
+        assert!(matches!(from_text(illegal), Err(CodecError::Illegal(_))));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(read_binary(&bad[..]).is_err());
+        // Truncation.
+        assert!(read_binary(&buf[..buf.len() - 3]).is_err());
+        // Bad version.
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert!(read_binary(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn binary_is_denser_than_text() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        assert!(buf.len() < to_text(&t).len());
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let err = from_text("nope").unwrap_err();
+        assert!(err.to_string().contains("malformed"));
+        let illegal = from_text("lrc-trace v1\nmeta t procs=1 locks=1 barriers=0 mem=64\nl 0 0\n")
+            .unwrap_err();
+        assert!(illegal.source().is_some());
+    }
+}

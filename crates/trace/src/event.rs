@@ -1,0 +1,114 @@
+use std::fmt;
+
+use lrc_sync::{BarrierId, LockId};
+use lrc_vclock::ProcId;
+
+/// One shared-memory operation, without its processor.
+///
+/// Reads and writes are *ordinary* accesses; acquire, release and barrier
+/// are the *special* accesses that drive consistency (the paper labels
+/// barrier arrival a release and barrier departure an acquire).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Read `len` bytes at flat address `addr`.
+    Read {
+        /// Flat byte address in the shared space.
+        addr: u64,
+        /// Access length in bytes (1 to 4096).
+        len: u32,
+    },
+    /// Write `len` bytes at flat address `addr`.
+    Write {
+        /// Flat byte address in the shared space.
+        addr: u64,
+        /// Access length in bytes (1 to 4096).
+        len: u32,
+    },
+    /// Acquire an exclusive lock.
+    Acquire(LockId),
+    /// Release an exclusive lock.
+    Release(LockId),
+    /// Arrive at a barrier (and depart when the episode completes).
+    Barrier(BarrierId),
+}
+
+impl Op {
+    /// True for reads and writes.
+    pub fn is_ordinary(&self) -> bool {
+        matches!(self, Op::Read { .. } | Op::Write { .. })
+    }
+
+    /// True for acquire/release/barrier.
+    pub fn is_special(&self) -> bool {
+        !self.is_ordinary()
+    }
+
+    /// The accessed byte range, for ordinary accesses.
+    pub fn access_range(&self) -> Option<(u64, u32)> {
+        match *self {
+            Op::Read { addr, len } | Op::Write { addr, len } => Some((addr, len)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read { addr, len } => write!(f, "r {addr:#x}+{len}"),
+            Op::Write { addr, len } => write!(f, "w {addr:#x}+{len}"),
+            Op::Acquire(l) => write!(f, "acq {l}"),
+            Op::Release(l) => write!(f, "rel {l}"),
+            Op::Barrier(b) => write!(f, "bar {b}"),
+        }
+    }
+}
+
+/// One event of a trace: a processor performing an [`Op`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// The processor performing the operation.
+    pub proc: ProcId,
+    /// The operation.
+    pub op: Op,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(proc: ProcId, op: Op) -> Self {
+        Event { proc, op }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.proc, self.op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Op::Read { addr: 0, len: 4 }.is_ordinary());
+        assert!(Op::Write { addr: 0, len: 4 }.is_ordinary());
+        assert!(Op::Acquire(LockId::new(0)).is_special());
+        assert!(Op::Release(LockId::new(0)).is_special());
+        assert!(Op::Barrier(BarrierId::new(0)).is_special());
+    }
+
+    #[test]
+    fn access_range_only_for_ordinary() {
+        assert_eq!(Op::Write { addr: 16, len: 8 }.access_range(), Some((16, 8)));
+        assert_eq!(Op::Acquire(LockId::new(1)).access_range(), None);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let e = Event::new(ProcId::new(2), Op::Read { addr: 256, len: 8 });
+        assert_eq!(e.to_string(), "p2: r 0x100+8");
+        assert_eq!(Op::Barrier(BarrierId::new(1)).to_string(), "bar br1");
+    }
+}

@@ -1,0 +1,187 @@
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use lrc_pagemem::PageSize;
+use lrc_vclock::ProcId;
+
+use crate::{Op, Trace};
+
+/// Access and sharing statistics of a trace.
+///
+/// The per-page-size sharing numbers quantify the paper's observation that
+/// "the number of processors sharing a page is increased by false sharing"
+/// (§5.4): the same trace shows more writers per page as pages grow.
+///
+/// # Example
+///
+/// ```
+/// use lrc_trace::{TraceBuilder, TraceMeta, TraceStats};
+/// use lrc_vclock::ProcId;
+///
+/// let mut b = TraceBuilder::new(TraceMeta::new("t", 2, 0, 0, 8192));
+/// b.write(ProcId::new(0), 0, 8)?;
+/// b.write(ProcId::new(1), 4096, 8)?;
+/// let trace = b.finish()?;
+/// let stats = TraceStats::compute(&trace);
+/// assert_eq!(stats.writes, 2);
+/// // Under 4K pages the writers touch different pages...
+/// assert_eq!(stats.mean_writers_per_page(&trace, 4096).unwrap(), 1.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct TraceStats {
+    /// Total events.
+    pub events: usize,
+    /// Ordinary reads.
+    pub reads: usize,
+    /// Ordinary writes.
+    pub writes: usize,
+    /// Lock acquires.
+    pub acquires: usize,
+    /// Lock releases.
+    pub releases: usize,
+    /// Barrier arrivals (episodes = arrivals / n_procs).
+    pub barrier_arrivals: usize,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Events per processor.
+    pub per_proc: Vec<usize>,
+}
+
+impl TraceStats {
+    /// Computes statistics in one pass.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut s = TraceStats { per_proc: vec![0; trace.meta().n_procs()], ..Default::default() };
+        for event in trace.iter() {
+            s.events += 1;
+            s.per_proc[event.proc.index()] += 1;
+            match event.op {
+                Op::Read { len, .. } => {
+                    s.reads += 1;
+                    s.bytes_read += len as u64;
+                }
+                Op::Write { len, .. } => {
+                    s.writes += 1;
+                    s.bytes_written += len as u64;
+                }
+                Op::Acquire(_) => s.acquires += 1,
+                Op::Release(_) => s.releases += 1,
+                Op::Barrier(_) => s.barrier_arrivals += 1,
+            }
+        }
+        s
+    }
+
+    /// Completed barrier episodes.
+    pub fn barrier_episodes(&self, n_procs: usize) -> usize {
+        self.barrier_arrivals.checked_div(n_procs).unwrap_or(0)
+    }
+
+    /// Mean number of distinct *writing* processors per written page when
+    /// the trace's address space is divided into pages of `page_bytes`.
+    /// Growth of this number with page size is false sharing.
+    ///
+    /// Returns `None` for an invalid page size or a trace with no writes.
+    pub fn mean_writers_per_page(&self, trace: &Trace, page_bytes: usize) -> Option<f64> {
+        let size = PageSize::new(page_bytes).ok()?;
+        let mut writers: HashMap<u64, HashSet<ProcId>> = HashMap::new();
+        for event in trace.iter() {
+            if let Op::Write { addr, len } = event.op {
+                let first = addr >> size.shift();
+                let last = (addr + len as u64 - 1) >> size.shift();
+                for page in first..=last {
+                    writers.entry(page).or_default().insert(event.proc);
+                }
+            }
+        }
+        if writers.is_empty() {
+            return None;
+        }
+        let total: usize = writers.values().map(HashSet::len).sum();
+        Some(total as f64 / writers.len() as f64)
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events ({} r / {} w / {} acq / {} rel / {} bar), {}B read, {}B written",
+            self.events,
+            self.reads,
+            self.writes,
+            self.acquires,
+            self.releases,
+            self.barrier_arrivals,
+            self.bytes_read,
+            self.bytes_written
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceBuilder, TraceMeta};
+    use lrc_sync::{BarrierId, LockId};
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new(TraceMeta::new("t", 2, 1, 1, 16384));
+        b.acquire(p(0), LockId::new(0)).unwrap();
+        b.write(p(0), 0, 8).unwrap();
+        b.release(p(0), LockId::new(0)).unwrap();
+        b.read(p(1), 128, 16).unwrap();
+        b.barrier_all(BarrierId::new(0)).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let s = TraceStats::compute(&sample());
+        assert_eq!(s.events, 6);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.acquires, 1);
+        assert_eq!(s.releases, 1);
+        assert_eq!(s.barrier_arrivals, 2);
+        assert_eq!(s.barrier_episodes(2), 1);
+        assert_eq!(s.bytes_read, 16);
+        assert_eq!(s.bytes_written, 8);
+        assert_eq!(s.per_proc, vec![4, 2]);
+    }
+
+    #[test]
+    fn false_sharing_grows_with_page_size() {
+        // p0 writes byte 0, p1 writes byte 600: separate 512B pages, same
+        // 1024B page.
+        let mut b = TraceBuilder::new(TraceMeta::new("t", 2, 0, 0, 4096));
+        b.write(p(0), 0, 4).unwrap();
+        b.write(p(1), 600, 4).unwrap();
+        let t = b.finish().unwrap();
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.mean_writers_per_page(&t, 512).unwrap(), 1.0);
+        assert_eq!(s.mean_writers_per_page(&t, 1024).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn no_writes_yields_none() {
+        let mut b = TraceBuilder::new(TraceMeta::new("t", 1, 0, 0, 4096));
+        b.read(p(0), 0, 4).unwrap();
+        let t = b.finish().unwrap();
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.mean_writers_per_page(&t, 512), None);
+        assert_eq!(s.mean_writers_per_page(&t, 100), None, "invalid page size");
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = TraceStats::compute(&sample());
+        assert!(s.to_string().contains("6 events"));
+    }
+}

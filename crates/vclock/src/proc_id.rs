@@ -1,0 +1,87 @@
+use std::fmt;
+
+/// Identifier of a processor (node) in the DSM system.
+///
+/// Processors are numbered densely from zero; a system of `n` processors uses
+/// ids `0..n`. The id doubles as an index into per-processor tables such as
+/// [`VectorClock`](crate::VectorClock) entries.
+///
+/// # Example
+///
+/// ```
+/// use lrc_vclock::ProcId;
+///
+/// let p = ProcId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProcId(u16);
+
+impl ProcId {
+    /// Creates a processor id from its dense index.
+    pub fn new(index: u16) -> Self {
+        ProcId(index)
+    }
+
+    /// Returns the id as a table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric id.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Iterates over all processor ids of an `n`-processor system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u16::MAX`.
+    pub fn all(n: usize) -> impl Iterator<Item = ProcId> {
+        assert!(n <= u16::MAX as usize, "processor count {n} out of range");
+        (0..n as u16).map(ProcId)
+    }
+}
+
+impl From<u16> for ProcId {
+    fn from(index: u16) -> Self {
+        ProcId(index)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        let p = ProcId::new(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.raw(), 7);
+        assert_eq!(ProcId::from(7u16), p);
+    }
+
+    #[test]
+    fn all_enumerates_densely() {
+        let ids: Vec<_> = ProcId::all(4).collect();
+        assert_eq!(ids, vec![ProcId::new(0), ProcId::new(1), ProcId::new(2), ProcId::new(3)]);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcId::new(1) < ProcId::new(2));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ProcId::new(12).to_string(), "p12");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the vector-clock laws the protocol engines rely
+//! on: merge is a join (commutative, associative, idempotent, monotone) and
+//! `causal_cmp` is a partial order consistent with `dominates`.
+
+use lrc_vclock::{CausalOrd, IntervalId, ProcId, VectorClock};
+use proptest::prelude::*;
+
+const N: usize = 5;
+
+fn clock() -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u32..40, N).prop_map(|v| {
+        let mut vc = VectorClock::new(N);
+        for (i, s) in v.into_iter().enumerate() {
+            vc.set(ProcId::new(i as u16), s);
+        }
+        vc
+    })
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in clock(), b in clock()) {
+        prop_assert_eq!(a.merged(&b), b.merged(&a));
+    }
+
+    #[test]
+    fn merge_is_associative(a in clock(), b in clock(), c in clock()) {
+        prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+    }
+
+    #[test]
+    fn merge_is_idempotent(a in clock()) {
+        prop_assert_eq!(a.merged(&a), a);
+    }
+
+    #[test]
+    fn merge_is_upper_bound(a in clock(), b in clock()) {
+        let m = a.merged(&b);
+        prop_assert!(m.dominates(&a));
+        prop_assert!(m.dominates(&b));
+    }
+
+    #[test]
+    fn merge_is_least_upper_bound(a in clock(), b in clock(), c in clock()) {
+        // Any clock dominating both a and b dominates their merge.
+        let m = a.merged(&b);
+        let c = c.merged(&m); // force c to dominate both
+        prop_assert!(c.dominates(&m));
+    }
+
+    #[test]
+    fn causal_cmp_matches_dominates(a in clock(), b in clock()) {
+        let expected = match (b.dominates(&a), a.dominates(&b)) {
+            (true, true) => CausalOrd::Equal,
+            (true, false) => CausalOrd::Before,
+            (false, true) => CausalOrd::After,
+            (false, false) => CausalOrd::Concurrent,
+        };
+        prop_assert_eq!(a.causal_cmp(&b), expected);
+    }
+
+    #[test]
+    fn causal_cmp_is_antisymmetric(a in clock(), b in clock()) {
+        let ab = a.causal_cmp(&b);
+        let ba = b.causal_cmp(&a);
+        let flipped = match ab {
+            CausalOrd::Equal => CausalOrd::Equal,
+            CausalOrd::Before => CausalOrd::After,
+            CausalOrd::After => CausalOrd::Before,
+            CausalOrd::Concurrent => CausalOrd::Concurrent,
+        };
+        prop_assert_eq!(ba, flipped);
+    }
+
+    #[test]
+    fn weight_strictly_increases_on_bump(a in clock(), p in 0u16..N as u16) {
+        let mut b = a.clone();
+        b.bump(ProcId::new(p));
+        prop_assert!(b.weight() == a.weight() + 1);
+        prop_assert!(b.dominates(&a) && !a.dominates(&b));
+    }
+
+    #[test]
+    fn covers_agrees_with_get(a in clock(), p in 0u16..N as u16, s in 0u32..50) {
+        let id = IntervalId::new(ProcId::new(p), s);
+        prop_assert_eq!(a.covers(id), a.get(ProcId::new(p)) >= s);
+    }
+
+    #[test]
+    fn merge_preserves_coverage(a in clock(), b in clock(), p in 0u16..N as u16, s in 0u32..50) {
+        let id = IntervalId::new(ProcId::new(p), s);
+        if a.covers(id) || b.covers(id) {
+            prop_assert!(a.merged(&b).covers(id));
+        }
+    }
+}

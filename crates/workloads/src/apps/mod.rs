@@ -1,0 +1,155 @@
+//! The five SPLASH-like application generators (§5.3 of the paper).
+
+mod cholesky;
+mod locusroute;
+mod mp3d;
+mod pthor;
+mod water;
+
+use std::fmt;
+
+use lrc_trace::Trace;
+
+use crate::Scale;
+
+/// One of the five applications of the paper's evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AppKind {
+    /// VLSI cell router: task-queue and cost-grid region locks, migratory
+    /// data (Figures 5/6).
+    LocusRoute,
+    /// Sparse Cholesky factorization: task-queue and column locks,
+    /// migratory columns, no barriers (Figures 7/8).
+    Cholesky,
+    /// Rarefied airflow Monte Carlo simulation: barrier-phased steps,
+    /// sparse shared-cell writes, miss-dominated traffic (Figures 9/10).
+    Mp3d,
+    /// N-body water simulation: barrier-phased steps, per-molecule force
+    /// locks, high locality (Figures 11/12).
+    Water,
+    /// Parallel logic simulator: per-processor element and queue pages
+    /// read remotely, element locks, rare barriers (Figures 13/14).
+    Pthor,
+}
+
+impl AppKind {
+    /// All five applications, in the paper's order.
+    pub const ALL: [AppKind; 5] = [
+        AppKind::LocusRoute,
+        AppKind::Cholesky,
+        AppKind::Mp3d,
+        AppKind::Water,
+        AppKind::Pthor,
+    ];
+
+    /// The lowercase application name used in reports and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::LocusRoute => "locusroute",
+            AppKind::Cholesky => "cholesky",
+            AppKind::Mp3d => "mp3d",
+            AppKind::Water => "water",
+            AppKind::Pthor => "pthor",
+        }
+    }
+
+    /// Parses an application name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<AppKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "locusroute" => Some(AppKind::LocusRoute),
+            "cholesky" => Some(AppKind::Cholesky),
+            "mp3d" => Some(AppKind::Mp3d),
+            "water" => Some(AppKind::Water),
+            "pthor" => Some(AppKind::Pthor),
+            _ => None,
+        }
+    }
+
+    /// The paper figure numbers this application reproduces:
+    /// `(messages figure, data figure)`.
+    pub fn figures(self) -> (u32, u32) {
+        match self {
+            AppKind::LocusRoute => (5, 6),
+            AppKind::Cholesky => (7, 8),
+            AppKind::Mp3d => (9, 10),
+            AppKind::Water => (11, 12),
+            AppKind::Pthor => (13, 14),
+        }
+    }
+
+    /// Generates a trace with this application's sharing pattern.
+    ///
+    /// Identical `scale`s yield identical traces. The result is always a
+    /// legal, properly labeled trace (the generators build through the
+    /// validating builder, and the test suite race-checks every one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale.procs` is 0 or exceeds 64 (the engines' processor
+    /// limit), or if `scale.units` is 0 — all generator misuse.
+    pub fn generate(self, scale: &Scale) -> Trace {
+        assert!(scale.procs > 0 && scale.procs <= 64, "bad processor count");
+        assert!(scale.units > 0, "bad unit count");
+        match self {
+            AppKind::LocusRoute => locusroute::generate(scale),
+            AppKind::Cholesky => cholesky::generate(scale),
+            AppKind::Mp3d => mp3d::generate(scale),
+            AppKind::Water => water::generate(scale),
+            AppKind::Pthor => pthor::generate(scale),
+        }
+    }
+}
+
+impl fmt::Display for AppKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Byte address of word `w` (all workloads use 8-byte words).
+pub(crate) fn word(w: u64) -> u64 {
+    w * 8
+}
+
+/// Word length in bytes.
+pub(crate) const WORD: u32 = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for app in AppKind::ALL {
+            assert_eq!(AppKind::from_name(app.name()), Some(app));
+            assert_eq!(app.to_string(), app.name());
+        }
+        assert_eq!(AppKind::from_name("LOCUSROUTE"), Some(AppKind::LocusRoute));
+        assert_eq!(AppKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn figures_cover_5_through_14() {
+        let mut figs: Vec<u32> = AppKind::ALL
+            .iter()
+            .flat_map(|a| {
+                let (m, d) = a.figures();
+                [m, d]
+            })
+            .collect();
+        figs.sort();
+        assert_eq!(figs, (5..=14).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad processor count")]
+    fn zero_procs_rejected() {
+        AppKind::Water.generate(&Scale { procs: 0, units: 1, seed: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "bad unit count")]
+    fn zero_units_rejected() {
+        AppKind::Water.generate(&Scale { procs: 2, units: 0, seed: 0 });
+    }
+}

@@ -1,0 +1,35 @@
+//! The paper's whole evaluation, one command.
+//!
+//! Generates all five SPLASH-like workloads and replays each across the
+//! four protocols and the paper's page-size sweep (512–8192 bytes),
+//! printing the message and data series behind Figures 5–14.
+//!
+//! Run with (release mode recommended; takes ~20 s):
+//!
+//! ```text
+//! cargo run --release --example splash_report [procs] [units]
+//! ```
+
+use lrc::sim::{sweep, Metric, SweepConfig};
+use lrc::trace::TraceStats;
+use lrc::workloads::{AppKind, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let procs: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(16);
+    let units: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(400);
+    let scale = Scale { procs, units, seed: 1992 };
+
+    println!("SPLASH evaluation, {procs} processors, {units} work units, seed {}\n", scale.seed);
+    for app in AppKind::ALL {
+        let trace = app.generate(&scale);
+        let stats = TraceStats::compute(&trace);
+        let (fig_msgs, fig_data) = app.figures();
+        println!("=== {app} — paper figures {fig_msgs} (messages) and {fig_data} (data)");
+        println!("    trace: {stats}");
+        let result = sweep(&trace, &SweepConfig::default())?;
+        println!("{}", result.render(Metric::Messages));
+        println!("{}", result.render(Metric::DataKbytes));
+    }
+    Ok(())
+}
