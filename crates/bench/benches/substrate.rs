@@ -62,16 +62,22 @@ fn bench_vclock(c: &mut Criterion) {
             a.set(ProcId::new(i as u16), (i * 7 % 13) as u32);
             b2.set(ProcId::new(i as u16), (i * 5 % 11) as u32);
         }
-        group.bench_with_input(BenchmarkId::new("merge", n), &(&a, &b2), |bench, (a, b2)| {
-            bench.iter(|| {
-                let mut m = (*a).clone();
-                m.merge(b2);
-                black_box(m)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("causal_cmp", n), &(&a, &b2), |bench, (a, b2)| {
-            bench.iter(|| black_box(a.causal_cmp(b2)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("merge", n),
+            &(&a, &b2),
+            |bench, (a, b2)| {
+                bench.iter(|| {
+                    let mut m = (*a).clone();
+                    m.merge(b2);
+                    black_box(m)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("causal_cmp", n),
+            &(&a, &b2),
+            |bench, (a, b2)| bench.iter(|| black_box(a.causal_cmp(b2))),
+        );
         group.bench_with_input(BenchmarkId::new("covers", n), &a, |bench, a| {
             bench.iter(|| black_box(a.covers(IntervalId::new(ProcId::new(3), 5))))
         });

@@ -30,12 +30,8 @@ fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--procs" => {
-                scale.procs = args.next().and_then(|v| v.parse().ok()).expect("--procs N")
-            }
-            "--units" => {
-                scale.units = args.next().and_then(|v| v.parse().ok()).expect("--units N")
-            }
+            "--procs" => scale.procs = args.next().and_then(|v| v.parse().ok()).expect("--procs N"),
+            "--units" => scale.units = args.next().and_then(|v| v.parse().ok()).expect("--units N"),
             "--seed" => scale.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
             other => command = other.to_string(),
         }
@@ -109,11 +105,20 @@ fn table1() {
     let rows = [
         (ProtocolKind::LazyInvalidate, "2m", "3", "0", "2(n-1)"),
         (ProtocolKind::LazyUpdate, "2m", "3+2h", "0", "2(n-1)+2u"),
-        (ProtocolKind::EagerInvalidate, "2 or 3", "3", "2c", "2(n-1)+2v"),
+        (
+            ProtocolKind::EagerInvalidate,
+            "2 or 3",
+            "3",
+            "2c",
+            "2(n-1)+2v",
+        ),
         (ProtocolKind::EagerUpdate, "2 or 3", "3", "2c", "2(n-1)+2u"),
     ];
     for (kind, miss, lock, unlock, barrier) in rows {
-        println!("{:<6} {miss:>12} {lock:>10} {unlock:>10} {barrier:>14}", kind.label());
+        println!(
+            "{:<6} {miss:>12} {lock:>10} {unlock:>10} {barrier:>14}",
+            kind.label()
+        );
     }
     println!("\n(cost model verified exactly by tests/table1.rs)\n");
 }
@@ -164,10 +169,20 @@ fn summary(scale: &Scale) {
     );
     for app in AppKind::ALL {
         let trace = app.generate(scale);
-        let li = run_trace(&trace, ProtocolKind::LazyInvalidate, 4096, &SimOptions::fast())
-            .expect("legal trace");
-        let ei = run_trace(&trace, ProtocolKind::EagerInvalidate, 4096, &SimOptions::fast())
-            .expect("legal trace");
+        let li = run_trace(
+            &trace,
+            ProtocolKind::LazyInvalidate,
+            4096,
+            &SimOptions::fast(),
+        )
+        .expect("legal trace");
+        let ei = run_trace(
+            &trace,
+            ProtocolKind::EagerInvalidate,
+            4096,
+            &SimOptions::fast(),
+        )
+        .expect("legal trace");
         let category = match app {
             AppKind::Mp3d | AppKind::Water => "barrier",
             _ => "migratory",
@@ -186,17 +201,28 @@ fn summary(scale: &Scale) {
 /// Ablation A1: disable the §4.3.3 optimization (diffs on warm misses).
 fn ablation_diff(scale: &Scale) {
     println!("== Ablation: ship whole pages on warm misses (disable section 4.3.3)\n");
-    println!("{:<12} {:>10} {:>16} {:>16} {:>9}", "app", "page", "LI diffs KB", "LI pages KB", "ratio");
+    println!(
+        "{:<12} {:>10} {:>16} {:>16} {:>9}",
+        "app", "page", "LI diffs KB", "LI pages KB", "ratio"
+    );
     for app in [AppKind::Mp3d, AppKind::Water] {
         let trace = app.generate(scale);
         for page in [1024usize, 8192] {
-            let with = run_trace(&trace, ProtocolKind::LazyInvalidate, page, &SimOptions::fast())
-                .expect("legal trace");
+            let with = run_trace(
+                &trace,
+                ProtocolKind::LazyInvalidate,
+                page,
+                &SimOptions::fast(),
+            )
+            .expect("legal trace");
             let without = run_trace(
                 &trace,
                 ProtocolKind::LazyInvalidate,
                 page,
-                &SimOptions { full_page_misses: true, ..SimOptions::fast() },
+                &SimOptions {
+                    full_page_misses: true,
+                    ..SimOptions::fast()
+                },
             )
             .expect("legal trace");
             println!(
@@ -222,13 +248,21 @@ fn ablation_gc(scale: &Scale) {
     );
     for app in [AppKind::Mp3d, AppKind::Water] {
         let trace = app.generate(scale);
-        let without = run_trace(&trace, ProtocolKind::LazyInvalidate, 4096, &SimOptions::fast())
-            .expect("legal trace");
+        let without = run_trace(
+            &trace,
+            ProtocolKind::LazyInvalidate,
+            4096,
+            &SimOptions::fast(),
+        )
+        .expect("legal trace");
         let with = run_trace(
             &trace,
             ProtocolKind::LazyInvalidate,
             4096,
-            &SimOptions { gc_at_barriers: true, ..SimOptions::fast() },
+            &SimOptions {
+                gc_at_barriers: true,
+                ..SimOptions::fast()
+            },
         )
         .expect("legal trace");
         println!(
@@ -253,13 +287,21 @@ fn ablation_piggyback(scale: &Scale) {
     );
     for app in [AppKind::LocusRoute, AppKind::Cholesky, AppKind::Pthor] {
         let trace = app.generate(scale);
-        let with = run_trace(&trace, ProtocolKind::LazyInvalidate, 4096, &SimOptions::fast())
-            .expect("legal trace");
+        let with = run_trace(
+            &trace,
+            ProtocolKind::LazyInvalidate,
+            4096,
+            &SimOptions::fast(),
+        )
+        .expect("legal trace");
         let without = run_trace(
             &trace,
             ProtocolKind::LazyInvalidate,
             4096,
-            &SimOptions { piggyback_notices: false, ..SimOptions::fast() },
+            &SimOptions {
+                piggyback_notices: false,
+                ..SimOptions::fast()
+            },
         )
         .expect("legal trace");
         println!(

@@ -63,7 +63,9 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
     match flag_value(args, flag) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("bad value for {flag}: '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value for {flag}: '{v}'")),
     }
 }
 
@@ -72,7 +74,9 @@ fn load(path: &str) -> Result<Trace, String> {
     let mut reader = BufReader::new(file);
     if path.ends_with(".txt") {
         let mut text = String::new();
-        reader.read_to_string(&mut text).map_err(|e| format!("read {path}: {e}"))?;
+        reader
+            .read_to_string(&mut text)
+            .map_err(|e| format!("read {path}: {e}"))?;
         codec::from_text(&text).map_err(|e| format!("parse {path}: {e}"))
     } else {
         codec::read_binary(reader).map_err(|e| format!("parse {path}: {e}"))
@@ -93,8 +97,7 @@ fn store(trace: &Trace, path: &str) -> Result<(), String> {
 
 fn generate(args: &[String]) -> Result<String, String> {
     let name = args.first().ok_or("generate: missing application name")?;
-    let app = AppKind::from_name(name)
-        .ok_or_else(|| format!("unknown application '{name}'"))?;
+    let app = AppKind::from_name(name).ok_or_else(|| format!("unknown application '{name}'"))?;
     let scale = Scale {
         procs: parse_flag(args, "--procs", 16usize)?,
         units: parse_flag(args, "--units", 400usize)?,
@@ -137,7 +140,10 @@ fn convert(args: &[String]) -> Result<String, String> {
     let output = args.get(1).ok_or("convert: missing output file")?;
     let trace = load(input)?;
     store(&trace, output)?;
-    Ok(format!("converted {input} -> {output} ({} events)\n", trace.len()))
+    Ok(format!(
+        "converted {input} -> {output} ({} events)\n",
+        trace.len()
+    ))
 }
 
 fn replay(args: &[String]) -> Result<String, String> {
@@ -145,8 +151,9 @@ fn replay(args: &[String]) -> Result<String, String> {
     let trace = load(path)?;
     let kind = match flag_value(args, "--protocol") {
         None => ProtocolKind::LazyInvalidate,
-        Some(label) => ProtocolKind::from_label(label)
-            .ok_or_else(|| format!("unknown protocol '{label}'"))?,
+        Some(label) => {
+            ProtocolKind::from_label(label).ok_or_else(|| format!("unknown protocol '{label}'"))?
+        }
     };
     let page = parse_flag(args, "--page", 4096usize)?;
     let options = if args.iter().any(|a| a == "--oracle") {
@@ -158,7 +165,10 @@ fn replay(args: &[String]) -> Result<String, String> {
     let mut out = format!("{report}\n");
     for class in OpClass::ALL {
         let c = report.class(class);
-        out.push_str(&format!("  {class:<8} {:>10} msgs {:>14} bytes\n", c.msgs, c.bytes));
+        out.push_str(&format!(
+            "  {class:<8} {:>10} msgs {:>14} bytes\n",
+            c.msgs, c.bytes
+        ));
     }
     if options.check_sc {
         out.push_str("sequential-consistency oracle: every read matched\n");
@@ -202,8 +212,16 @@ mod tests {
         let out = run(&s(&["check", &file])).unwrap();
         assert!(out.contains("properly labeled"));
 
-        let out = run(&s(&["replay", &file, "--protocol", "LU", "--page", "512", "--oracle"]))
-            .unwrap();
+        let out = run(&s(&[
+            "replay",
+            &file,
+            "--protocol",
+            "LU",
+            "--page",
+            "512",
+            "--oracle",
+        ]))
+        .unwrap();
         assert!(out.contains("LU @512B"));
         assert!(out.contains("oracle: every read matched"));
     }
@@ -213,7 +231,10 @@ mod tests {
         let bin = tmp("conv.lrct");
         let txt = tmp("conv.txt");
         let back = tmp("conv2.lrct");
-        run(&s(&["generate", "cholesky", "--procs", "2", "--units", "4", "-o", &bin])).unwrap();
+        run(&s(&[
+            "generate", "cholesky", "--procs", "2", "--units", "4", "-o", &bin,
+        ]))
+        .unwrap();
         run(&s(&["convert", &bin, &txt])).unwrap();
         run(&s(&["convert", &txt, &back])).unwrap();
         let a = load(&bin).unwrap();
@@ -227,7 +248,10 @@ mod tests {
         assert!(run(&s(&["generate", "nosuchapp", "-o", "/tmp/x"])).is_err());
         assert!(run(&s(&["replay"])).is_err());
         let file = tmp("err.lrct");
-        run(&s(&["generate", "water", "--procs", "2", "--units", "4", "-o", &file])).unwrap();
+        run(&s(&[
+            "generate", "water", "--procs", "2", "--units", "4", "-o", &file,
+        ]))
+        .unwrap();
         assert!(run(&s(&["replay", &file, "--protocol", "XX"])).is_err());
         assert!(run(&s(&["generate", "water", "--procs", "zzz", "-o", &file])).is_err());
     }

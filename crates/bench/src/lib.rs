@@ -22,7 +22,11 @@ pub fn bench_scale() -> Scale {
 
 /// A smaller scale for per-iteration Criterion measurements.
 pub fn criterion_scale() -> Scale {
-    Scale { procs: 8, units: 30, seed: 1992 }
+    Scale {
+        procs: 8,
+        units: 30,
+        seed: 1992,
+    }
 }
 
 /// Generates the trace of one application at a scale (convenience).

@@ -236,7 +236,10 @@ mod tests {
             LrcConfig::new(65, 1024).address_space(),
             Err(ConfigError::BadProcs(65))
         );
-        assert_eq!(LrcConfig::new(2, 0).address_space(), Err(ConfigError::EmptySpace));
+        assert_eq!(
+            LrcConfig::new(2, 0).address_space(),
+            Err(ConfigError::EmptySpace)
+        );
         assert!(matches!(
             LrcConfig::new(2, 1024).page_size(100).address_space(),
             Err(ConfigError::BadPageSize(_))

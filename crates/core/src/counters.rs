@@ -60,7 +60,11 @@ mod tests {
 
     #[test]
     fn misses_sum_cold_and_warm() {
-        let c = LazyCounters { cold_misses: 2, warm_misses: 3, ..Default::default() };
+        let c = LazyCounters {
+            cold_misses: 2,
+            warm_misses: 3,
+            ..Default::default()
+        };
         assert_eq!(c.misses(), 5);
         assert!(c.to_string().contains("misses 5"));
     }

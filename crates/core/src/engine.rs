@@ -1,11 +1,9 @@
 use lrc_pagemem::{AddrSpace, Diff, PageId};
 use lrc_simnet::{
-    notice_batch_bytes, vc_bytes, Fabric, MsgKind, BARRIER_ID_BYTES,
-    DIFF_REQUEST_ENTRY_BYTES, LOCK_ID_BYTES, PAGE_ID_BYTES,
+    notice_batch_bytes, vc_bytes, Fabric, MsgKind, BARRIER_ID_BYTES, DIFF_REQUEST_ENTRY_BYTES,
+    LOCK_ID_BYTES, PAGE_ID_BYTES,
 };
-use lrc_sync::{
-    BarrierArrival, BarrierError, BarrierId, BarrierSet, LockError, LockId, LockTable,
-};
+use lrc_sync::{BarrierArrival, BarrierError, BarrierId, BarrierSet, LockError, LockId, LockTable};
 use lrc_vclock::{IntervalId, ProcId, StampedInterval, VectorClock};
 
 use crate::pagestate::PageEntry;
@@ -269,7 +267,8 @@ impl LrcEngine {
             // travels in a separate message.
             if let Some((src, dst)) = path.grant {
                 self.net.send(src, dst, MsgKind::LockGrant, LOCK_ID_BYTES);
-                self.net.send(src, dst, MsgKind::LockGrant, grant_payload - LOCK_ID_BYTES);
+                self.net
+                    .send(src, dst, MsgKind::LockGrant, grant_payload - LOCK_ID_BYTES);
             }
         }
         Ok(())
@@ -299,7 +298,11 @@ impl LrcEngine {
     /// # Errors
     ///
     /// Propagates [`BarrierError`] (double arrival, range errors).
-    pub fn barrier(&mut self, p: ProcId, barrier: BarrierId) -> Result<BarrierArrival, BarrierError> {
+    pub fn barrier(
+        &mut self,
+        p: ProcId,
+        barrier: BarrierId,
+    ) -> Result<BarrierArrival, BarrierError> {
         self.barriers.check_arrival(p, barrier)?;
         self.close_interval(p);
         let master = self.barriers.master(barrier);
@@ -407,7 +410,12 @@ impl LrcEngine {
         let mut total = 0u64;
         for (g, mut ivs) in by_page {
             ivs.sort_by_key(|&iv| {
-                let w = self.store.stamp(iv).expect("planned interval recorded").clock().weight();
+                let w = self
+                    .store
+                    .stamp(iv)
+                    .expect("planned interval recorded")
+                    .clock()
+                    .weight();
                 (w, iv.proc(), iv.seq())
             });
             let chain: Vec<&Diff> = ivs
@@ -443,7 +451,8 @@ impl LrcEngine {
         } else {
             self.diff_payload(diffs)
         };
-        self.net.round_trip(p, target, request, request_payload, reply, reply_payload);
+        self.net
+            .round_trip(p, target, request, request_payload, reply, reply_payload);
     }
 
     /// Applies every diff of a plan to `p`'s copies in happened-before
@@ -459,7 +468,12 @@ impl LrcEngine {
         }
         // Linear extension of happened-before: stamp weight, then id.
         all.sort_by_key(|&(iv, _)| {
-            let w = self.store.stamp(iv).expect("planned interval recorded").clock().weight();
+            let w = self
+                .store
+                .stamp(iv)
+                .expect("planned interval recorded")
+                .clock()
+                .weight();
             (w, iv.proc(), iv.seq())
         });
         let mut touched: Vec<PageId> = Vec::new();
@@ -554,8 +568,7 @@ impl LrcEngine {
         for (i, (target, diffs)) in targets.iter().enumerate() {
             if cold && i == 0 {
                 // The first supplier's reply also carries the base page.
-                let request_payload =
-                    diffs.len() as u64 * DIFF_REQUEST_ENTRY_BYTES + PAGE_ID_BYTES;
+                let request_payload = diffs.len() as u64 * DIFF_REQUEST_ENTRY_BYTES + PAGE_ID_BYTES;
                 let reply_payload =
                     self.diff_payload(diffs) + self.space.page_size().bytes() as u64;
                 self.net.round_trip(
@@ -591,9 +604,8 @@ impl LrcEngine {
             .collect();
         for r in ProcId::all(n) {
             if r != master {
-                let payload = BARRIER_ID_BYTES
-                    + vc_bytes(n)
-                    + Self::notice_bytes(&missing[r.index()]);
+                let payload =
+                    BARRIER_ID_BYTES + vc_bytes(n) + Self::notice_bytes(&missing[r.index()]);
                 self.net.send(master, r, MsgKind::BarrierExit, payload);
             }
             self.deliver_notices(r, &missing[r.index()]);

@@ -55,7 +55,11 @@ impl FetchPlan {
         let mut plan = FetchPlan::default();
         let mut target_index: HashMap<ProcId, usize> = HashMap::new();
         for (_, iv, g) in order {
-            debug_assert_ne!(iv.proc(), for_proc, "a processor never fetches its own diff");
+            debug_assert_ne!(
+                iv.proc(),
+                for_proc,
+                "a processor never fetches its own diff"
+            );
             if free_source.is_some_and(|q| store.holds(q, iv, g)) {
                 plan.from_free.push((iv, g));
                 continue;
@@ -187,8 +191,7 @@ mod tests {
         close(&mut store, 1, 1, page, &[(2, 1)]);
         let iv1 = IntervalId::new(p(1), 1);
 
-        let plan =
-            FetchPlan::build(&store, p(0), Some(p(1)), &[(iv1, page), (iv2, page)]);
+        let plan = FetchPlan::build(&store, p(0), Some(p(1)), &[(iv1, page), (iv2, page)]);
         assert_eq!(plan.target_count(), 0, "grantor supplies everything");
         assert_eq!(plan.from_free.len(), 2);
     }

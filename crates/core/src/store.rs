@@ -124,17 +124,15 @@ impl IntervalStore {
             .take_while(move |r| r.stamp.id().seq() <= upto)
             .flat_map(|r| {
                 let id = r.stamp.id();
-                r.pages.iter().map(move |&page| WriteNotice { interval: id, page })
+                r.pages
+                    .iter()
+                    .map(move |&page| WriteNotice { interval: id, page })
             })
     }
 
     /// All write notices a processor with knowledge `have` is missing
     /// relative to knowledge `want` (pointwise interval ranges).
-    pub fn notices_missing(
-        &self,
-        have: &VectorClock,
-        want: &VectorClock,
-    ) -> Vec<WriteNotice> {
+    pub fn notices_missing(&self, have: &VectorClock, want: &VectorClock) -> Vec<WriteNotice> {
         let mut out = Vec::new();
         for (proc, upto) in want.iter() {
             let after = have.get(proc);
@@ -238,8 +236,10 @@ mod tests {
         for seq in [1u32, 3, 5] {
             s.close_interval(stamp(0, seq, 1), vec![(g, diff_of(&[seq as u8]))]);
         }
-        let got: Vec<u32> =
-            s.notices_between(p(0), 1, 5).map(|n| n.interval.seq()).collect();
+        let got: Vec<u32> = s
+            .notices_between(p(0), 1, 5)
+            .map(|n| n.interval.seq())
+            .collect();
         assert_eq!(got, vec![3, 5], "window is (after, upto]");
         assert_eq!(s.notices_between(p(0), 5, 5).count(), 0);
         assert_eq!(s.notices_between(p(0), 0, 2).count(), 1);
@@ -265,7 +265,11 @@ mod tests {
     fn empty_intervals_leave_no_records() {
         let s = IntervalStore::new(2);
         assert_eq!(s.interval_count(), 0);
-        assert_eq!(s.notices_missing(&VectorClock::new(2), &VectorClock::new(2)).len(), 0);
+        assert_eq!(
+            s.notices_missing(&VectorClock::new(2), &VectorClock::new(2))
+                .len(),
+            0
+        );
     }
 
     #[test]

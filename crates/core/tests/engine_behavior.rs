@@ -31,7 +31,11 @@ fn releases_are_purely_local() {
     let before = dsm.net().snapshot();
     dsm.release(p(1), l(0)).unwrap();
     let delta = dsm.net().stats().since(&before);
-    assert_eq!(delta.total().msgs, 0, "LRC releases send no messages (§4.2)");
+    assert_eq!(
+        delta.total().msgs,
+        0,
+        "LRC releases send no messages (§4.2)"
+    );
 }
 
 #[test]
@@ -129,7 +133,11 @@ fn migratory_data_rides_the_lock_chain() {
         // grantor p0 is the home (request + grant). Later rounds: all
         // three processors distinct.
         let expected = if round <= 1 { 2 } else { 3 };
-        assert_eq!(delta.total().msgs, expected, "round {round}: lock transfer only");
+        assert_eq!(
+            delta.total().msgs,
+            expected,
+            "round {round}: lock transfer only"
+        );
     }
 }
 
@@ -261,7 +269,11 @@ fn false_sharing_merges_at_barrier() {
     // After the barrier both writers' modifications are visible everywhere.
     assert_eq!(dsm.read_u64(p(2), 0), 7);
     assert_eq!(dsm.read_u64(p(2), 8), 9);
-    assert_eq!(dsm.read_u64(p(0), 8), 9, "writer sees the other writer's word");
+    assert_eq!(
+        dsm.read_u64(p(0), 8),
+        9,
+        "writer sees the other writer's word"
+    );
     assert_eq!(dsm.read_u64(p(1), 0), 7);
     assert_eq!(dsm.read_u64(p(0), 0), 7, "own write survives the merge");
 }
@@ -275,7 +287,11 @@ fn barrier_costs_two_n_minus_one_messages() {
         dsm.barrier(p(i), b(0)).unwrap();
     }
     let delta = dsm.net().stats().since(&before);
-    assert_eq!(delta.class(OpClass::Barrier).msgs, 2 * (4 - 1), "2(n-1), LI row of Table 1");
+    assert_eq!(
+        delta.class(OpClass::Barrier).msgs,
+        2 * (4 - 1),
+        "2(n-1), LI row of Table 1"
+    );
     assert_eq!(delta.kind(MsgKind::BarrierArrival).msgs, 3);
     assert_eq!(delta.kind(MsgKind::BarrierExit).msgs, 3);
     assert_eq!(dsm.counters().barrier_episodes, 1);
@@ -316,12 +332,22 @@ fn invalidate_policy_pays_at_miss_instead() {
         dsm.barrier(p(i), b(0)).unwrap();
     }
     // Barrier itself: exactly 2(n-1).
-    assert_eq!(dsm.net().stats().since(&before).class(OpClass::Barrier).msgs, 6);
+    assert_eq!(
+        dsm.net()
+            .stats()
+            .since(&before)
+            .class(OpClass::Barrier)
+            .msgs,
+        6
+    );
     assert!(!dsm.page_valid(p(1), dsm.space().page_of(0)));
     // The miss happens on next access.
     let before = dsm.net().snapshot();
     assert_eq!(dsm.read_u64(p(1), 16), 5);
-    assert_eq!(dsm.net().stats().since(&before).class(OpClass::Miss).msgs, 2);
+    assert_eq!(
+        dsm.net().stats().since(&before).class(OpClass::Miss).msgs,
+        2
+    );
 }
 
 #[test]
@@ -422,7 +448,11 @@ fn clock_advances_only_on_real_intervals() {
     let before = dsm.clock(p(0)).get(p(0));
     dsm.acquire(p(0), l(0)).unwrap();
     dsm.release(p(0), l(0)).unwrap();
-    assert_eq!(dsm.clock(p(0)).get(p(0)), before, "empty intervals are not numbered");
+    assert_eq!(
+        dsm.clock(p(0)).get(p(0)),
+        before,
+        "empty intervals are not numbered"
+    );
     dsm.acquire(p(0), l(0)).unwrap();
     dsm.write_u64(p(0), 0, 1);
     dsm.release(p(0), l(0)).unwrap();

@@ -11,7 +11,10 @@ fn p(i: u16) -> ProcId {
 
 fn engine(policy: Policy) -> LrcEngine {
     LrcEngine::new(
-        LrcConfig::new(4, 16 * 512).page_size(512).policy(policy).gc_at_barriers(),
+        LrcConfig::new(4, 16 * 512)
+            .page_size(512)
+            .policy(policy)
+            .gc_at_barriers(),
     )
     .unwrap()
 }
@@ -25,11 +28,18 @@ fn gc_empties_the_store_at_every_barrier() {
             dsm.write_u64(p(i), 8 * i as u64, round * 10 + i as u64 + 1);
             dsm.release(p(i), LockId::new(0)).unwrap();
         }
-        assert!(dsm.store().interval_count() > 0, "history accumulates between barriers");
+        assert!(
+            dsm.store().interval_count() > 0,
+            "history accumulates between barriers"
+        );
         for i in 0..4u16 {
             dsm.barrier(p(i), BarrierId::new(0)).unwrap();
         }
-        assert_eq!(dsm.store().interval_count(), 0, "round {round}: history collected");
+        assert_eq!(
+            dsm.store().interval_count(),
+            0,
+            "round {round}: history collected"
+        );
         assert_eq!(dsm.store().diff_count(), 0);
         assert_eq!(dsm.store().diff_bytes(), 0);
     }
@@ -40,7 +50,9 @@ fn gc_empties_the_store_at_every_barrier() {
 fn without_gc_the_store_grows_unboundedly() {
     let mut with = engine(Policy::Invalidate);
     let mut without = LrcEngine::new(
-        LrcConfig::new(4, 16 * 512).page_size(512).policy(Policy::Invalidate),
+        LrcConfig::new(4, 16 * 512)
+            .page_size(512)
+            .policy(Policy::Invalidate),
     )
     .unwrap();
     for dsm in [&mut with, &mut without] {
@@ -82,7 +94,11 @@ fn values_survive_collection() {
         // p3 likewise, via the other access path (write-miss).
         dsm.acquire(p(3), LockId::new(0)).unwrap();
         dsm.write_u64(p(3), 8, 333);
-        assert_eq!(dsm.read_u64(p(3), 0), 111, "{policy}: base preserved under write");
+        assert_eq!(
+            dsm.read_u64(p(3), 0),
+            111,
+            "{policy}: base preserved under write"
+        );
         dsm.release(p(3), LockId::new(0)).unwrap();
     }
 }

@@ -76,7 +76,12 @@ impl DsmBuilder {
     /// Returns [`ConfigError`] if the parameters do not validate.
     pub fn build(self) -> Result<Dsm, ConfigError> {
         let engine = AnyEngine::build(self.kind, &self.params)?;
-        Ok(Dsm::from_engine(engine, self.kind, self.params.n_locks, self.params.n_barriers))
+        Ok(Dsm::from_engine(
+            engine,
+            self.kind,
+            self.params.n_locks,
+            self.params.n_barriers,
+        ))
     }
 }
 
@@ -86,7 +91,9 @@ mod tests {
 
     #[test]
     fn builder_validates() {
-        assert!(DsmBuilder::new(ProtocolKind::LazyInvalidate, 0, 1024).build().is_err());
+        assert!(DsmBuilder::new(ProtocolKind::LazyInvalidate, 0, 1024)
+            .build()
+            .is_err());
         assert!(DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1024)
             .page_size(100)
             .build()

@@ -2,8 +2,8 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use lrc_simnet::NetStats;
 use lrc_sim::{AnyEngine, ProtocolKind};
+use lrc_simnet::NetStats;
 use lrc_sync::{BarrierError, LockError};
 use lrc_vclock::ProcId;
 
@@ -132,7 +132,10 @@ impl Dsm {
     ///
     /// Panics if `p` is out of range.
     pub fn handle(&self, p: ProcId) -> ProcHandle {
-        assert!(p.index() < self.cluster.n_procs, "processor {p} out of range");
+        assert!(
+            p.index() < self.cluster.n_procs,
+            "processor {p} out of range"
+        );
         ProcHandle::new(Arc::clone(&self.cluster), p)
     }
 
@@ -189,7 +192,9 @@ mod tests {
 
     #[test]
     fn debug_and_accessors() {
-        let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 14).build().unwrap();
+        let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 14)
+            .build()
+            .unwrap();
         assert_eq!(dsm.n_procs(), 2);
         assert_eq!(dsm.n_locks(), 16);
         assert_eq!(dsm.n_barriers(), 4);
@@ -200,7 +205,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn handle_validates_proc() {
-        let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 14).build().unwrap();
+        let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 14)
+            .build()
+            .unwrap();
         dsm.handle(ProcId::new(5));
     }
 }

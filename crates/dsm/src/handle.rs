@@ -114,9 +114,7 @@ impl ProcHandle {
             let episodes = self.cluster.episodes.lock();
             match episodes.get(barrier.index()) {
                 Some(done) => done + 1,
-                None => {
-                    return Err(DsmError::Barrier(BarrierError::UnknownBarrier(barrier)))
-                }
+                None => return Err(DsmError::Barrier(BarrierError::UnknownBarrier(barrier))),
             }
         };
         let mut engine = self.cluster.engine.lock();
@@ -171,10 +169,15 @@ mod tests {
 
     #[test]
     fn misuse_is_reported() {
-        let dsm = DsmBuilder::new(ProtocolKind::EagerInvalidate, 1, 1 << 12).build().unwrap();
+        let dsm = DsmBuilder::new(ProtocolKind::EagerInvalidate, 1, 1 << 12)
+            .build()
+            .unwrap();
         let mut p = dsm.handle(ProcId::new(0));
         assert!(matches!(p.release(LockId::new(0)), Err(DsmError::Lock(_))));
-        assert!(matches!(p.barrier(BarrierId::new(99)), Err(DsmError::Barrier(_))));
+        assert!(matches!(
+            p.barrier(BarrierId::new(99)),
+            Err(DsmError::Barrier(_))
+        ));
         p.acquire(LockId::new(1)).unwrap();
         assert!(matches!(p.acquire(LockId::new(1)), Err(DsmError::Lock(_))));
     }

@@ -11,7 +11,10 @@ use lrc_vclock::ProcId;
 #[test]
 fn lock_protected_counter_is_exact() {
     for kind in ProtocolKind::ALL {
-        let dsm = DsmBuilder::new(kind, 4, 1 << 14).page_size(512).build().unwrap();
+        let dsm = DsmBuilder::new(kind, 4, 1 << 14)
+            .page_size(512)
+            .build()
+            .unwrap();
         let lock = LockId::new(0);
         dsm.parallel(|proc| {
             for _ in 0..50 {
@@ -36,7 +39,11 @@ fn lock_protected_counter_is_exact() {
 #[test]
 fn independent_locks_do_not_interfere() {
     for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::EagerUpdate] {
-        let dsm = DsmBuilder::new(kind, 4, 1 << 14).page_size(512).locks(4).build().unwrap();
+        let dsm = DsmBuilder::new(kind, 4, 1 << 14)
+            .page_size(512)
+            .locks(4)
+            .build()
+            .unwrap();
         dsm.parallel(|proc| {
             for i in 0..30u64 {
                 let which = (proc.proc().index() as u64 + i) % 4;
@@ -69,7 +76,10 @@ fn independent_locks_do_not_interfere() {
 #[test]
 fn false_sharing_merges_across_barriers() {
     for kind in ProtocolKind::ALL {
-        let dsm = DsmBuilder::new(kind, 4, 1 << 13).page_size(4096).build().unwrap();
+        let dsm = DsmBuilder::new(kind, 4, 1 << 13)
+            .page_size(4096)
+            .build()
+            .unwrap();
         let barrier = BarrierId::new(0);
         dsm.parallel(|proc| {
             let me = proc.proc().index() as u64;
@@ -94,7 +104,10 @@ fn false_sharing_merges_across_barriers() {
 #[test]
 fn producer_consumer_mailbox_is_consistent() {
     for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::LazyUpdate] {
-        let dsm = DsmBuilder::new(kind, 3, 1 << 13).page_size(512).build().unwrap();
+        let dsm = DsmBuilder::new(kind, 3, 1 << 13)
+            .page_size(512)
+            .build()
+            .unwrap();
         let lock = LockId::new(0);
         dsm.parallel(|proc| {
             if proc.proc().index() == 0 {
@@ -126,7 +139,9 @@ fn producer_consumer_mailbox_is_consistent() {
 /// `parallel`, and the runtime can be shared via clones.
 #[test]
 fn manual_threads_and_clone() {
-    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 13).build().unwrap();
+    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 13)
+        .build()
+        .unwrap();
     let dsm2 = dsm.clone();
     let lock = LockId::new(0);
     let t = std::thread::spawn(move || {
@@ -145,7 +160,10 @@ fn manual_threads_and_clone() {
 /// Heavy contention on one lock: no deadlocks, no lost wakeups.
 #[test]
 fn contended_lock_storm() {
-    let dsm = DsmBuilder::new(ProtocolKind::LazyUpdate, 8, 1 << 14).page_size(1024).build().unwrap();
+    let dsm = DsmBuilder::new(ProtocolKind::LazyUpdate, 8, 1 << 14)
+        .page_size(1024)
+        .build()
+        .unwrap();
     let lock = LockId::new(0);
     dsm.parallel(|proc| {
         for _ in 0..100 {
@@ -167,7 +185,9 @@ fn contended_lock_storm() {
 /// runtime keeps exact message statistics while doing it.
 #[test]
 fn barrier_phases_and_stats() {
-    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 4, 1 << 13).build().unwrap();
+    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 4, 1 << 13)
+        .build()
+        .unwrap();
     let barrier = BarrierId::new(1);
     let before = dsm.net_stats();
     dsm.parallel(|proc| {

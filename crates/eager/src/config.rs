@@ -94,7 +94,11 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let cfg = EagerConfig::new(2, 4096).page_size(512).policy(Policy::Update).locks(1).barriers(1);
+        let cfg = EagerConfig::new(2, 4096)
+            .page_size(512)
+            .policy(Policy::Update)
+            .locks(1)
+            .barriers(1);
         assert_eq!(cfg.page_bytes, 512);
         assert_eq!(cfg.policy, Policy::Update);
         assert_eq!(cfg.n_locks, 1);
@@ -104,6 +108,9 @@ mod tests {
     #[test]
     fn validation_delegates_to_core() {
         assert!(EagerConfig::new(0, 4096).address_space().is_err());
-        assert!(EagerConfig::new(2, 4096).page_size(999).address_space().is_err());
+        assert!(EagerConfig::new(2, 4096)
+            .page_size(999)
+            .address_space()
+            .is_err());
     }
 }

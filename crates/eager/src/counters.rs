@@ -57,7 +57,11 @@ mod tests {
 
     #[test]
     fn misses_sum_hops() {
-        let c = EagerCounters { misses_2hop: 4, misses_3hop: 1, ..Default::default() };
+        let c = EagerCounters {
+            misses_2hop: 4,
+            misses_3hop: 1,
+            ..Default::default()
+        };
         assert_eq!(c.misses(), 5);
         assert!(c.to_string().contains("misses 5"));
     }

@@ -5,9 +5,7 @@ use lrc_pagemem::{AddrSpace, Diff, PageBuf, PageId};
 use lrc_simnet::{
     invalidation_bytes, Fabric, MsgKind, BARRIER_ID_BYTES, LOCK_ID_BYTES, PAGE_ID_BYTES,
 };
-use lrc_sync::{
-    BarrierArrival, BarrierError, BarrierId, BarrierSet, LockError, LockId, LockTable,
-};
+use lrc_sync::{BarrierArrival, BarrierError, BarrierId, BarrierSet, LockError, LockId, LockTable};
 use lrc_vclock::ProcId;
 
 use crate::{EagerConfig, EagerCounters};
@@ -75,7 +73,10 @@ impl EagerEngine {
             .map(|g| {
                 let home = ProcId::new((g.index() % n) as u16);
                 // The home starts with the (all-zero) initial copy.
-                DirEntry { copyset: 1u64 << home.index(), owner: home }
+                DirEntry {
+                    copyset: 1u64 << home.index(),
+                    owner: home,
+                }
             })
             .collect();
         Ok(EagerEngine {
@@ -137,7 +138,9 @@ impl EagerEngine {
     /// Panics if `page` is out of range.
     pub fn copyset(&self, page: PageId) -> Vec<ProcId> {
         let mask = self.dir[page.index()].copyset;
-        ProcId::all(self.cfg.n_procs).filter(|p| mask & (1u64 << p.index()) != 0).collect()
+        ProcId::all(self.cfg.n_procs)
+            .filter(|p| mask & (1u64 << p.index()) != 0)
+            .collect()
     }
 
     // ---- ordinary accesses ----
@@ -261,24 +264,29 @@ impl EagerEngine {
     /// # Errors
     ///
     /// Propagates [`BarrierError`].
-    pub fn barrier(&mut self, p: ProcId, barrier: BarrierId) -> Result<BarrierArrival, BarrierError> {
+    pub fn barrier(
+        &mut self,
+        p: ProcId,
+        barrier: BarrierId,
+    ) -> Result<BarrierArrival, BarrierError> {
         // Validate the arrival before performing any flush side effects.
         self.barriers.check_arrival(p, barrier)?;
         let master = self.barriers.master(barrier);
         let diffs = self.take_epoch_diffs(p);
         let mut piggyback_pages = 0usize;
         match self.cfg.policy {
-            Policy::Update => self.push_updates(
-                p,
-                &diffs,
-                MsgKind::BarrierUpdate,
-                MsgKind::BarrierUpdateAck,
-            ),
+            Policy::Update => {
+                self.push_updates(p, &diffs, MsgKind::BarrierUpdate, MsgKind::BarrierUpdateAck)
+            }
             Policy::Invalidate => {
                 piggyback_pages = diffs.len();
                 let buffer = self.epoch_mods.entry(barrier.raw()).or_default();
                 for (page, diff) in diffs {
-                    buffer.push(EpochMod { writer: p, page, diff });
+                    buffer.push(EpochMod {
+                        writer: p,
+                        page,
+                        diff,
+                    });
                 }
             }
         }
@@ -357,8 +365,10 @@ impl EagerEngine {
         ack_kind: MsgKind,
     ) {
         for (dest, indices) in self.destinations(p, diffs) {
-            let payload: u64 =
-                indices.iter().map(|&i| diffs[i].1.encoded_size() as u64).sum();
+            let payload: u64 = indices
+                .iter()
+                .map(|&i| diffs[i].1.encoded_size() as u64)
+                .sum();
             self.net.send(p, dest, update_kind, payload);
             for &i in &indices {
                 let (g, ref diff) = diffs[i];
@@ -398,12 +408,8 @@ impl EagerEngine {
                     self.dirty[dest.index()].retain(|&d| d != g);
                     entry.valid = false;
                     if !wb.is_empty() {
-                        self.net.send(
-                            dest,
-                            p,
-                            MsgKind::WritebackReply,
-                            wb.encoded_size() as u64,
-                        );
+                        self.net
+                            .send(dest, p, MsgKind::WritebackReply, wb.encoded_size() as u64);
                         self.counters.writebacks += 1;
                         let releaser = &mut self.pages[p.index()][g.index()];
                         let copy = releaser.copy.as_mut().expect("releaser has the page");
@@ -444,7 +450,12 @@ impl EagerEngine {
                 }
                 // Excess invalidator: its modifications merge into the
                 // winner's copy with one round trip.
-                self.net.send(*w, winner, MsgKind::BarrierResolve, diff.encoded_size() as u64);
+                self.net.send(
+                    *w,
+                    winner,
+                    MsgKind::BarrierResolve,
+                    diff.encoded_size() as u64,
+                );
                 self.net.send(winner, *w, MsgKind::BarrierResolveAck, 0);
                 let entry = &mut self.pages[winner.index()][g.index()];
                 let copy = entry.copy.as_mut().expect("winner wrote the page");
@@ -484,7 +495,9 @@ impl EagerEngine {
         if self.dir[gi].copyset & pbit != 0 {
             // Initial home copy: materialize the zero page locally.
             let entry = &mut self.pages[p.index()][gi];
-            entry.copy.get_or_insert_with(|| PageBuf::zeroed(self.space.page_size()));
+            entry
+                .copy
+                .get_or_insert_with(|| PageBuf::zeroed(self.space.page_size()));
             entry.valid = true;
             return;
         }
@@ -519,7 +532,8 @@ impl EagerEngine {
         } else {
             if p != home {
                 self.net.send(p, home, MsgKind::MissRequest, PAGE_ID_BYTES);
-                self.net.send(home, source, MsgKind::MissForward, PAGE_ID_BYTES);
+                self.net
+                    .send(home, source, MsgKind::MissForward, PAGE_ID_BYTES);
                 self.net.send(source, p, MsgKind::MissReply, page_bytes);
                 self.counters.misses_3hop += 1;
             } else {

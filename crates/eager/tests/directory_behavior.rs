@@ -31,7 +31,11 @@ fn ownership_migrates_with_writers_under_ei() {
     dsm.acquire(p(3), l).unwrap();
     assert_eq!(dsm.read_u64(p(3), 0), 200);
     let delta = dsm.net().stats().since(&before);
-    assert_eq!(delta.class(OpClass::Miss).msgs, 3, "home lost its copy: 3-hop");
+    assert_eq!(
+        delta.class(OpClass::Miss).msgs,
+        3,
+        "home lost its copy: 3-hop"
+    );
     dsm.release(p(3), l).unwrap();
 }
 
@@ -53,7 +57,11 @@ fn home_copy_stays_fresh_under_eu() {
     assert_eq!(dsm.read_u64(p(3), 8), 21);
     assert_eq!(dsm.read_u64(p(3), 16), 22);
     let delta = dsm.net().stats().since(&before);
-    assert_eq!(delta.class(OpClass::Miss).msgs, 2, "home still valid: 2-hop");
+    assert_eq!(
+        delta.class(OpClass::Miss).msgs,
+        2,
+        "home still valid: 2-hop"
+    );
     dsm.release(p(3), l).unwrap();
 }
 

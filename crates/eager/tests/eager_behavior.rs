@@ -251,13 +251,19 @@ fn lock_and_barrier_errors_propagate() {
 fn page_valid_reflects_directory_and_invalidations() {
     let mut dsm = engine(Policy::Invalidate);
     let page = dsm.space().page_of(0);
-    assert!(dsm.page_valid(p(0), page), "home starts with the initial copy");
+    assert!(
+        dsm.page_valid(p(0), page),
+        "home starts with the initial copy"
+    );
     assert!(!dsm.page_valid(p(2), page));
     dsm.read_u64(p(2), 0);
     assert!(dsm.page_valid(p(2), page));
     dsm.acquire(p(1), l(0)).unwrap();
     dsm.write_u64(p(1), 0, 1);
     dsm.release(p(1), l(0)).unwrap();
-    assert!(!dsm.page_valid(p(2), page), "EI release invalidated the reader");
+    assert!(
+        !dsm.page_valid(p(2), page),
+        "EI release invalidated the reader"
+    );
     assert!(dsm.page_valid(p(1), page));
 }

@@ -97,7 +97,10 @@ impl PageSize {
         if !(64..=65536).contains(&bytes) || !bytes.is_power_of_two() {
             return Err(PageSizeError { value: bytes });
         }
-        Ok(PageSize { bytes: bytes as u32, shift: bytes.trailing_zeros() })
+        Ok(PageSize {
+            bytes: bytes as u32,
+            shift: bytes.trailing_zeros(),
+        })
     }
 
     /// The size in bytes.
@@ -183,7 +186,10 @@ impl AddrSpace {
     pub fn with_capacity(page_size: PageSize, bytes: u64) -> Self {
         assert!(bytes > 0, "address space needs at least one byte");
         let pages = bytes.div_ceil(page_size.bytes() as u64);
-        assert!(pages <= u32::MAX as u64, "capacity {bytes} needs too many pages");
+        assert!(
+            pages <= u32::MAX as u64,
+            "capacity {bytes} needs too many pages"
+        );
         AddrSpace::new(page_size, pages as u32)
     }
 
@@ -204,7 +210,8 @@ impl AddrSpace {
 
     /// True if `[addr, addr + len)` lies inside the space.
     pub fn contains(self, addr: u64, len: usize) -> bool {
-        addr.checked_add(len as u64).is_some_and(|end| end <= self.total_bytes())
+        addr.checked_add(len as u64)
+            .is_some_and(|end| end <= self.total_bytes())
     }
 
     /// Page holding `addr`.
@@ -321,7 +328,14 @@ mod tests {
     fn segments_within_one_page() {
         let space = AddrSpace::new(PageSize::new(256).unwrap(), 4);
         let segs = space.segments(10, 16);
-        assert_eq!(segs, vec![Segment { page: PageId::new(0), offset: 10, len: 16 }]);
+        assert_eq!(
+            segs,
+            vec![Segment {
+                page: PageId::new(0),
+                offset: 10,
+                len: 16
+            }]
+        );
     }
 
     #[test]
@@ -331,9 +345,21 @@ mod tests {
         assert_eq!(
             segs,
             vec![
-                Segment { page: PageId::new(0), offset: 250, len: 6 },
-                Segment { page: PageId::new(1), offset: 0, len: 256 },
-                Segment { page: PageId::new(2), offset: 0, len: 38 },
+                Segment {
+                    page: PageId::new(0),
+                    offset: 250,
+                    len: 6
+                },
+                Segment {
+                    page: PageId::new(1),
+                    offset: 0,
+                    len: 256
+                },
+                Segment {
+                    page: PageId::new(2),
+                    offset: 0,
+                    len: 38
+                },
             ]
         );
         let total: usize = segs.iter().map(|s| s.len).sum();

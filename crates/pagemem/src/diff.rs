@@ -107,7 +107,11 @@ impl Diff {
     ///
     /// Panics if the pages have different sizes.
     pub fn between(twin: &PageBuf, current: &PageBuf) -> Self {
-        assert_eq!(twin.len(), current.len(), "diffing pages of different sizes");
+        assert_eq!(
+            twin.len(),
+            current.len(),
+            "diffing pages of different sizes"
+        );
         let old = twin.as_bytes();
         let new = current.as_bytes();
         let mut runs = Vec::new();
@@ -420,6 +424,9 @@ mod tests {
         let mut cur = twin.clone();
         cur.write(0, &[1; 3]);
         let d = Diff::between(&twin, &cur);
-        assert_eq!(d.to_string(), "diff(1 runs, 3 bytes modified, 23 wire bytes)");
+        assert_eq!(
+            d.to_string(),
+            "diff(1 runs, 3 bytes modified, 23 wire bytes)"
+        );
     }
 }

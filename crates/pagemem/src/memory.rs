@@ -32,7 +32,10 @@ pub struct Memory {
 impl Memory {
     /// Creates an all-zero memory covering `space`.
     pub fn zeroed(space: AddrSpace) -> Self {
-        let pages = space.pages().map(|_| PageBuf::zeroed(space.page_size())).collect();
+        let pages = space
+            .pages()
+            .map(|_| PageBuf::zeroed(space.page_size()))
+            .collect();
         Memory { space, pages }
     }
 

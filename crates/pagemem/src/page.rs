@@ -22,7 +22,9 @@ pub struct PageBuf {
 impl PageBuf {
     /// Creates an all-zero page of the given size.
     pub fn zeroed(size: PageSize) -> Self {
-        PageBuf { bytes: vec![0u8; size.bytes()].into_boxed_slice() }
+        PageBuf {
+            bytes: vec![0u8; size.bytes()].into_boxed_slice(),
+        }
     }
 
     /// Creates a page from raw bytes.
@@ -37,7 +39,9 @@ impl PageBuf {
             "page buffer length {} is not a valid page size",
             bytes.len()
         );
-        PageBuf { bytes: bytes.into_boxed_slice() }
+        PageBuf {
+            bytes: bytes.into_boxed_slice(),
+        }
     }
 
     /// Page length in bytes.
@@ -131,7 +135,12 @@ impl PageBuf {
 impl fmt::Debug for PageBuf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let nonzero = self.bytes.iter().filter(|&&b| b != 0).count();
-        write!(f, "PageBuf({} bytes, {} non-zero)", self.bytes.len(), nonzero)
+        write!(
+            f,
+            "PageBuf({} bytes, {} non-zero)",
+            self.bytes.len(),
+            nonzero
+        )
     }
 }
 

@@ -132,6 +132,55 @@ proptest! {
     }
 
     #[test]
+    fn diff_of_unmodified_page_is_empty(base in prop::collection::vec(any::<u8>(), PAGE)) {
+        // An interval that never wrote must cost nothing on the wire: the
+        // twin comparison yields no runs, no payload, and applying the empty
+        // diff is the identity.
+        let twin = PageBuf::from_bytes(base);
+        let diff = Diff::between(&twin, &twin.clone());
+        prop_assert!(diff.is_empty());
+        prop_assert_eq!(diff.run_count(), 0);
+        prop_assert_eq!(diff.modified_bytes(), 0);
+        prop_assert_eq!(diff.encoded_size(), lrc_pagemem::DIFF_HEADER_BYTES);
+        let mut target = twin.clone();
+        diff.apply_to(&mut target);
+        prop_assert_eq!(target.as_bytes(), twin.as_bytes());
+    }
+
+    #[test]
+    fn restoring_original_bytes_leaves_no_trace(base in prop::collection::vec(any::<u8>(), PAGE), ws in writes()) {
+        // Twin→diff→apply on a page whose writes were later undone: byte-wise
+        // comparison (not write interception) defines the diff, so writing
+        // the original values back produces the empty diff.
+        let twin = PageBuf::from_bytes(base);
+        let mut cur = twin.clone();
+        apply_writes(&mut cur, &ws);
+        for (off, data) in &ws {
+            let original = twin.slice(*off, data.len()).to_vec();
+            cur.write(*off, &original);
+        }
+        let diff = Diff::between(&twin, &cur);
+        prop_assert!(diff.is_empty(), "undone writes still produced {} runs", diff.run_count());
+    }
+
+    #[test]
+    fn twin_diff_apply_is_identity_on_fresh_copy(base in prop::collection::vec(any::<u8>(), PAGE), ws in writes()) {
+        // The full protocol round: keep a twin, write the working copy,
+        // diff, then bring an independently-held copy of the twin (another
+        // processor's cached page) up to date.
+        let twin = PageBuf::from_bytes(base.clone());
+        let mut cur = twin.clone();
+        apply_writes(&mut cur, &ws);
+        let diff = Diff::between(&twin, &cur);
+        let mut other_proc_copy = PageBuf::from_bytes(base);
+        diff.apply_to(&mut other_proc_copy);
+        prop_assert_eq!(other_proc_copy.as_bytes(), cur.as_bytes());
+        // Applying the same diff twice is idempotent.
+        diff.apply_to(&mut other_proc_copy);
+        prop_assert_eq!(other_proc_copy.as_bytes(), cur.as_bytes());
+    }
+
+    #[test]
     fn sequential_diffs_compose(ws1 in writes(), ws2 in writes()) {
         // Interval 1 then interval 2 on the same page: applying both diffs
         // in happened-before order reproduces the final page.

@@ -135,7 +135,11 @@ impl AnyEngine {
     /// # Errors
     ///
     /// Propagates [`BarrierError`].
-    pub fn barrier(&mut self, p: ProcId, barrier: BarrierId) -> Result<BarrierArrival, BarrierError> {
+    pub fn barrier(
+        &mut self,
+        p: ProcId,
+        barrier: BarrierId,
+    ) -> Result<BarrierArrival, BarrierError> {
         match self {
             AnyEngine::Lazy(e) => e.barrier(p, barrier),
             AnyEngine::Eager(e) => e.barrier(p, barrier),

@@ -82,7 +82,11 @@ impl CommMatrix {
             .flat_map(|s| (0..self.n).map(move |d| (s, d)))
             .filter(|&(s, d)| s != d)
             .map(|(s, d)| {
-                (ProcId::new(s as u16), ProcId::new(d as u16), self.msgs[s * self.n + d])
+                (
+                    ProcId::new(s as u16),
+                    ProcId::new(d as u16),
+                    self.msgs[s * self.n + d],
+                )
             })
             .filter(|&(_, _, m)| m > 0)
             .collect();
@@ -167,8 +171,7 @@ mod tests {
     fn matrix_totals_match_the_report() {
         let trace = migratory(4, 20, 8);
         for kind in ProtocolKind::ALL {
-            let (report, matrix) =
-                run_traced(&trace, kind, 512, &SimOptions::fast()).unwrap();
+            let (report, matrix) = run_traced(&trace, kind, 512, &SimOptions::fast()).unwrap();
             assert_eq!(matrix.total_msgs(), report.messages(), "{kind}");
             assert_eq!(matrix.total_bytes(), report.data_bytes(), "{kind}");
             assert_eq!(matrix.n_procs(), 4);
@@ -192,11 +195,19 @@ mod tests {
     #[test]
     fn hotspots_and_render() {
         let trace = migratory(3, 10, 8);
-        let (_, matrix) =
-            run_traced(&trace, ProtocolKind::LazyInvalidate, 512, &SimOptions::fast()).unwrap();
+        let (_, matrix) = run_traced(
+            &trace,
+            ProtocolKind::LazyInvalidate,
+            512,
+            &SimOptions::fast(),
+        )
+        .unwrap();
         let hot = matrix.hotspots(3);
         assert!(!hot.is_empty());
-        assert!(hot.windows(2).all(|w| w[0].2 >= w[1].2), "sorted descending");
+        assert!(
+            hot.windows(2).all(|w| w[0].2 >= w[1].2),
+            "sorted descending"
+        );
         let text = matrix.render();
         assert!(text.contains("->p0"));
         assert_eq!(text.lines().count(), 4, "header + one row per processor");

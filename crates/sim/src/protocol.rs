@@ -36,7 +36,10 @@ impl ProtocolKind {
 
     /// True for the lazy pair.
     pub fn is_lazy(self) -> bool {
-        matches!(self, ProtocolKind::LazyInvalidate | ProtocolKind::LazyUpdate)
+        matches!(
+            self,
+            ProtocolKind::LazyInvalidate | ProtocolKind::LazyUpdate
+        )
     }
 
     /// The data-movement policy.
@@ -74,7 +77,10 @@ mod tests {
         for kind in ProtocolKind::ALL {
             assert_eq!(ProtocolKind::from_label(kind.label()), Some(kind));
         }
-        assert_eq!(ProtocolKind::from_label("li"), Some(ProtocolKind::LazyInvalidate));
+        assert_eq!(
+            ProtocolKind::from_label("li"),
+            Some(ProtocolKind::LazyInvalidate)
+        );
         assert_eq!(ProtocolKind::from_label("xx"), None);
     }
 

@@ -38,7 +38,10 @@ impl SimOptions {
 
     /// Checked options: oracle on, paper-faithful protocol settings.
     pub fn checked() -> Self {
-        SimOptions { check_sc: true, ..SimOptions::fast() }
+        SimOptions {
+            check_sc: true,
+            ..SimOptions::fast()
+        }
     }
 }
 
@@ -82,7 +85,13 @@ impl fmt::Display for SimError {
         match self {
             SimError::Config(e) => write!(f, "bad configuration: {e}"),
             SimError::Protocol { at, detail } => write!(f, "event {at}: {detail}"),
-            SimError::ReadDivergence { at, kind, addr, expected, got } => write!(
+            SimError::ReadDivergence {
+                at,
+                kind,
+                addr,
+                expected,
+                got,
+            } => write!(
                 f,
                 "event {at}: {kind} read at {addr:#x} diverged from sequential \
                  consistency (expected {expected:?}, got {got:?})"
@@ -163,7 +172,8 @@ impl fmt::Display for RunReport {
 /// sequential-consistency oracle write identical data without the trace
 /// having to carry payloads.
 pub fn synth_write_bytes(event_index: usize, len: usize) -> Vec<u8> {
-    let mut state = (event_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xd1b5_4a32_d192_ed03;
+    let mut state =
+        (event_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xd1b5_4a32_d192_ed03;
     let mut out = Vec::with_capacity(len);
     while out.len() < len {
         state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -248,31 +258,40 @@ pub(crate) fn replay(
                 }
             }
             Op::Acquire(lock) => {
-                engine
-                    .acquire(p, lock)
-                    .map_err(|e| SimError::Protocol { at, detail: e.to_string() })?;
+                engine.acquire(p, lock).map_err(|e| SimError::Protocol {
+                    at,
+                    detail: e.to_string(),
+                })?;
             }
             Op::Release(lock) => {
-                engine
-                    .release(p, lock)
-                    .map_err(|e| SimError::Protocol { at, detail: e.to_string() })?;
+                engine.release(p, lock).map_err(|e| SimError::Protocol {
+                    at,
+                    detail: e.to_string(),
+                })?;
             }
             Op::Barrier(barrier) => {
-                engine
-                    .barrier(p, barrier)
-                    .map_err(|e| SimError::Protocol { at, detail: e.to_string() })?;
+                engine.barrier(p, barrier).map_err(|e| SimError::Protocol {
+                    at,
+                    detail: e.to_string(),
+                })?;
             }
         }
     }
     let history_bytes = engine.as_lazy().map(|e| e.store().diff_bytes());
-    Ok(RunReport { kind, page_bytes, net: engine.net_stats(), events: trace.len(), history_bytes })
+    Ok(RunReport {
+        kind,
+        page_bytes,
+        net: engine.net_stats(),
+        events: trace.len(),
+        history_bytes,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lrc_trace::{TraceBuilder, TraceMeta};
     use lrc_sync::{BarrierId, LockId};
+    use lrc_trace::{TraceBuilder, TraceMeta};
     use lrc_vclock::ProcId;
 
     fn p(i: u16) -> ProcId {
@@ -305,9 +324,21 @@ mod tests {
     #[test]
     fn lazy_sends_fewer_messages_than_eager_on_migratory_data() {
         let trace = lock_trace();
-        let li = run_trace(&trace, ProtocolKind::LazyInvalidate, 512, &SimOptions::fast()).unwrap();
+        let li = run_trace(
+            &trace,
+            ProtocolKind::LazyInvalidate,
+            512,
+            &SimOptions::fast(),
+        )
+        .unwrap();
         let eu = run_trace(&trace, ProtocolKind::EagerUpdate, 512, &SimOptions::fast()).unwrap();
-        let ei = run_trace(&trace, ProtocolKind::EagerInvalidate, 512, &SimOptions::fast()).unwrap();
+        let ei = run_trace(
+            &trace,
+            ProtocolKind::EagerInvalidate,
+            512,
+            &SimOptions::fast(),
+        )
+        .unwrap();
         assert!(li.messages() < eu.messages());
         assert!(li.messages() <= ei.messages());
         assert!(li.data_bytes() < ei.data_bytes());
@@ -321,7 +352,10 @@ mod tests {
         b.write(p(0), 512, 8).unwrap(); // page 1 under 512-byte pages
         b.read(p(1), 512, 8).unwrap();
         let racy = b.finish().unwrap();
-        assert!(lrc_trace::check_labeling(&racy).is_err(), "trace really is racy");
+        assert!(
+            lrc_trace::check_labeling(&racy).is_err(),
+            "trace really is racy"
+        );
         for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::EagerInvalidate] {
             let err = run_trace(&racy, kind, 512, &SimOptions::checked()).unwrap_err();
             assert!(
@@ -358,11 +392,20 @@ mod tests {
     #[test]
     fn report_accessors() {
         let trace = lock_trace();
-        let r = run_trace(&trace, ProtocolKind::LazyInvalidate, 1024, &SimOptions::fast()).unwrap();
+        let r = run_trace(
+            &trace,
+            ProtocolKind::LazyInvalidate,
+            1024,
+            &SimOptions::fast(),
+        )
+        .unwrap();
         assert_eq!(r.page_bytes, 1024);
         assert_eq!(r.data_bytes(), r.net.total().bytes);
         assert!(r.to_string().contains("LI @1024B"));
-        let by_class: u64 = lrc_simnet::OpClass::ALL.iter().map(|&c| r.class(c).msgs).sum();
+        let by_class: u64 = lrc_simnet::OpClass::ALL
+            .iter()
+            .map(|&c| r.class(c).msgs)
+            .sum();
         assert_eq!(by_class, r.messages(), "classes partition the traffic");
     }
 }

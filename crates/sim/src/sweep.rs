@@ -152,9 +152,7 @@ impl SweepResult {
             out.push_str(&format!("{ps:>10}"));
             for &kind in &self.kinds {
                 match (self.get(kind, ps), metric) {
-                    (Some(r), Metric::Messages) => {
-                        out.push_str(&format!("{:>14}", r.messages()))
-                    }
+                    (Some(r), Metric::Messages) => out.push_str(&format!("{:>14}", r.messages())),
                     (Some(r), Metric::DataKbytes) => {
                         out.push_str(&format!("{:>14.1}", r.data_kbytes()))
                     }
@@ -207,7 +205,10 @@ mod tests {
         assert_eq!(series.len(), 5);
         assert_eq!(
             series[0],
-            result.get(ProtocolKind::LazyInvalidate, 512).unwrap().messages() as f64
+            result
+                .get(ProtocolKind::LazyInvalidate, 512)
+                .unwrap()
+                .messages() as f64
         );
     }
 
@@ -218,7 +219,11 @@ mod tests {
         assert!(text.starts_with("mini — messages"));
         assert!(text.contains("LI"));
         assert!(text.contains("EU"));
-        assert_eq!(text.lines().count(), 2 + 5, "header rows + one per page size");
+        assert_eq!(
+            text.lines().count(),
+            2 + 5,
+            "header rows + one per page size"
+        );
         let data = result.render(Metric::DataKbytes);
         assert!(data.contains("kbytes"));
     }

@@ -9,10 +9,16 @@ use lrc_sim::{run_trace, sweep, Metric, ProtocolKind, SimOptions, SweepConfig};
 use lrc_trace::check_labeling;
 use lrc_workloads::{AppKind, Scale};
 
-use ProtocolKind::{EagerInvalidate as EI, EagerUpdate as EU, LazyInvalidate as LI, LazyUpdate as LU};
+use ProtocolKind::{
+    EagerInvalidate as EI, EagerUpdate as EU, LazyInvalidate as LI, LazyUpdate as LU,
+};
 
 fn shape_scale() -> Scale {
-    Scale { procs: 8, units: 60, seed: 1992 }
+    Scale {
+        procs: 8,
+        units: 60,
+        seed: 1992,
+    }
 }
 
 fn shape_sweep(app: AppKind) -> lrc_sim::SweepResult {
@@ -152,7 +158,10 @@ fn pthor_ei_data_balloons_with_page_size() {
     }
     let small = data(&s, EI, 512);
     let large = data(&s, EI, 8192);
-    assert!(large > 5 * small, "EI data must grow steeply with page size");
+    assert!(
+        large > 5 * small,
+        "EI data must grow steeply with page size"
+    );
 }
 
 /// §5.3.5: "The message count for LI is higher than for LU, because LI has
@@ -161,10 +170,24 @@ fn pthor_ei_data_balloons_with_page_size() {
 fn pthor_li_pays_more_misses_than_lu() {
     let s = shape_sweep(AppKind::Pthor);
     for page in [2048, 8192] {
-        assert!(msgs(&s, LI, page) > msgs(&s, LU, page), "LI must exceed LU at {page}");
-        let li_miss = s.get(LI, page).unwrap().class(lrc_simnet::OpClass::Miss).msgs;
-        let lu_miss = s.get(LU, page).unwrap().class(lrc_simnet::OpClass::Miss).msgs;
-        assert!(li_miss > lu_miss, "the excess is access misses ({li_miss} vs {lu_miss})");
+        assert!(
+            msgs(&s, LI, page) > msgs(&s, LU, page),
+            "LI must exceed LU at {page}"
+        );
+        let li_miss = s
+            .get(LI, page)
+            .unwrap()
+            .class(lrc_simnet::OpClass::Miss)
+            .msgs;
+        let lu_miss = s
+            .get(LU, page)
+            .unwrap()
+            .class(lrc_simnet::OpClass::Miss)
+            .msgs;
+        assert!(
+            li_miss > lu_miss,
+            "the excess is access misses ({li_miss} vs {lu_miss})"
+        );
     }
 }
 
@@ -177,8 +200,14 @@ fn mp3d_update_policies_avoid_misses_and_lazy_moves_diffs() {
     let s = shape_sweep(AppKind::Mp3d);
     // Where misses dominate (small pages), updating avoids them: the
     // update variant of each family sends fewer messages.
-    assert!(msgs(&s, LU, 512) < msgs(&s, LI, 512), "LU must beat LI at 512");
-    assert!(msgs(&s, EU, 512) < msgs(&s, EI, 512), "EU must beat EI at 512");
+    assert!(
+        msgs(&s, LU, 512) < msgs(&s, LI, 512),
+        "LU must beat LI at 512"
+    );
+    assert!(
+        msgs(&s, EU, 512) < msgs(&s, EI, 512),
+        "EU must beat EI at 512"
+    );
     for page in [512, 2048, 8192] {
         assert!(
             data(&s, LI, page) < data(&s, EI, page),
@@ -221,7 +250,10 @@ fn water_is_quiet_and_lazy_wins_from_moderate_pages_up() {
             "lazy strictly beats EU messages at {page}"
         );
     }
-    assert!(msgs(&s, LI, 512) < msgs(&s, EI, 512), "strict win at small pages");
+    assert!(
+        msgs(&s, LI, 512) < msgs(&s, EI, 512),
+        "strict win at small pages"
+    );
     for page in [2048, 8192] {
         assert!(
             data(&s, LI, page) < data(&s, EI, page) && data(&s, LI, page) < data(&s, EU, page),
@@ -231,7 +263,12 @@ fn water_is_quiet_and_lazy_wins_from_moderate_pages_up() {
     // Least communication of the five applications (messages per event).
     let water_trace = AppKind::Water.generate(&shape_scale());
     let water_rate = msgs(&s, LI, 2048) as f64 / water_trace.len() as f64;
-    for app in [AppKind::LocusRoute, AppKind::Cholesky, AppKind::Pthor, AppKind::Mp3d] {
+    for app in [
+        AppKind::LocusRoute,
+        AppKind::Cholesky,
+        AppKind::Pthor,
+        AppKind::Mp3d,
+    ] {
         let other = shape_sweep(app);
         let trace = app.generate(&shape_scale());
         let rate = msgs(&other, LI, 2048) as f64 / trace.len() as f64;
@@ -269,7 +306,11 @@ fn false_sharing_widens_the_eager_gap() {
 /// history store empty after each barrier.
 #[test]
 fn gc_preserves_correctness_on_all_workloads() {
-    let options = SimOptions { check_sc: true, gc_at_barriers: true, ..SimOptions::fast() };
+    let options = SimOptions {
+        check_sc: true,
+        gc_at_barriers: true,
+        ..SimOptions::fast()
+    };
     for app in AppKind::ALL {
         let trace = app.generate(&Scale::small(4));
         for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::LazyUpdate] {

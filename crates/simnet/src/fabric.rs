@@ -19,7 +19,11 @@ pub struct MsgRecord {
 
 impl fmt::Display for MsgRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {} {} ({}B)", self.src, self.dst, self.kind, self.payload)
+        write!(
+            f,
+            "{} -> {} {} ({}B)",
+            self.src, self.dst, self.kind, self.payload
+        )
     }
 }
 
@@ -45,7 +49,11 @@ impl Fabric {
     /// Panics if `n_procs` is zero.
     pub fn new(n_procs: usize) -> Self {
         assert!(n_procs > 0, "a fabric needs at least one processor");
-        Fabric { n_procs, stats: NetStats::new(), trace: None }
+        Fabric {
+            n_procs,
+            stats: NetStats::new(),
+            trace: None,
+        }
     }
 
     /// Number of processors attached.
@@ -78,7 +86,12 @@ impl Fabric {
         assert_ne!(src, dst, "{src} attempted to send {kind} to itself");
         self.stats.record(kind, payload);
         if let Some(log) = &mut self.trace {
-            log.push(MsgRecord { src, dst, kind, payload });
+            log.push(MsgRecord {
+                src,
+                dst,
+                kind,
+                payload,
+            });
         }
     }
 

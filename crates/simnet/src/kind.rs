@@ -19,7 +19,12 @@ pub enum OpClass {
 
 impl OpClass {
     /// All classes, in Table 1 column order.
-    pub const ALL: [OpClass; 4] = [OpClass::Miss, OpClass::Lock, OpClass::Unlock, OpClass::Barrier];
+    pub const ALL: [OpClass; 4] = [
+        OpClass::Miss,
+        OpClass::Lock,
+        OpClass::Unlock,
+        OpClass::Barrier,
+    ];
 
     /// Short label used in rendered tables.
     pub fn label(self) -> &'static str {

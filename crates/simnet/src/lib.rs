@@ -37,8 +37,8 @@ mod stats;
 pub use fabric::{Fabric, MsgRecord};
 pub use kind::{MsgKind, OpClass};
 pub use sizes::{
-    invalidation_bytes, notice_batch_bytes, vc_bytes, BARRIER_ID_BYTES,
-    DIFF_REQUEST_ENTRY_BYTES, INVALIDATION_HEADER_BYTES, LOCK_ID_BYTES, MSG_HEADER_BYTES,
-    NOTICE_INTERVAL_HEADER_BYTES, NOTICE_PAGE_BYTES, PAGE_ID_BYTES, WRITE_NOTICE_BYTES,
+    invalidation_bytes, notice_batch_bytes, vc_bytes, BARRIER_ID_BYTES, DIFF_REQUEST_ENTRY_BYTES,
+    INVALIDATION_HEADER_BYTES, LOCK_ID_BYTES, MSG_HEADER_BYTES, NOTICE_INTERVAL_HEADER_BYTES,
+    NOTICE_PAGE_BYTES, PAGE_ID_BYTES, WRITE_NOTICE_BYTES,
 };
 pub use stats::{Counter, NetStats};

@@ -28,7 +28,10 @@ impl Add for Counter {
     type Output = Counter;
 
     fn add(self, rhs: Counter) -> Counter {
-        Counter { msgs: self.msgs + rhs.msgs, bytes: self.bytes + rhs.bytes }
+        Counter {
+            msgs: self.msgs + rhs.msgs,
+            bytes: self.bytes + rhs.bytes,
+        }
     }
 }
 
@@ -116,7 +119,10 @@ impl NetStats {
                 a.msgs >= b.msgs && a.bytes >= b.bytes,
                 "snapshot is not earlier at kind index {i}"
             );
-            out.by_kind[i] = Counter { msgs: a.msgs - b.msgs, bytes: a.bytes - b.bytes };
+            out.by_kind[i] = Counter {
+                msgs: a.msgs - b.msgs,
+                bytes: a.bytes - b.bytes,
+            };
         }
         out
     }
@@ -194,13 +200,38 @@ mod tests {
 
     #[test]
     fn counter_arithmetic() {
-        let a = Counter { msgs: 1, bytes: 100 };
-        let b = Counter { msgs: 2, bytes: 200 };
-        assert_eq!(a + b, Counter { msgs: 3, bytes: 300 });
+        let a = Counter {
+            msgs: 1,
+            bytes: 100,
+        };
+        let b = Counter {
+            msgs: 2,
+            bytes: 200,
+        };
+        assert_eq!(
+            a + b,
+            Counter {
+                msgs: 3,
+                bytes: 300
+            }
+        );
         let mut c = a;
         c += b;
-        assert_eq!(c, Counter { msgs: 3, bytes: 300 });
-        assert_eq!(Counter { msgs: 0, bytes: 2048 }.kbytes(), 2.0);
+        assert_eq!(
+            c,
+            Counter {
+                msgs: 3,
+                bytes: 300
+            }
+        );
+        assert_eq!(
+            Counter {
+                msgs: 0,
+                bytes: 2048
+            }
+            .kbytes(),
+            2.0
+        );
     }
 
     #[test]

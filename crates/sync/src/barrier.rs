@@ -144,7 +144,10 @@ impl BarrierSet {
     ///
     /// Panics if `barrier` is out of range.
     pub fn master(&self, barrier: BarrierId) -> ProcId {
-        assert!(barrier.index() < self.arrived.len(), "unknown barrier {barrier}");
+        assert!(
+            barrier.index() < self.arrived.len(),
+            "unknown barrier {barrier}"
+        );
         ProcId::new((barrier.index() % self.n_procs) as u16)
     }
 
@@ -179,7 +182,11 @@ impl BarrierSet {
     ///
     /// [`BarrierError::DoubleArrival`] if `p` already arrived this episode,
     /// plus range errors.
-    pub fn arrive(&mut self, p: ProcId, barrier: BarrierId) -> Result<BarrierArrival, BarrierError> {
+    pub fn arrive(
+        &mut self,
+        p: ProcId,
+        barrier: BarrierId,
+    ) -> Result<BarrierArrival, BarrierError> {
         if barrier.index() >= self.arrived.len() {
             return Err(BarrierError::UnknownBarrier(barrier));
         }
@@ -199,7 +206,9 @@ impl BarrierSet {
             self.episode[barrier.index()] += 1;
             Ok(BarrierArrival::Complete { episode })
         } else {
-            Ok(BarrierArrival::Waiting { arrived: self.count[barrier.index()] })
+            Ok(BarrierArrival::Waiting {
+                arrived: self.count[barrier.index()],
+            })
         }
     }
 }
@@ -216,9 +225,18 @@ mod tests {
     fn episode_completes_when_all_arrive() {
         let mut b = BarrierSet::new(1, 3);
         let id = BarrierId::new(0);
-        assert_eq!(b.arrive(p(1), id).unwrap(), BarrierArrival::Waiting { arrived: 1 });
-        assert_eq!(b.arrive(p(0), id).unwrap(), BarrierArrival::Waiting { arrived: 2 });
-        assert_eq!(b.arrive(p(2), id).unwrap(), BarrierArrival::Complete { episode: 0 });
+        assert_eq!(
+            b.arrive(p(1), id).unwrap(),
+            BarrierArrival::Waiting { arrived: 1 }
+        );
+        assert_eq!(
+            b.arrive(p(0), id).unwrap(),
+            BarrierArrival::Waiting { arrived: 2 }
+        );
+        assert_eq!(
+            b.arrive(p(2), id).unwrap(),
+            BarrierArrival::Complete { episode: 0 }
+        );
         assert_eq!(b.episodes_completed(id), Some(1));
     }
 
@@ -228,7 +246,10 @@ mod tests {
         let id = BarrierId::new(0);
         for episode in 0..5 {
             b.arrive(p(0), id).unwrap();
-            assert_eq!(b.arrive(p(1), id).unwrap(), BarrierArrival::Complete { episode });
+            assert_eq!(
+                b.arrive(p(1), id).unwrap(),
+                BarrierArrival::Complete { episode }
+            );
         }
     }
 
@@ -239,7 +260,10 @@ mod tests {
         b.arrive(p(0), id).unwrap();
         assert_eq!(
             b.arrive(p(0), id),
-            Err(BarrierError::DoubleArrival { barrier: id, proc: p(0) })
+            Err(BarrierError::DoubleArrival {
+                barrier: id,
+                proc: p(0)
+            })
         );
     }
 

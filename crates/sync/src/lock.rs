@@ -78,7 +78,10 @@ impl fmt::Display for LockError {
             LockError::HeldByOther { lock, holder } => {
                 write!(f, "{lock} is held by {holder}")
             }
-            LockError::NotHolder { lock, holder: Some(h) } => {
+            LockError::NotHolder {
+                lock,
+                holder: Some(h),
+            } => {
                 write!(f, "release of {lock} held by {h}")
             }
             LockError::NotHolder { lock, holder: None } => {
@@ -162,7 +165,11 @@ impl LockTable {
         let grantor = (0..n_locks)
             .map(|l| ProcId::new((l % n_procs) as u16))
             .collect();
-        LockTable { n_procs, holder: vec![None; n_locks], grantor }
+        LockTable {
+            n_procs,
+            holder: vec![None; n_locks],
+            grantor,
+        }
     }
 
     /// Number of locks in the table.
@@ -226,7 +233,12 @@ impl LockTable {
         //   grantor == home != p    -> request + grant
         //   all distinct            -> request + forward + grant
         let path = if p == grantor {
-            AcquirePath { grantor, request: None, forward: None, grant: None }
+            AcquirePath {
+                grantor,
+                request: None,
+                forward: None,
+                grant: None,
+            }
         } else if p == home {
             AcquirePath {
                 grantor,
@@ -273,7 +285,10 @@ impl LockTable {
                 self.grantor[lock.index()] = p;
                 Ok(())
             }
-            other => Err(LockError::NotHolder { lock, holder: other }),
+            other => Err(LockError::NotHolder {
+                lock,
+                holder: other,
+            }),
         }
     }
 }
@@ -356,11 +371,17 @@ mod tests {
         t.acquire(p(0), l).unwrap();
         assert_eq!(
             t.acquire(p(0), l),
-            Err(LockError::AlreadyHeld { lock: l, holder: p(0) })
+            Err(LockError::AlreadyHeld {
+                lock: l,
+                holder: p(0)
+            })
         );
         assert_eq!(
             t.acquire(p(1), l),
-            Err(LockError::HeldByOther { lock: l, holder: p(0) })
+            Err(LockError::HeldByOther {
+                lock: l,
+                holder: p(0)
+            })
         );
     }
 
@@ -368,11 +389,20 @@ mod tests {
     fn release_validates_holder() {
         let mut t = LockTable::new(1, 2);
         let l = LockId::new(0);
-        assert_eq!(t.release(p(0), l), Err(LockError::NotHolder { lock: l, holder: None }));
+        assert_eq!(
+            t.release(p(0), l),
+            Err(LockError::NotHolder {
+                lock: l,
+                holder: None
+            })
+        );
         t.acquire(p(1), l).unwrap();
         assert_eq!(
             t.release(p(0), l),
-            Err(LockError::NotHolder { lock: l, holder: Some(p(1)) })
+            Err(LockError::NotHolder {
+                lock: l,
+                holder: Some(p(1))
+            })
         );
         assert!(t.release(p(1), l).is_ok());
         assert_eq!(t.holder(l), None);
@@ -394,7 +424,10 @@ mod tests {
 
     #[test]
     fn error_messages_are_meaningful() {
-        let e = LockError::HeldByOther { lock: LockId::new(2), holder: p(1) };
+        let e = LockError::HeldByOther {
+            lock: LockId::new(2),
+            holder: p(1),
+        };
         assert_eq!(e.to_string(), "lk2 is held by p1");
     }
 

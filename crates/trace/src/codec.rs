@@ -131,7 +131,10 @@ pub fn to_text(trace: &Trace) -> String {
 }
 
 fn malformed(at: usize, detail: impl Into<String>) -> CodecError {
-    CodecError::Malformed { at, detail: detail.into() }
+    CodecError::Malformed {
+        at,
+        detail: detail.into(),
+    }
 }
 
 /// Parses the text format.
@@ -146,7 +149,9 @@ pub fn from_text(text: &str) -> Result<Trace, CodecError> {
     if header.trim() != TEXT_HEADER {
         return Err(malformed(1, format!("expected header '{TEXT_HEADER}'")));
     }
-    let (_, meta_line) = lines.next().ok_or_else(|| malformed(2, "missing meta line"))?;
+    let (_, meta_line) = lines
+        .next()
+        .ok_or_else(|| malformed(2, "missing meta line"))?;
     let meta = parse_meta_line(meta_line).map_err(|d| malformed(2, d))?;
 
     let mut events = Vec::new();
@@ -167,8 +172,14 @@ pub fn from_text(text: &str) -> Result<Trace, CodecError> {
         };
         let proc = ProcId::new(next_u64("proc")? as u16);
         let op = match tag {
-            "r" => Op::Read { addr: next_u64("addr")?, len: next_u64("len")? as u32 },
-            "w" => Op::Write { addr: next_u64("addr")?, len: next_u64("len")? as u32 },
+            "r" => Op::Read {
+                addr: next_u64("addr")?,
+                len: next_u64("len")? as u32,
+            },
+            "w" => Op::Write {
+                addr: next_u64("addr")?,
+                len: next_u64("len")? as u32,
+            },
             "a" => Op::Acquire(LockId::new(next_u64("lock")? as u32)),
             "l" => Op::Release(LockId::new(next_u64("lock")? as u32)),
             "b" => Op::Barrier(BarrierId::new(next_u64("barrier")? as u32)),
@@ -193,7 +204,9 @@ fn parse_meta_line(line: &str) -> Result<TraceMeta, String> {
     let mut barriers = None;
     let mut mem = None;
     for kv in parts {
-        let (key, value) = kv.split_once('=').ok_or_else(|| format!("bad field '{kv}'"))?;
+        let (key, value) = kv
+            .split_once('=')
+            .ok_or_else(|| format!("bad field '{kv}'"))?;
         let value: u64 = value.parse().map_err(|_| format!("bad value in '{kv}'"))?;
         match key {
             "procs" => procs = Some(value as usize),
@@ -207,8 +220,9 @@ fn parse_meta_line(line: &str) -> Result<TraceMeta, String> {
         (Some(p), Some(l), Some(b), Some(m)) if p > 0 && m > 0 => {
             Ok(TraceMeta::new(name, p, l, b, m))
         }
-        _ => Err("meta line needs procs=, locks=, barriers=, mem= (procs and mem non-zero)"
-            .to_string()),
+        _ => Err(
+            "meta line needs procs=, locks=, barriers=, mem= (procs and mem non-zero)".to_string(),
+        ),
     }
 }
 
@@ -326,7 +340,10 @@ impl<R: Read> Reader<R> {
 /// [`CodecError::Malformed`] on format errors, [`CodecError::Illegal`] if
 /// the decoded events do not form a legal trace.
 pub fn read_binary(input: impl Read) -> Result<Trace, CodecError> {
-    let mut r = Reader { inner: input, offset: 0 };
+    let mut r = Reader {
+        inner: input,
+        offset: 0,
+    };
     let mut magic = [0u8; 4];
     r.exact(&mut magic)?;
     if &magic != BINARY_MAGIC {
@@ -357,8 +374,14 @@ pub fn read_binary(input: impl Read) -> Result<Trace, CodecError> {
         let tag = r.u8()?;
         let proc = ProcId::new(r.u16()?);
         let op = match tag {
-            TAG_READ => Op::Read { addr: r.u64()?, len: r.u32()? },
-            TAG_WRITE => Op::Write { addr: r.u64()?, len: r.u32()? },
+            TAG_READ => Op::Read {
+                addr: r.u64()?,
+                len: r.u32()?,
+            },
+            TAG_WRITE => Op::Write {
+                addr: r.u64()?,
+                len: r.u32()?,
+            },
             TAG_ACQUIRE => Op::Acquire(LockId::new(r.u32()?)),
             TAG_RELEASE => Op::Release(LockId::new(r.u32()?)),
             TAG_BARRIER => Op::Barrier(BarrierId::new(r.u32()?)),
@@ -411,7 +434,10 @@ mod tests {
         assert!(from_text("wrong header\n").is_err());
         assert!(from_text("lrc-trace v1\nmeta t procs=1 locks=0 barriers=0\n").is_err());
         let bad_tag = "lrc-trace v1\nmeta t procs=1 locks=0 barriers=0 mem=64\nx 0 0 4\n";
-        assert!(matches!(from_text(bad_tag), Err(CodecError::Malformed { .. })));
+        assert!(matches!(
+            from_text(bad_tag),
+            Err(CodecError::Malformed { .. })
+        ));
         let trailing = "lrc-trace v1\nmeta t procs=1 locks=0 barriers=0 mem=64\nr 0 0 4 9\n";
         assert!(from_text(trailing).is_err());
     }

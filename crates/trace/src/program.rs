@@ -46,7 +46,10 @@ pub struct Program {
 impl Program {
     /// Creates an empty program for processor `proc`.
     pub fn new(proc: ProcId) -> Self {
-        Program { proc, ops: Vec::new() }
+        Program {
+            proc,
+            ops: Vec::new(),
+        }
     }
 
     /// The owning processor.
@@ -149,7 +152,9 @@ impl From<ScheduleError> for TraceError {
     fn from(e: ScheduleError) -> Self {
         match e {
             ScheduleError::Illegal(inner) => inner,
-            other => TraceError::DanglingSync { detail: other.to_string() },
+            other => TraceError::DanglingSync {
+                detail: other.to_string(),
+            },
         }
     }
 }
@@ -166,19 +171,11 @@ impl From<ScheduleError> for TraceError {
 ///
 /// Returns [`TraceError`] if the programs are malformed (duplicate or
 /// out-of-range processors, lock misuse) or if they deadlock.
-pub fn interleave(
-    meta: TraceMeta,
-    programs: Vec<Program>,
-    seed: u64,
-) -> Result<Trace, TraceError> {
+pub fn interleave(meta: TraceMeta, programs: Vec<Program>, seed: u64) -> Result<Trace, TraceError> {
     schedule(meta, programs, seed).map_err(TraceError::from)
 }
 
-fn schedule(
-    meta: TraceMeta,
-    programs: Vec<Program>,
-    seed: u64,
-) -> Result<Trace, ScheduleError> {
+fn schedule(meta: TraceMeta, programs: Vec<Program>, seed: u64) -> Result<Trace, ScheduleError> {
     let n = meta.n_procs();
     let mut seen = vec![false; n];
     for prog in &programs {
@@ -236,7 +233,9 @@ fn schedule(
             })
             .collect();
         if runnable.is_empty() {
-            return Err(ScheduleError::Deadlock { scheduled: events.len() });
+            return Err(ScheduleError::Deadlock {
+                scheduled: events.len(),
+            });
         }
         let pick = runnable[(next_rand() % runnable.len() as u64) as usize];
         let burst = 1 + (next_rand() % 4) as usize;
@@ -258,7 +257,9 @@ fn schedule(
                 break;
             }
             let event = Event::new(proc, op);
-            legality.admit(events.len(), &event).map_err(ScheduleError::Illegal)?;
+            legality
+                .admit(events.len(), &event)
+                .map_err(ScheduleError::Illegal)?;
             match op {
                 Op::Acquire(lock) => lock_holder[lock.index()] = Some(proc),
                 Op::Release(lock) => lock_holder[lock.index()] = None,
@@ -304,7 +305,10 @@ mod tests {
     #[test]
     fn builder_chains_and_accessors() {
         let mut prog = Program::new(p(1));
-        prog.read(0, 8).write(8, 8).acquire(LockId::new(0)).release(LockId::new(0));
+        prog.read(0, 8)
+            .write(8, 8)
+            .acquire(LockId::new(0))
+            .release(LockId::new(0));
         assert_eq!(prog.proc(), p(1));
         assert_eq!(prog.len(), 4);
         assert!(!prog.is_empty());
@@ -338,7 +342,9 @@ mod tests {
                 .map(|i| {
                     let mut prog = Program::new(p(i));
                     for _ in 0..4 {
-                        prog.acquire(LockId::new(0)).write(0, 8).release(LockId::new(0));
+                        prog.acquire(LockId::new(0))
+                            .write(0, 8)
+                            .release(LockId::new(0));
                     }
                     prog
                 })
@@ -365,9 +371,15 @@ mod tests {
         }
         let trace = interleave(meta(4, 0, 1), programs, 9).unwrap();
         assert!(validate(&trace).is_ok());
-        assert!(crate::check_labeling(&trace).is_ok(), "barrier separates the phases");
+        assert!(
+            crate::check_labeling(&trace).is_ok(),
+            "barrier separates the phases"
+        );
         // All writes precede all reads (the barrier forces it).
-        let first_read = trace.events().iter().position(|e| matches!(e.op, Op::Read { .. }));
+        let first_read = trace
+            .events()
+            .iter()
+            .position(|e| matches!(e.op, Op::Read { .. }));
         let last_write = trace
             .events()
             .iter()
@@ -394,8 +406,12 @@ mod tests {
         a.release(LockId::new(0));
         assert!(interleave(meta(1, 1, 0), vec![a], 0).is_err());
         // Duplicate processor.
-        let err =
-            schedule(meta(2, 0, 0), vec![Program::new(p(0)), Program::new(p(0))], 0).unwrap_err();
+        let err = schedule(
+            meta(2, 0, 0),
+            vec![Program::new(p(0)), Program::new(p(0))],
+            0,
+        )
+        .unwrap_err();
         assert!(matches!(err, ScheduleError::BadPrograms(_)));
         // Out-of-range processor.
         let err = schedule(meta(2, 0, 0), vec![Program::new(p(9))], 0).unwrap_err();
@@ -416,8 +432,7 @@ mod tests {
             }
             prog
         };
-        let trace =
-            interleave(meta(2, 2, 0), vec![make(0, 0), make(1, 1)], 5).unwrap();
+        let trace = interleave(meta(2, 2, 0), vec![make(0, 0), make(1, 1)], 5).unwrap();
         // Look for an acquire of one lock between acquire/release of the
         // other — evidence of overlap.
         let mut open: Option<ProcId> = None;

@@ -121,8 +121,16 @@ pub fn check_labeling(trace: &Trace) -> Result<(), Box<Race>> {
                         if conflict(q, s) {
                             return Err(Box::new(Race {
                                 word_addr: word * RACE_WORD_BYTES,
-                                earlier: RaceAccess { event_index: widx, proc: q, is_write: true },
-                                later: RaceAccess { event_index: idx, proc: p, is_write },
+                                earlier: RaceAccess {
+                                    event_index: widx,
+                                    proc: q,
+                                    is_write: true,
+                                },
+                                later: RaceAccess {
+                                    event_index: idx,
+                                    proc: p,
+                                    is_write,
+                                },
                             }));
                         }
                     }
@@ -136,7 +144,11 @@ pub fn check_labeling(trace: &Trace) -> Result<(), Box<Race>> {
                                         proc: r,
                                         is_write: false,
                                     },
-                                    later: RaceAccess { event_index: idx, proc: p, is_write },
+                                    later: RaceAccess {
+                                        event_index: idx,
+                                        proc: p,
+                                        is_write,
+                                    },
                                 }));
                             }
                         }

@@ -53,7 +53,10 @@ pub struct TraceStats {
 impl TraceStats {
     /// Computes statistics in one pass.
     pub fn compute(trace: &Trace) -> Self {
-        let mut s = TraceStats { per_proc: vec![0; trace.meta().n_procs()], ..Default::default() };
+        let mut s = TraceStats {
+            per_proc: vec![0; trace.meta().n_procs()],
+            ..Default::default()
+        };
         for event in trace.iter() {
             s.events += 1;
             s.per_proc[event.proc.index()] += 1;

@@ -31,7 +31,13 @@ impl TraceMeta {
     ) -> Self {
         assert!(n_procs > 0, "a trace needs at least one processor");
         assert!(mem_bytes > 0, "a trace needs a non-empty shared space");
-        TraceMeta { name: name.into(), n_procs, n_locks, n_barriers, mem_bytes }
+        TraceMeta {
+            name: name.into(),
+            n_procs,
+            n_locks,
+            n_barriers,
+            mem_bytes,
+        }
     }
 
     /// Workload name (e.g. `"locusroute"`).
@@ -165,7 +171,11 @@ impl TraceBuilder {
     /// Creates a builder for a system described by `meta`.
     pub fn new(meta: TraceMeta) -> Self {
         let legality = Legality::new(&meta);
-        TraceBuilder { meta, events: Vec::new(), legality }
+        TraceBuilder {
+            meta,
+            events: Vec::new(),
+            legality,
+        }
     }
 
     /// Appends an arbitrary event.

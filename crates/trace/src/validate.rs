@@ -138,13 +138,19 @@ impl Legality {
             return Err(TraceError::UnknownProc { at, proc: p });
         }
         if let Some(barrier) = self.barrier_waiting[p.index()] {
-            return Err(TraceError::ActiveWhileBlocked { at, proc: p, barrier });
+            return Err(TraceError::ActiveWhileBlocked {
+                at,
+                proc: p,
+                barrier,
+            });
         }
         match event.op {
             Op::Read { addr, len } | Op::Write { addr, len } => {
                 let in_bounds = len > 0
                     && len <= MAX_ACCESS_LEN
-                    && addr.checked_add(len as u64).is_some_and(|end| end <= self.mem_bytes);
+                    && addr
+                        .checked_add(len as u64)
+                        .is_some_and(|end| end <= self.mem_bytes);
                 if !in_bounds {
                     return Err(TraceError::BadAccess { at, addr, len });
                 }
@@ -263,16 +269,30 @@ mod tests {
         assert!(matches!(err, TraceError::BadAccess { at: 0, .. }));
         let err = trace(vec![Event::new(p(0), Op::Read { addr: 0, len: 0 })]).unwrap_err();
         assert!(matches!(err, TraceError::BadAccess { .. }));
-        let err =
-            trace(vec![Event::new(p(0), Op::Write { addr: u64::MAX, len: 8 })]).unwrap_err();
-        assert!(matches!(err, TraceError::BadAccess { .. }), "overflow must not wrap");
+        let err = trace(vec![Event::new(
+            p(0),
+            Op::Write {
+                addr: u64::MAX,
+                len: 8,
+            },
+        )])
+        .unwrap_err();
+        assert!(
+            matches!(err, TraceError::BadAccess { .. }),
+            "overflow must not wrap"
+        );
     }
 
     #[test]
     fn oversized_access_rejected() {
-        let err =
-            trace(vec![Event::new(p(0), Op::Read { addr: 0, len: MAX_ACCESS_LEN + 1 })])
-                .unwrap_err();
+        let err = trace(vec![Event::new(
+            p(0),
+            Op::Read {
+                addr: 0,
+                len: MAX_ACCESS_LEN + 1,
+            },
+        )])
+        .unwrap_err();
         assert!(matches!(err, TraceError::BadAccess { .. }));
     }
 

@@ -45,7 +45,9 @@ pub struct VectorClock {
 impl VectorClock {
     /// Creates the zero clock of an `n_procs`-processor system.
     pub fn new(n_procs: usize) -> Self {
-        VectorClock { entries: vec![0; n_procs] }
+        VectorClock {
+            entries: vec![0; n_procs],
+        }
     }
 
     /// Number of processors this clock covers.
@@ -95,7 +97,11 @@ impl VectorClock {
     ///
     /// Panics if the clocks cover different numbers of processors.
     pub fn merge(&mut self, other: &VectorClock) {
-        assert_eq!(self.len(), other.len(), "merging clocks of different widths");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "merging clocks of different widths"
+        );
         for (a, b) in self.entries.iter_mut().zip(&other.entries) {
             *a = (*a).max(*b);
         }
@@ -126,7 +132,11 @@ impl VectorClock {
     ///
     /// Panics if the clocks cover different numbers of processors.
     pub fn dominates(&self, other: &VectorClock) -> bool {
-        assert_eq!(self.len(), other.len(), "comparing clocks of different widths");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "comparing clocks of different widths"
+        );
         self.entries.iter().zip(&other.entries).all(|(a, b)| a >= b)
     }
 
@@ -148,7 +158,10 @@ impl VectorClock {
 
     /// Iterates over `(processor, interval index)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcId, u32)> + '_ {
-        self.entries.iter().enumerate().map(|(i, &s)| (ProcId::new(i as u16), s))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (ProcId::new(i as u16), s))
     }
 
     /// Sum of all entries. Strictly increases along every happened-before

@@ -72,7 +72,15 @@ mod tests {
     #[test]
     fn all_enumerates_densely() {
         let ids: Vec<_> = ProcId::all(4).collect();
-        assert_eq!(ids, vec![ProcId::new(0), ProcId::new(1), ProcId::new(2), ProcId::new(3)]);
+        assert_eq!(
+            ids,
+            vec![
+                ProcId::new(0),
+                ProcId::new(1),
+                ProcId::new(2),
+                ProcId::new(3)
+            ]
+        );
     }
 
     #[test]

@@ -58,7 +58,8 @@ pub(super) fn generate(scale: &Scale) -> Trace {
             b.acquire(p, col_lock(src)).expect("legal by construction");
             let read_words = rng.range(4, 12) as u64;
             for k in 0..read_words {
-                b.read(p, col_word(src, k), WORD).expect("legal by construction");
+                b.read(p, col_word(src, k), WORD)
+                    .expect("legal by construction");
             }
             b.release(p, col_lock(src)).expect("legal by construction");
         }
@@ -66,12 +67,15 @@ pub(super) fn generate(scale: &Scale) -> Trace {
         b.acquire(p, col_lock(dst)).expect("legal by construction");
         let upd_words = rng.range(4, 16) as u64;
         for k in 0..upd_words {
-            b.read(p, col_word(dst, k), WORD).expect("legal by construction");
-            b.write(p, col_word(dst, k), WORD).expect("legal by construction");
+            b.read(p, col_word(dst, k), WORD)
+                .expect("legal by construction");
+            b.write(p, col_word(dst, k), WORD)
+                .expect("legal by construction");
         }
         b.release(p, col_lock(dst)).expect("legal by construction");
     }
-    b.finish().expect("generator leaves no dangling synchronization")
+    b.finish()
+        .expect("generator leaves no dangling synchronization")
 }
 
 #[cfg(test)]
@@ -84,7 +88,10 @@ mod tests {
         let trace = generate(&Scale::small(4));
         let stats = TraceStats::compute(&trace);
         assert_eq!(stats.barrier_arrivals, 0, "the paper: no barriers are used");
-        assert!(stats.acquires as f64 >= trace.len() as f64 / 20.0, "lock heavy");
+        assert!(
+            stats.acquires as f64 >= trace.len() as f64 / 20.0,
+            "lock heavy"
+        );
     }
 
     #[test]

@@ -60,13 +60,16 @@ pub(super) fn generate(scale: &Scale) -> Trace {
             let base = GRID_BASE + region * REGION_WORDS + offset;
             for c in 0..cells {
                 // Read the cell cost, then bump it.
-                b.read(p, word(base + c), WORD).expect("legal by construction");
-                b.write(p, word(base + c), WORD).expect("legal by construction");
+                b.read(p, word(base + c), WORD)
+                    .expect("legal by construction");
+                b.write(p, word(base + c), WORD)
+                    .expect("legal by construction");
             }
             b.release(p, lock).expect("legal by construction");
         }
     }
-    b.finish().expect("generator leaves no dangling synchronization")
+    b.finish()
+        .expect("generator leaves no dangling synchronization")
 }
 
 #[cfg(test)]

@@ -144,12 +144,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "bad processor count")]
     fn zero_procs_rejected() {
-        AppKind::Water.generate(&Scale { procs: 0, units: 1, seed: 0 });
+        AppKind::Water.generate(&Scale {
+            procs: 0,
+            units: 1,
+            seed: 0,
+        });
     }
 
     #[test]
     #[should_panic(expected = "bad unit count")]
     fn zero_units_rejected() {
-        AppKind::Water.generate(&Scale { procs: 2, units: 0, seed: 0 });
+        AppKind::Water.generate(&Scale {
+            procs: 2,
+            units: 0,
+            seed: 0,
+        });
     }
 }

@@ -54,8 +54,10 @@ pub(super) fn generate(scale: &Scale) -> Trace {
             let my_base = particles_base + pi as u64 * PART_WORDS;
             for _ in 0..12 {
                 let k = rng.below(PART_WORDS as u32) as u64;
-                b.read(p, word(my_base + k), WORD).expect("legal by construction");
-                b.write(p, word(my_base + k), WORD).expect("legal by construction");
+                b.read(p, word(my_base + k), WORD)
+                    .expect("legal by construction");
+                b.write(p, word(my_base + k), WORD)
+                    .expect("legal by construction");
             }
             // Scatter into the cell block this processor owns this step.
             // Blocks are contiguous (particles cluster in space) and
@@ -66,8 +68,10 @@ pub(super) fn generate(scale: &Scale) -> Trace {
             let block = (pi as u64 + step) % procs as u64;
             for _ in 0..24 {
                 let cell = block * block_words + rng.below(block_words as u32) as u64;
-                b.read(p, word(cells_base + cell), WORD).expect("legal by construction");
-                b.write(p, word(cells_base + cell), WORD).expect("legal by construction");
+                b.read(p, word(cells_base + cell), WORD)
+                    .expect("legal by construction");
+                b.write(p, word(cells_base + cell), WORD)
+                    .expect("legal by construction");
             }
         }
         b.barrier_all(barrier).expect("legal by construction");
@@ -84,17 +88,20 @@ pub(super) fn generate(scale: &Scale) -> Trace {
             let neighbour_block = (pi as u64 + step + 1) % procs as u64;
             for _ in 0..12 {
                 let cell = neighbour_block * block_words + rng.below(block_words as u32) as u64;
-                b.read(p, word(cells_base + cell), WORD).expect("legal by construction");
+                b.read(p, word(cells_base + cell), WORD)
+                    .expect("legal by construction");
             }
             for _ in 0..2 {
                 let cell = rng.below(CELL_WORDS as u32) as u64;
-                b.read(p, word(cells_base + cell), WORD).expect("legal by construction");
+                b.read(p, word(cells_base + cell), WORD)
+                    .expect("legal by construction");
             }
             // Update own particles from what was read.
             let my_base = particles_base + pi as u64 * PART_WORDS;
             for _ in 0..6 {
                 let k = rng.below(PART_WORDS as u32) as u64;
-                b.write(p, word(my_base + k), WORD).expect("legal by construction");
+                b.write(p, word(my_base + k), WORD)
+                    .expect("legal by construction");
             }
             // Occasionally bump a global event counter.
             if rng.chance(1, 3) {
@@ -107,7 +114,8 @@ pub(super) fn generate(scale: &Scale) -> Trace {
         }
         b.barrier_all(barrier).expect("legal by construction");
     }
-    b.finish().expect("generator leaves no dangling synchronization")
+    b.finish()
+        .expect("generator leaves no dangling synchronization")
 }
 
 #[cfg(test)]

@@ -43,13 +43,7 @@ pub(super) fn generate(scale: &Scale) -> Trace {
     let queues_base = wires_base + n_elems; // one wire word per element
     let mem_bytes = word(queues_base + procs as u64 * QUEUE_WORDS);
     // Locks 0..procs: queue locks; procs..procs+n_elems: element locks.
-    let meta = TraceMeta::new(
-        "pthor",
-        procs,
-        procs + n_elems as usize,
-        1,
-        mem_bytes,
-    );
+    let meta = TraceMeta::new("pthor", procs, procs + n_elems as usize, 1, mem_bytes);
     let mut b = TraceBuilder::new(meta);
     let mut rng = Pcg32::seed(scale.seed ^ 0x9704);
 
@@ -62,7 +56,8 @@ pub(super) fn generate(scale: &Scale) -> Trace {
     // Processor 0 builds the wire table, published by a barrier.
     let p0 = ProcId::new(0);
     for e in 0..n_elems {
-        b.write(p0, word(wires_base + e), WORD).expect("legal by construction");
+        b.write(p0, word(wires_base + e), WORD)
+            .expect("legal by construction");
     }
     b.barrier_all(barrier).expect("legal by construction");
 
@@ -72,12 +67,20 @@ pub(super) fn generate(scale: &Scale) -> Trace {
         let p = ProcId::new(pi as u16);
 
         // Pop the next event, usually from the own queue, sometimes stolen.
-        let victim = if rng.chance(1, 8) { rng.below(procs as u32) as usize } else { pi };
-        b.acquire(p, queue_lock(victim)).expect("legal by construction");
+        let victim = if rng.chance(1, 8) {
+            rng.below(procs as u32) as usize
+        } else {
+            pi
+        };
+        b.acquire(p, queue_lock(victim))
+            .expect("legal by construction");
         let head = rng.below(QUEUE_WORDS as u32 - 1) as u64;
-        b.read(p, queue_word(victim, head), WORD).expect("legal by construction");
-        b.write(p, queue_word(victim, head), WORD).expect("legal by construction");
-        b.release(p, queue_lock(victim)).expect("legal by construction");
+        b.read(p, queue_word(victim, head), WORD)
+            .expect("legal by construction");
+        b.write(p, queue_word(victim, head), WORD)
+            .expect("legal by construction");
+        b.release(p, queue_lock(victim))
+            .expect("legal by construction");
 
         // Choose an element: mostly own partition, sometimes remote.
         let e = if rng.chance(7, 10) {
@@ -86,29 +89,37 @@ pub(super) fn generate(scale: &Scale) -> Trace {
             rng.below(n_elems as u32) as u64
         };
         // Consult the wire table (read-only after initialization).
-        b.read(p, word(wires_base + e), WORD).expect("legal by construction");
+        b.read(p, word(wires_base + e), WORD)
+            .expect("legal by construction");
 
         // Evaluate the element.
         b.acquire(p, elem_lock(e)).expect("legal by construction");
         for k in 0..4 {
-            b.read(p, elem_word(e, k), WORD).expect("legal by construction");
+            b.read(p, elem_word(e, k), WORD)
+                .expect("legal by construction");
         }
         for k in 0..2 {
-            b.write(p, elem_word(e, k), WORD).expect("legal by construction");
+            b.write(p, elem_word(e, k), WORD)
+                .expect("legal by construction");
         }
         b.release(p, elem_lock(e)).expect("legal by construction");
 
         // Read a fan-out neighbour's state — frequently a *remote* page.
         let neighbour = rng.below(n_elems as u32) as u64;
-        b.acquire(p, elem_lock(neighbour)).expect("legal by construction");
-        b.read(p, elem_word(neighbour, 0), WORD).expect("legal by construction");
-        b.read(p, elem_word(neighbour, 1), WORD).expect("legal by construction");
-        b.release(p, elem_lock(neighbour)).expect("legal by construction");
+        b.acquire(p, elem_lock(neighbour))
+            .expect("legal by construction");
+        b.read(p, elem_word(neighbour, 0), WORD)
+            .expect("legal by construction");
+        b.read(p, elem_word(neighbour, 1), WORD)
+            .expect("legal by construction");
+        b.release(p, elem_lock(neighbour))
+            .expect("legal by construction");
 
         // Schedule follow-up work on the own queue.
         b.acquire(p, queue_lock(pi)).expect("legal by construction");
         let tail = rng.below(QUEUE_WORDS as u32 - 1) as u64;
-        b.write(p, queue_word(pi, tail), WORD).expect("legal by construction");
+        b.write(p, queue_word(pi, tail), WORD)
+            .expect("legal by construction");
         b.release(p, queue_lock(pi)).expect("legal by construction");
 
         // Rare deadlock-recovery barrier.
@@ -116,7 +127,8 @@ pub(super) fn generate(scale: &Scale) -> Trace {
             b.barrier_all(barrier).expect("legal by construction");
         }
     }
-    b.finish().expect("generator leaves no dangling synchronization")
+    b.finish()
+        .expect("generator leaves no dangling synchronization")
 }
 
 #[cfg(test)]

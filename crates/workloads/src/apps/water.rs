@@ -61,8 +61,10 @@ pub(super) fn generate(scale: &Scale) -> Trace {
             for mi in 0..MOLS_PER_PROC {
                 let m = pi as u64 * MOLS_PER_PROC + mi;
                 for k in 0..PREDICT_WORDS {
-                    b.read(p, mol_word(m, k), WORD).expect("legal by construction");
-                    b.write(p, mol_word(m, k), WORD).expect("legal by construction");
+                    b.read(p, mol_word(m, k), WORD)
+                        .expect("legal by construction");
+                    b.write(p, mol_word(m, k), WORD)
+                        .expect("legal by construction");
                 }
             }
         }
@@ -81,24 +83,31 @@ pub(super) fn generate(scale: &Scale) -> Trace {
                     let n = (m + d) % n_mols;
                     // Read the neighbour's position (written by its owner
                     // in the predict phase, ordered by the barrier).
-                    b.read(p, mol_word(n, 0), WORD).expect("legal by construction");
-                    b.read(p, mol_word(n, 1), WORD).expect("legal by construction");
+                    b.read(p, mol_word(n, 0), WORD)
+                        .expect("legal by construction");
+                    b.read(p, mol_word(n, 1), WORD)
+                        .expect("legal by construction");
                     // Update its force sum under the molecule lock.
                     b.acquire(p, mol_lock(n)).expect("legal by construction");
-                    b.read(p, mol_word(n, FORCE_WORD), WORD).expect("legal by construction");
-                    b.write(p, mol_word(n, FORCE_WORD), WORD).expect("legal by construction");
+                    b.read(p, mol_word(n, FORCE_WORD), WORD)
+                        .expect("legal by construction");
+                    b.write(p, mol_word(n, FORCE_WORD), WORD)
+                        .expect("legal by construction");
                     b.release(p, mol_lock(n)).expect("legal by construction");
                 }
             }
             // Global running sum.
             b.acquire(p, sum_lock).expect("legal by construction");
-            b.read(p, word(SUM_BASE), WORD).expect("legal by construction");
-            b.write(p, word(SUM_BASE), WORD).expect("legal by construction");
+            b.read(p, word(SUM_BASE), WORD)
+                .expect("legal by construction");
+            b.write(p, word(SUM_BASE), WORD)
+                .expect("legal by construction");
             b.release(p, sum_lock).expect("legal by construction");
         }
         b.barrier_all(barrier).expect("legal by construction");
     }
-    b.finish().expect("generator leaves no dangling synchronization")
+    b.finish()
+        .expect("generator leaves no dangling synchronization")
 }
 
 #[cfg(test)]
@@ -111,7 +120,10 @@ mod tests {
         let trace = generate(&Scale::small(4));
         let stats = TraceStats::compute(&trace);
         assert!(stats.barrier_episodes(4) >= 6, "two barriers per step");
-        assert!(stats.acquires > stats.barrier_arrivals, "fine-grained force locks");
+        assert!(
+            stats.acquires > stats.barrier_arrivals,
+            "fine-grained force locks"
+        );
     }
 
     #[test]

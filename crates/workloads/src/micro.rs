@@ -37,7 +37,10 @@ const WORD: u32 = 8;
 /// assert!(lrc_trace::check_labeling(&trace).is_ok());
 /// ```
 pub fn migratory(procs: usize, rounds: usize, block_words: u64) -> Trace {
-    assert!(procs > 0 && rounds > 0 && block_words > 0, "empty migratory pattern");
+    assert!(
+        procs > 0 && rounds > 0 && block_words > 0,
+        "empty migratory pattern"
+    );
     let meta = TraceMeta::new("migratory", procs, 1, 0, word(block_words));
     let mut b = TraceBuilder::new(meta);
     let lock = LockId::new(0);
@@ -76,7 +79,10 @@ pub fn migratory(procs: usize, rounds: usize, block_words: u64) -> Trace {
 /// assert!(lrc_trace::check_labeling(&trace).is_ok());
 /// ```
 pub fn false_sharing(procs: usize, phases: usize, stride_words: u64) -> Trace {
-    assert!(procs > 0 && phases > 0 && stride_words > 0, "empty false-sharing pattern");
+    assert!(
+        procs > 0 && phases > 0 && stride_words > 0,
+        "empty false-sharing pattern"
+    );
     let span = procs as u64 * stride_words;
     let meta = TraceMeta::new("false_sharing", procs, 0, 1, word(span));
     let mut b = TraceBuilder::new(meta);
@@ -87,14 +93,16 @@ pub fn false_sharing(procs: usize, phases: usize, stride_words: u64) -> Trace {
         for pi in 0..procs {
             let p = ProcId::new(pi as u16);
             for qi in 0..procs {
-                b.read(p, word(qi as u64 * stride_words), WORD).expect("legal by construction");
+                b.read(p, word(qi as u64 * stride_words), WORD)
+                    .expect("legal by construction");
             }
         }
         b.barrier_all(barrier).expect("legal by construction");
         // Write sub-phase: each processor rewrites only its own word.
         for pi in 0..procs {
             let p = ProcId::new(pi as u16);
-            b.write(p, word(pi as u64 * stride_words), WORD).expect("legal by construction");
+            b.write(p, word(pi as u64 * stride_words), WORD)
+                .expect("legal by construction");
         }
         b.barrier_all(barrier).expect("legal by construction");
     }
@@ -117,8 +125,14 @@ pub fn false_sharing(procs: usize, phases: usize, stride_words: u64) -> Trace {
 /// assert!(lrc_trace::check_labeling(&trace).is_ok());
 /// ```
 pub fn producer_consumer(procs: usize, items: usize, record_words: u64) -> Trace {
-    assert!(procs >= 2, "producer/consumer needs at least two processors");
-    assert!(items > 0 && record_words > 0, "empty producer/consumer pattern");
+    assert!(
+        procs >= 2,
+        "producer/consumer needs at least two processors"
+    );
+    assert!(
+        items > 0 && record_words > 0,
+        "empty producer/consumer pattern"
+    );
     const SLOTS: u64 = 8;
     let meta = TraceMeta::new(
         "producer_consumer",
@@ -135,9 +149,11 @@ pub fn producer_consumer(procs: usize, items: usize, record_words: u64) -> Trace
         let base = 1 + slot * record_words;
         // Produce under the lock.
         b.acquire(producer, lock).expect("legal by construction");
-        b.write(producer, word(0), WORD).expect("legal by construction"); // head index
+        b.write(producer, word(0), WORD)
+            .expect("legal by construction"); // head index
         for k in 0..record_words {
-            b.write(producer, word(base + k), WORD).expect("legal by construction");
+            b.write(producer, word(base + k), WORD)
+                .expect("legal by construction");
         }
         b.release(producer, lock).expect("legal by construction");
         // Every consumer reads the record.
@@ -146,7 +162,8 @@ pub fn producer_consumer(procs: usize, items: usize, record_words: u64) -> Trace
             b.acquire(c, lock).expect("legal by construction");
             b.read(c, word(0), WORD).expect("legal by construction");
             for k in 0..record_words {
-                b.read(c, word(base + k), WORD).expect("legal by construction");
+                b.read(c, word(base + k), WORD)
+                    .expect("legal by construction");
             }
             b.release(c, lock).expect("legal by construction");
         }

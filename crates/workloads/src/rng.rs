@@ -25,7 +25,10 @@ const PCG_MULT: u64 = 6_364_136_223_846_793_005;
 impl Pcg32 {
     /// Creates a generator from a seed (stream constant fixed).
     pub fn seed(seed: u64) -> Self {
-        let mut rng = Pcg32 { state: 0, inc: 0xda3e_39cb_94b9_5bdb | 1 };
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: 0xda3e_39cb_94b9_5bdb | 1,
+        };
         rng.state = rng.inc.wrapping_add(seed);
         rng.next_u32();
         rng

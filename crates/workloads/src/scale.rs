@@ -27,13 +27,21 @@ impl Scale {
     /// The evaluation configuration: 16 processors, enough work for the
     /// figure shapes to be stable.
     pub fn paper() -> Self {
-        Scale { procs: 16, units: 400, seed: 1992 }
+        Scale {
+            procs: 16,
+            units: 400,
+            seed: 1992,
+        }
     }
 
     /// A small configuration for tests: quick to generate and replay with
     /// the sequential-consistency oracle on.
     pub fn small(procs: usize) -> Self {
-        Scale { procs, units: 40, seed: 1992 }
+        Scale {
+            procs,
+            units: 40,
+            seed: 1992,
+        }
     }
 
     /// Replaces the seed.
@@ -68,7 +76,14 @@ mod tests {
     #[test]
     fn builders_replace_fields() {
         let s = Scale::paper().with_procs(8).with_units(10).with_seed(3);
-        assert_eq!(s, Scale { procs: 8, units: 10, seed: 3 });
+        assert_eq!(
+            s,
+            Scale {
+                procs: 8,
+                units: 10,
+                seed: 3
+            }
+        );
         assert_eq!(Scale::default(), Scale::paper());
     }
 }

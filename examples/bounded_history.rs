@@ -20,7 +20,11 @@ use lrc::sim::{run_trace, ProtocolKind, SimOptions};
 use lrc::workloads::{AppKind, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = Scale { procs: 8, units: 120, seed: 1992 };
+    let scale = Scale {
+        procs: 8,
+        units: 120,
+        seed: 1992,
+    };
     let trace = AppKind::Mp3d.generate(&scale);
     println!(
         "mp3d, {} processors, {} events, LI at 4096-byte pages\n",
@@ -28,12 +32,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.len()
     );
 
-    let plain = run_trace(&trace, ProtocolKind::LazyInvalidate, 4096, &SimOptions::fast())?;
+    let plain = run_trace(
+        &trace,
+        ProtocolKind::LazyInvalidate,
+        4096,
+        &SimOptions::fast(),
+    )?;
     let collected = run_trace(
         &trace,
         ProtocolKind::LazyInvalidate,
         4096,
-        &SimOptions { gc_at_barriers: true, ..SimOptions::fast() },
+        &SimOptions {
+            gc_at_barriers: true,
+            ..SimOptions::fast()
+        },
     )?;
 
     println!(

@@ -31,7 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {:>5} B pages: {:.1} writers/page",
             page,
-            stats.mean_writers_per_page(&trace, page).expect("trace has writes")
+            stats
+                .mean_writers_per_page(&trace, page)
+                .expect("trace has writes")
         );
     }
     println!();

@@ -25,9 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let procs = 4;
     let rounds = 100;
     let trace = migratory(procs, rounds, 16);
-    println!(
-        "migratory pattern: {procs} processors x {rounds} rounds of acquire-update-release\n"
-    );
+    println!("migratory pattern: {procs} processors x {rounds} rounds of acquire-update-release\n");
     println!(
         "{:<10} {:>9} {:>9} {:>9} {:>9} {:>10} {:>12}",
         "protocol", "miss", "lock", "unlock", "barrier", "total", "data (KB)"

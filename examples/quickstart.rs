@@ -28,7 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| ProtocolKind::from_label(&s).expect("protocol must be LI, LU, EI or EU"))
         .unwrap_or(ProtocolKind::LazyInvalidate);
 
-    let dsm = DsmBuilder::new(kind, PROCS, 1 << 16).page_size(4096).build()?;
+    let dsm = DsmBuilder::new(kind, PROCS, 1 << 16)
+        .page_size(4096)
+        .build()?;
     let lock = LockId::new(0);
     let barrier = BarrierId::new(0);
 
@@ -50,9 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // can read everyone else's.
         proc.write_u64(RESULTS + 8 * me, taken);
         proc.barrier(barrier)?;
-        let total: u64 = (0..PROCS as u64).map(|q| {
-            proc.read_u64(RESULTS + 8 * q)
-        }).sum();
+        let total: u64 = (0..PROCS as u64)
+            .map(|q| proc.read_u64(RESULTS + 8 * q))
+            .sum();
         assert_eq!(total, PROCS as u64 * ROUNDS);
         Ok(())
     })?;
@@ -61,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     check.acquire(lock)?;
     let counter = check.read_u64(COUNTER);
     check.release(lock)?;
-    println!("protocol {kind}: counter = {counter} (expected {})", PROCS as u64 * ROUNDS);
+    println!(
+        "protocol {kind}: counter = {counter} (expected {})",
+        PROCS as u64 * ROUNDS
+    );
     println!();
     println!("network traffic:");
     println!("{}", dsm.net_stats());

@@ -18,9 +18,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let procs: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(16);
     let units: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(400);
-    let scale = Scale { procs, units, seed: 1992 };
+    let scale = Scale {
+        procs,
+        units,
+        seed: 1992,
+    };
 
-    println!("SPLASH evaluation, {procs} processors, {units} work units, seed {}\n", scale.seed);
+    println!(
+        "SPLASH evaluation, {procs} processors, {units} work units, seed {}\n",
+        scale.seed
+    );
     for app in AppKind::ALL {
         let trace = app.generate(&scale);
         let stats = TraceStats::compute(&trace);

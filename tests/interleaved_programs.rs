@@ -47,8 +47,11 @@ fn build_programs(steps: &[Vec<Step>]) -> (TraceMeta, Vec<Program>) {
     let meta = TraceMeta::new("interleaved", PROCS, LOCKS, 1, mem);
     // Everyone must reach the barrier the same number of times: emit the
     // minimum count across processors, then one final aligning barrier.
-    let barrier_quota =
-        steps.iter().map(|s| s.iter().filter(|x| matches!(x, Step::Barrier)).count()).min().unwrap_or(0);
+    let barrier_quota = steps
+        .iter()
+        .map(|s| s.iter().filter(|x| matches!(x, Step::Barrier)).count())
+        .min()
+        .unwrap_or(0);
     let programs = steps
         .iter()
         .enumerate()

@@ -25,7 +25,12 @@ const REGION_WORDS: u64 = 24;
 enum Cmd {
     /// A critical section: acquire lock, read then write some of its
     /// region's words, release.
-    CriticalSection { proc: u16, lock: u32, word: u64, span: u64 },
+    CriticalSection {
+        proc: u16,
+        lock: u32,
+        word: u64,
+        span: u64,
+    },
     /// A write to the processor's private region.
     PrivateWrite { proc: u16, word: u64 },
     /// A read of another lock region *under its lock* (reader CS).
@@ -60,19 +65,27 @@ fn build(cmds: &[Cmd]) -> Trace {
     let mut b = TraceBuilder::new(meta);
     for cmd in cmds {
         match *cmd {
-            Cmd::CriticalSection { proc, lock, word, span } => {
+            Cmd::CriticalSection {
+                proc,
+                lock,
+                word,
+                span,
+            } => {
                 let p = ProcId::new(proc);
                 let l = LockId::new(lock);
                 b.acquire(p, l).expect("legal");
                 for k in 0..span {
-                    b.read(p, lock_region(lock) + (word + k) * 8, 8).expect("legal");
-                    b.write(p, lock_region(lock) + (word + k) * 8, 8).expect("legal");
+                    b.read(p, lock_region(lock) + (word + k) * 8, 8)
+                        .expect("legal");
+                    b.write(p, lock_region(lock) + (word + k) * 8, 8)
+                        .expect("legal");
                 }
                 b.release(p, l).expect("legal");
             }
             Cmd::PrivateWrite { proc, word } => {
                 let p = ProcId::new(proc);
-                b.write(p, private_region(proc) + word * 8, 8).expect("legal");
+                b.write(p, private_region(proc) + word * 8, 8)
+                    .expect("legal");
             }
             Cmd::ReaderSection { proc, lock, word } => {
                 let p = ProcId::new(proc);

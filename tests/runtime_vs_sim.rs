@@ -74,7 +74,13 @@ fn threaded_runs_remain_consistent() {
     let trace = AppKind::Cholesky.generate(&Scale::small(4));
     // The trace itself isn't replayed here; it just sizes the comparison:
     // a threaded run of similar work produces traffic of the same order.
-    let sim = run_trace(&trace, ProtocolKind::LazyInvalidate, 1024, &SimOptions::fast()).unwrap();
+    let sim = run_trace(
+        &trace,
+        ProtocolKind::LazyInvalidate,
+        1024,
+        &SimOptions::fast(),
+    )
+    .unwrap();
     assert!(sim.messages() > 0);
 
     let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 4, 1 << 16)

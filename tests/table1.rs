@@ -38,7 +38,11 @@ fn lock_cost_li_is_3() {
     dsm.acquire(p(2), l).unwrap(); // requester p2, home p0, grantor p1
     let delta = dsm.net().stats().since(&before);
     assert_eq!(delta.class(OpClass::Lock).msgs, 3);
-    assert_eq!(delta.total().msgs, 3, "invalidations piggyback on the grant");
+    assert_eq!(
+        delta.total().msgs,
+        3,
+        "invalidations piggyback on the grant"
+    );
 }
 
 /// Lock row, LU: 3 + 2h with h = other concurrent last modifiers of the
@@ -117,7 +121,11 @@ fn unlock_cost_lazy_0_eager_2c() {
         let before = dsm.net().snapshot();
         dsm.release(p(1), l).unwrap();
         let delta = dsm.net().stats().since(&before);
-        assert_eq!(delta.class(OpClass::Unlock).msgs, 2 * 3, "2c with c = 3 ({policy})");
+        assert_eq!(
+            delta.class(OpClass::Unlock).msgs,
+            2 * 3,
+            "2c with c = 3 ({policy})"
+        );
     }
 }
 
@@ -135,7 +143,11 @@ fn miss_cost_lazy_is_2m() {
     dsm.acquire(p(3), l).unwrap();
     let before = dsm.net().snapshot();
     dsm.read_u64(p(3), 8);
-    assert_eq!(dsm.net().stats().since(&before).class(OpClass::Miss).msgs, 2, "m = 1");
+    assert_eq!(
+        dsm.net().stats().since(&before).class(OpClass::Miss).msgs,
+        2,
+        "m = 1"
+    );
     dsm.release(p(3), l).unwrap();
 
     // m = 2: two concurrent writers of disjoint words (false sharing).
@@ -148,7 +160,11 @@ fn miss_cost_lazy_is_2m() {
     }
     let before = dsm.net().snapshot();
     dsm.read_u64(p(3), 0);
-    assert_eq!(dsm.net().stats().since(&before).class(OpClass::Miss).msgs, 4, "m = 2");
+    assert_eq!(
+        dsm.net().stats().since(&before).class(OpClass::Miss).msgs,
+        4,
+        "m = 2"
+    );
 }
 
 /// Miss row, eager: 2 messages when the directory manager has a valid
@@ -159,7 +175,10 @@ fn miss_cost_eager_is_2_or_3() {
     // 2 hops: page 0's home (p0) holds the initial copy.
     let before = dsm.net().snapshot();
     dsm.read_u64(p(2), 0);
-    assert_eq!(dsm.net().stats().since(&before).class(OpClass::Miss).msgs, 2);
+    assert_eq!(
+        dsm.net().stats().since(&before).class(OpClass::Miss).msgs,
+        2
+    );
     // 3 hops: p1 modifies page 0 under a lock and invalidates everyone;
     // the home no longer has a valid copy, so the request is forwarded.
     let l = LockId::new(0);
@@ -168,7 +187,10 @@ fn miss_cost_eager_is_2_or_3() {
     dsm.release(p(1), l).unwrap();
     let before = dsm.net().snapshot();
     dsm.read_u64(p(3), 0);
-    assert_eq!(dsm.net().stats().since(&before).class(OpClass::Miss).msgs, 3);
+    assert_eq!(
+        dsm.net().stats().since(&before).class(OpClass::Miss).msgs,
+        3
+    );
 }
 
 /// Barrier row: 2(n-1) for LI (everything piggybacks) and EI with a single
@@ -184,7 +206,11 @@ fn barrier_cost_all_protocols() {
         dsm.barrier(p(i), b).unwrap();
     }
     assert_eq!(
-        dsm.net().stats().since(&before).class(OpClass::Barrier).msgs,
+        dsm.net()
+            .stats()
+            .since(&before)
+            .class(OpClass::Barrier)
+            .msgs,
         2 * (N as u64 - 1),
         "LI: all consistency information piggybacks"
     );
@@ -200,7 +226,11 @@ fn barrier_cost_all_protocols() {
         dsm.barrier(p(i), b).unwrap();
     }
     assert_eq!(
-        dsm.net().stats().since(&before).class(OpClass::Barrier).msgs,
+        dsm.net()
+            .stats()
+            .since(&before)
+            .class(OpClass::Barrier)
+            .msgs,
         2 * (N as u64 - 1) + 2 * 2,
         "LU: 2(n-1) + 2u"
     );
@@ -217,7 +247,11 @@ fn barrier_cost_all_protocols() {
     }
     // u = 3: home p0 also caches page 0.
     assert_eq!(
-        dsm.net().stats().since(&before).class(OpClass::Barrier).msgs,
+        dsm.net()
+            .stats()
+            .since(&before)
+            .class(OpClass::Barrier)
+            .msgs,
         2 * (N as u64 - 1) + 2 * 3,
         "EU: 2(n-1) + 2u"
     );
@@ -235,7 +269,11 @@ fn barrier_cost_all_protocols() {
         dsm.barrier(p(i), b).unwrap();
     }
     assert_eq!(
-        dsm.net().stats().since(&before).class(OpClass::Barrier).msgs,
+        dsm.net()
+            .stats()
+            .since(&before)
+            .class(OpClass::Barrier)
+            .msgs,
         2 * (N as u64 - 1) + 2 * 2,
         "EI: 2(n-1) + 2v with v = k - 1 = 2 excess invalidators"
     );

@@ -1,0 +1,243 @@
+//! A small, dependency-free, offline re-implementation of the subset of the
+//! [`criterion`](https://docs.rs/criterion) API this workspace's benches use.
+//!
+//! The container this repository builds in has no crates.io access. This
+//! stub keeps the bench sources compiling and produces honest wall-clock
+//! measurements (median of timed batches) as a plain-text report — without
+//! the real crate's statistics, plotting, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How many timed batches to run per benchmark (each batch auto-sizes its
+/// iteration count to roughly [`Criterion::target_batch_time`]).
+const DEFAULT_BATCHES: usize = 11;
+
+/// Entry point handed to each `criterion_group!` function.
+pub struct Criterion {
+    batches: usize,
+    target_batch_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            batches: DEFAULT_BATCHES,
+            target_batch_time: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.batches, self.target_batch_time, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            batches: None,
+        }
+    }
+
+    /// Final hook called by `criterion_main!`.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    batches: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Reduce/raise the number of timed batches for this group only (maps
+    /// criterion's sample-size knob onto this stub's batch count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.batches = Some(n.max(3));
+        self
+    }
+
+    fn batches(&self) -> usize {
+        self.batches.unwrap_or(self.criterion.batches)
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(
+            &full,
+            self.batches(),
+            self.criterion.target_batch_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(
+            &full,
+            self.batches(),
+            self.criterion.target_batch_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (no-op in the stub; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the measured closure; call [`Bencher::iter`] with the hot loop.
+pub struct Bencher {
+    iters_per_batch: u64,
+    batch_times: Vec<Duration>,
+    batches: usize,
+    target_batch_time: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called in auto-sized batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: grow the batch until it takes long enough to time.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target_batch_time || iters >= 1 << 24 {
+                self.iters_per_batch = iters;
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                (self.target_batch_time.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+            };
+            iters = (iters * grow.clamp(2, 16)).min(1 << 24);
+        }
+        for _ in 0..self.batches {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                std::hint::black_box(routine());
+            }
+            self.batch_times.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(id: &str, batches: usize, target_batch_time: Duration, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iters_per_batch: 1,
+        batch_times: Vec::new(),
+        batches,
+        target_batch_time,
+    };
+    f(&mut bencher);
+    if bencher.batch_times.is_empty() {
+        println!("{id:<56} (no measurement)");
+        return;
+    }
+    bencher.batch_times.sort();
+    let median = bencher.batch_times[bencher.batch_times.len() / 2];
+    let per_iter = median.as_nanos() as f64 / bencher.iters_per_batch as f64;
+    println!(
+        "{id:<56} {:>12}/iter   ({} iters x {} batches)",
+        fmt_ns(per_iter),
+        bencher.iters_per_batch,
+        bencher.batch_times.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into one group runner, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (bench targets set
+/// `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,138 @@
+//! End-to-end checks that the offline proptest stub really generates varied
+//! inputs, honors configuration, and fails failing properties. These guard
+//! the whole workspace's property pyramid: a stub that generated constants
+//! (or zero cases) would turn every downstream suite green vacuously.
+
+use proptest::prelude::*;
+use std::cell::Cell;
+
+#[test]
+fn ranges_cover_their_domain() {
+    let strat = 0u32..10;
+    let mut seen = [false; 10];
+    let mut rng = TestRng::for_case("smoke::ranges", 0);
+    for _ in 0..512 {
+        seen[strat.sample(&mut rng) as usize] = true;
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "512 draws missed a value in 0..10: {seen:?}"
+    );
+}
+
+#[test]
+fn inclusive_range_hits_both_ends() {
+    let strat = 1usize..=3;
+    let mut rng = TestRng::for_case("smoke::inclusive", 0);
+    let mut lo = false;
+    let mut hi = false;
+    for _ in 0..256 {
+        match strat.sample(&mut rng) {
+            1 => lo = true,
+            3 => hi = true,
+            2 => {}
+            other => panic!("{other} outside 1..=3"),
+        }
+    }
+    assert!(lo && hi);
+}
+
+#[test]
+fn vec_lengths_span_size_range() {
+    let strat = prop::collection::vec(any::<u8>(), 0..5);
+    let mut rng = TestRng::for_case("smoke::vec", 0);
+    let mut lens = [false; 5];
+    for _ in 0..256 {
+        lens[strat.sample(&mut rng).len()] = true;
+    }
+    assert!(
+        lens.iter().all(|&s| s),
+        "lengths 0..5 not all produced: {lens:?}"
+    );
+}
+
+#[test]
+fn oneof_respects_weights_roughly() {
+    let strat = prop_oneof![
+        9 => Just(true),
+        1 => Just(false),
+    ];
+    let mut rng = TestRng::for_case("smoke::oneof", 0);
+    let trues = (0..1000).filter(|_| strat.sample(&mut rng)).count();
+    assert!(
+        (800..=980).contains(&trues),
+        "9:1 weighting produced {trues}/1000 trues"
+    );
+}
+
+#[test]
+fn flat_map_respects_dependent_bounds() {
+    // The pagemem suite's core idiom: a draw whose legal range depends on an
+    // earlier draw.
+    let strat = (0usize..100).prop_flat_map(|off| {
+        (
+            Just(off),
+            prop::collection::vec(any::<u8>(), 1..=(100 - off).clamp(1, 16)),
+        )
+    });
+    let mut rng = TestRng::for_case("smoke::flat_map", 0);
+    for _ in 0..256 {
+        let (off, data) = strat.sample(&mut rng);
+        assert!(!data.is_empty() && off + data.len() <= 100);
+    }
+}
+
+#[test]
+fn failing_property_panics() {
+    let result = std::panic::catch_unwind(|| {
+        proptest! {
+            fn must_fail(x in 0u32..100) {
+                // False for 99 of 100 values, so any seeding fails fast.
+                prop_assert!(x < 1, "x was {}", x);
+            }
+        }
+        must_fail();
+    });
+    assert!(
+        result.is_err(),
+        "a property false for 99% of its domain did not fail"
+    );
+}
+
+thread_local! {
+    static CASES_RUN: Cell<u32> = const { Cell::new(0) };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 17, ..ProptestConfig::default() })]
+
+    fn counted_property(_x in 0u32..10) {
+        CASES_RUN.with(|c| c.set(c.get() + 1));
+    }
+}
+
+#[test]
+fn config_case_count_is_honored() {
+    CASES_RUN.with(|c| c.set(0));
+    counted_property();
+    assert_eq!(CASES_RUN.with(|c| c.get()), 17);
+}
+
+proptest! {
+    #[test]
+    fn tuples_and_maps_compose(
+        (a, b) in (0u64..50, 0u64..50).prop_map(|(x, y)| (x + 1, y + 1)),
+        flag in any::<bool>(),
+    ) {
+        prop_assert!((1..=50).contains(&a) && (1..=50).contains(&b));
+        let _ = flag;
+    }
+}
+
+#[test]
+fn distinct_cases_draw_distinct_values() {
+    let strat = prop::collection::vec(any::<u8>(), 16usize);
+    let a = strat.sample(&mut TestRng::for_case("smoke::distinct", 0));
+    let b = strat.sample(&mut TestRng::for_case("smoke::distinct", 1));
+    assert_ne!(a, b, "consecutive cases produced identical 16-byte vectors");
+}
