@@ -22,8 +22,7 @@ fn p(i: u16) -> ProcId {
 /// engine.
 fn bench_lazy_round(c: &mut Criterion) {
     c.bench_function("protocol/li_migratory_round", |b| {
-        let mut dsm =
-            LrcEngine::new(LrcConfig::new(PROCS, MEM).policy(Policy::Invalidate)).unwrap();
+        let dsm = LrcEngine::new(LrcConfig::new(PROCS, MEM).policy(Policy::Invalidate)).unwrap();
         let lock = LockId::new(1);
         let mut turn = 0u64;
         b.iter(|| {
@@ -42,7 +41,7 @@ fn bench_lazy_round(c: &mut Criterion) {
 /// subsequent access.
 fn bench_lazy_update_round(c: &mut Criterion) {
     c.bench_function("protocol/lu_migratory_round", |b| {
-        let mut dsm = LrcEngine::new(LrcConfig::new(PROCS, MEM).policy(Policy::Update)).unwrap();
+        let dsm = LrcEngine::new(LrcConfig::new(PROCS, MEM).policy(Policy::Update)).unwrap();
         let lock = LockId::new(1);
         let mut turn = 0u64;
         b.iter(|| {
@@ -60,8 +59,7 @@ fn bench_lazy_update_round(c: &mut Criterion) {
 /// The eager counterpart: the release pays a flush to every cacher.
 fn bench_eager_round(c: &mut Criterion) {
     c.bench_function("protocol/eu_migratory_round", |b| {
-        let mut dsm =
-            EagerEngine::new(EagerConfig::new(PROCS, MEM).policy(Policy::Update)).unwrap();
+        let dsm = EagerEngine::new(EagerConfig::new(PROCS, MEM).policy(Policy::Update)).unwrap();
         // Warm every cache so flushes have destinations.
         for i in 0..PROCS as u16 {
             dsm.read_u64(p(i), 128);
@@ -83,8 +81,7 @@ fn bench_eager_round(c: &mut Criterion) {
 /// One barrier episode with fresh write notices from every processor.
 fn bench_barrier_episode(c: &mut Criterion) {
     c.bench_function("protocol/li_barrier_episode", |b| {
-        let mut dsm =
-            LrcEngine::new(LrcConfig::new(PROCS, MEM).policy(Policy::Invalidate)).unwrap();
+        let dsm = LrcEngine::new(LrcConfig::new(PROCS, MEM).policy(Policy::Invalidate)).unwrap();
         let barrier = BarrierId::new(0);
         let mut round = 0u64;
         b.iter(|| {

@@ -1,4 +1,51 @@
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The engine's internal, thread-safe mirror of [`LazyCounters`]: one
+/// relaxed atomic per event class, so concurrently running processors never
+/// contend on a statistics lock. [`SharedLazyCounters::snapshot`]
+/// aggregates into the plain, `Copy` public struct on read.
+#[derive(Debug, Default)]
+pub(crate) struct SharedLazyCounters {
+    pub cold_misses: AtomicU64,
+    pub warm_misses: AtomicU64,
+    pub diffs_applied: AtomicU64,
+    pub notices_received: AtomicU64,
+    pub invalidations: AtomicU64,
+    pub updates: AtomicU64,
+    pub intervals_closed: AtomicU64,
+    pub acquires: AtomicU64,
+    pub releases: AtomicU64,
+    pub barrier_episodes: AtomicU64,
+    pub gc_rounds: AtomicU64,
+    pub gc_validated_pages: AtomicU64,
+}
+
+/// Adds `n` to a counter field (statistics only — relaxed ordering).
+pub(crate) fn bump(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+impl SharedLazyCounters {
+    /// Aggregates the atomics into a plain snapshot.
+    pub fn snapshot(&self) -> LazyCounters {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        LazyCounters {
+            cold_misses: get(&self.cold_misses),
+            warm_misses: get(&self.warm_misses),
+            diffs_applied: get(&self.diffs_applied),
+            notices_received: get(&self.notices_received),
+            invalidations: get(&self.invalidations),
+            updates: get(&self.updates),
+            intervals_closed: get(&self.intervals_closed),
+            acquires: get(&self.acquires),
+            releases: get(&self.releases),
+            barrier_episodes: get(&self.barrier_episodes),
+            gc_rounds: get(&self.gc_rounds),
+            gc_validated_pages: get(&self.gc_validated_pages),
+        }
+    }
+}
 
 /// Protocol-level event counters of an [`LrcEngine`](crate::LrcEngine),
 /// complementing the message/byte accounting of the fabric.

@@ -1,13 +1,29 @@
-use lrc_pagemem::{AddrSpace, Diff, PageId};
+use lrc_pagemem::{AddrSpace, Diff, PageBuf, PageId};
 use lrc_simnet::{
     notice_batch_bytes, vc_bytes, Fabric, MsgKind, BARRIER_ID_BYTES, DIFF_REQUEST_ENTRY_BYTES,
     LOCK_ID_BYTES, PAGE_ID_BYTES,
 };
 use lrc_sync::{BarrierArrival, BarrierError, BarrierId, BarrierSet, LockError, LockId, LockTable};
 use lrc_vclock::{IntervalId, ProcId, StampedInterval, VectorClock};
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
+use crate::counters::{bump, SharedLazyCounters};
 use crate::pagestate::PageEntry;
 use crate::{ConfigError, FetchPlan, IntervalStore, LazyCounters, LrcConfig, Policy};
+
+/// One processor's private slice of the engine: its page table, vector
+/// time, and open-interval dirty list. Everything an ordinary cached read
+/// or write touches lives here, behind this shard's own mutex, so two
+/// processors hitting valid cached pages never contend.
+#[derive(Debug)]
+struct ProcShard {
+    /// The processor's vector time; own entry = the *open* interval's seq.
+    clock: VectorClock,
+    /// Pages dirtied in the open interval.
+    dirty: Vec<PageId>,
+    /// The processor's page table.
+    pages: Vec<PageEntry>,
+}
 
 /// The lazy release consistency engine: `n` processors, their page copies,
 /// interval bookkeeping, and the full acquire/release/barrier/miss protocol
@@ -18,25 +34,48 @@ use crate::{ConfigError, FetchPlan, IntervalStore, LazyCounters, LrcConfig, Poli
 /// properly-labeled program must equal sequential consistency (the `lrc-sim`
 /// crate checks exactly that).
 ///
+/// # Concurrency
+///
+/// Every method takes `&self`: the engine is internally synchronized so a
+/// threaded runtime can drive all processors concurrently through one
+/// shared engine, while single-threaded trace replay uses the same API.
+/// State is split three ways:
+///
+/// * **per-processor shards** (page table, clock, dirty list), each
+///   behind its own mutex — the only lock an ordinary access to a valid
+///   cached page takes;
+/// * **shared protocol state** — the [`IntervalStore`] behind a `RwLock`
+///   (read-mostly), and the lock table, barrier set, and post-GC owner map
+///   behind their own mutexes;
+/// * **statistics** — the fabric meter and [`LazyCounters`] are relaxed
+///   atomics, aggregated on read.
+///
+/// Slow paths (acquire, release, barrier, miss resolution) additionally
+/// serialize on a single `protocol` mutex, which is what makes their
+/// multi-structure updates atomic with respect to each other. Lock order:
+/// `protocol` → shared-structure locks → shard mutexes; a shard mutex may
+/// be taken while holding the store lock, never the reverse, and no path
+/// ever holds two shard mutexes at once.
+///
 /// See the [crate docs](crate) for an end-to-end example.
 #[derive(Debug)]
 pub struct LrcEngine {
     cfg: LrcConfig,
     space: AddrSpace,
-    /// Per-processor vector time; own entry = the *open* interval's seq.
-    clocks: Vec<VectorClock>,
-    /// Per-processor list of pages dirtied in the open interval.
-    dirty: Vec<Vec<PageId>>,
-    /// Per-processor page table.
-    pages: Vec<Vec<PageEntry>>,
-    store: IntervalStore,
-    locks: LockTable,
-    barriers: BarrierSet,
+    /// Per-processor state (fast-path data).
+    shards: Vec<Mutex<ProcShard>>,
+    /// Interval records, diffs, and possession tracking (read-mostly).
+    store: RwLock<IntervalStore>,
+    locks: Mutex<LockTable>,
+    barriers: Mutex<BarrierSet>,
     /// After garbage collection: the processor holding the authoritative
     /// copy of each page whose diff history was discarded.
-    gc_owner: Vec<Option<ProcId>>,
+    gc_owner: Mutex<Vec<Option<ProcId>>>,
+    /// Serializes the slow paths (synchronization operations and miss
+    /// resolution) so their compound updates stay atomic.
+    protocol: Mutex<()>,
     net: Fabric,
-    counters: LazyCounters,
+    counters: SharedLazyCounters,
 }
 
 impl LrcEngine {
@@ -48,26 +87,27 @@ impl LrcEngine {
     pub fn new(cfg: LrcConfig) -> Result<Self, ConfigError> {
         let space = cfg.address_space()?;
         let n = cfg.n_procs;
-        let clocks = ProcId::all(n)
+        let shards = ProcId::all(n)
             .map(|p| {
-                let mut vc = VectorClock::new(n);
-                vc.set(p, 1); // interval numbering starts at 1
-                vc
+                let mut clock = VectorClock::new(n);
+                clock.set(p, 1); // interval numbering starts at 1
+                Mutex::new(ProcShard {
+                    clock,
+                    dirty: Vec::new(),
+                    pages: (0..space.n_pages()).map(|_| PageEntry::default()).collect(),
+                })
             })
             .collect();
         Ok(LrcEngine {
             space,
-            clocks,
-            dirty: vec![Vec::new(); n],
-            pages: (0..n)
-                .map(|_| (0..space.n_pages()).map(|_| PageEntry::default()).collect())
-                .collect(),
-            store: IntervalStore::new(n),
-            locks: LockTable::new(cfg.n_locks, n),
-            barriers: BarrierSet::new(cfg.n_barriers, n),
-            gc_owner: vec![None; space.n_pages() as usize],
+            shards,
+            store: RwLock::new(IntervalStore::new(n)),
+            locks: Mutex::new(LockTable::new(cfg.n_locks, n)),
+            barriers: Mutex::new(BarrierSet::new(cfg.n_barriers, n)),
+            gc_owner: Mutex::new(vec![None; space.n_pages() as usize]),
+            protocol: Mutex::new(()),
             net: Fabric::new(n),
-            counters: LazyCounters::default(),
+            counters: SharedLazyCounters::default(),
             cfg,
         })
     }
@@ -88,27 +128,33 @@ impl LrcEngine {
     }
 
     /// Enables per-message logging on the internal fabric (for tests).
-    pub fn enable_net_trace(&mut self) {
+    pub fn enable_net_trace(&self) {
         self.net.enable_trace();
     }
 
-    /// Protocol event counters.
-    pub fn counters(&self) -> &LazyCounters {
-        &self.counters
+    /// Snapshot of the protocol event counters.
+    pub fn counters(&self) -> LazyCounters {
+        self.counters.snapshot()
     }
 
-    /// The interval/diff store (read-only view).
-    pub fn store(&self) -> &IntervalStore {
-        &self.store
+    /// The interval/diff store (shared read access, for inspection).
+    ///
+    /// **Do not call any engine method while holding the guard.** Slow
+    /// paths (acquire, release, barrier, misses — and therefore any read
+    /// or write that misses) take the store's write lock, and a
+    /// read-then-write on the same thread deadlocks; from other threads
+    /// it merely blocks them. Read what you need and drop the guard.
+    pub fn store(&self) -> RwLockReadGuard<'_, IntervalStore> {
+        self.store.read()
     }
 
-    /// Processor `p`'s current vector time.
+    /// Processor `p`'s current vector time (a snapshot).
     ///
     /// # Panics
     ///
     /// Panics if `p` is out of range.
-    pub fn clock(&self, p: ProcId) -> &VectorClock {
-        &self.clocks[p.index()]
+    pub fn clock(&self, p: ProcId) -> VectorClock {
+        self.shard(p).clock.clone()
     }
 
     /// True if `p` holds a valid copy of `page`.
@@ -117,7 +163,7 @@ impl LrcEngine {
     ///
     /// Panics if `p` or `page` is out of range.
     pub fn page_valid(&self, p: ProcId, page: PageId) -> bool {
-        self.pages[p.index()][page.index()].valid
+        self.shard(p).pages[page.index()].valid
     }
 
     /// The home processor of a page (supplies cold copies with no known
@@ -126,21 +172,34 @@ impl LrcEngine {
         ProcId::new((page.index() % self.cfg.n_procs) as u16)
     }
 
+    fn shard(&self, p: ProcId) -> MutexGuard<'_, ProcShard> {
+        self.shards[p.index()].lock()
+    }
+
     // ---- ordinary accesses ----
 
     /// Reads `buf.len()` bytes at `addr` as processor `p`, resolving
-    /// access misses as needed.
+    /// access misses as needed. Hitting a valid cached page takes only
+    /// `p`'s shard lock.
     ///
     /// # Panics
     ///
     /// Panics if the range is out of bounds or `p` is out of range.
-    pub fn read_into(&mut self, p: ProcId, addr: u64, buf: &mut [u8]) {
+    pub fn read_into(&self, p: ProcId, addr: u64, buf: &mut [u8]) {
         let mut cursor = 0;
         for seg in self.space.segments(addr, buf.len()) {
-            self.ensure_valid(p, seg.page);
-            let entry = &self.pages[p.index()][seg.page.index()];
-            let copy = entry.copy.as_ref().expect("valid page has a copy");
-            copy.read(seg.offset, &mut buf[cursor..cursor + seg.len]);
+            loop {
+                {
+                    let shard = self.shard(p);
+                    let entry = &shard.pages[seg.page.index()];
+                    if entry.valid {
+                        let copy = entry.copy.as_ref().expect("valid page has a copy");
+                        copy.read(seg.offset, &mut buf[cursor..cursor + seg.len]);
+                        break;
+                    }
+                }
+                self.resolve_miss(p, seg.page);
+            }
             cursor += seg.len;
         }
     }
@@ -150,7 +209,7 @@ impl LrcEngine {
     /// # Panics
     ///
     /// See [`LrcEngine::read_into`].
-    pub fn read_vec(&mut self, p: ProcId, addr: u64, len: usize) -> Vec<u8> {
+    pub fn read_vec(&self, p: ProcId, addr: u64, len: usize) -> Vec<u8> {
         let mut buf = vec![0u8; len];
         self.read_into(p, addr, &mut buf);
         buf
@@ -161,7 +220,7 @@ impl LrcEngine {
     /// # Panics
     ///
     /// See [`LrcEngine::read_into`].
-    pub fn read_u64(&mut self, p: ProcId, addr: u64) -> u64 {
+    pub fn read_u64(&self, p: ProcId, addr: u64) -> u64 {
         let mut raw = [0u8; 8];
         self.read_into(p, addr, &mut raw);
         u64::from_le_bytes(raw)
@@ -169,22 +228,34 @@ impl LrcEngine {
 
     /// Writes `data` at `addr` as processor `p`. The first write to a page
     /// in an interval twins it (§4.3.1); misses resolve first so the twin
-    /// reflects all noticed modifications.
+    /// reflects all noticed modifications. Writing a valid cached page
+    /// takes only `p`'s shard lock.
     ///
     /// # Panics
     ///
     /// Panics if the range is out of bounds or `p` is out of range.
-    pub fn write(&mut self, p: ProcId, addr: u64, data: &[u8]) {
+    pub fn write(&self, p: ProcId, addr: u64, data: &[u8]) {
         let mut cursor = 0;
         for seg in self.space.segments(addr, data.len()) {
-            self.ensure_valid(p, seg.page);
-            let entry = &mut self.pages[p.index()][seg.page.index()];
-            if !entry.is_dirty() {
-                entry.ensure_twin();
-                self.dirty[p.index()].push(seg.page);
+            loop {
+                {
+                    let mut shard = self.shard(p);
+                    let gi = seg.page.index();
+                    if shard.pages[gi].valid {
+                        if !shard.pages[gi].is_dirty() {
+                            shard.pages[gi].ensure_twin();
+                            shard.dirty.push(seg.page);
+                        }
+                        let copy = shard.pages[gi]
+                            .copy
+                            .as_mut()
+                            .expect("valid page has a copy");
+                        copy.write(seg.offset, &data[cursor..cursor + seg.len]);
+                        break;
+                    }
+                }
+                self.resolve_miss(p, seg.page);
             }
-            let copy = entry.copy.as_mut().expect("valid page has a copy");
-            copy.write(seg.offset, &data[cursor..cursor + seg.len]);
             cursor += seg.len;
         }
     }
@@ -194,7 +265,7 @@ impl LrcEngine {
     /// # Panics
     ///
     /// See [`LrcEngine::write`].
-    pub fn write_u64(&mut self, p: ProcId, addr: u64, value: u64) {
+    pub fn write_u64(&self, p: ProcId, addr: u64, value: u64) {
         self.write(p, addr, &value.to_le_bytes());
     }
 
@@ -207,13 +278,15 @@ impl LrcEngine {
     ///
     /// # Errors
     ///
-    /// Propagates [`LockError`] (held lock, unknown ids). Callers replaying
-    /// a legal trace never see errors; a runtime must wait until the lock
-    /// is free.
-    pub fn acquire(&mut self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+    /// Propagates [`LockError`] (held lock, unknown ids). The lock path is
+    /// resolved *before* any interval state changes, so a failed acquire —
+    /// in particular a contended [`LockError::HeldByOther`] that a blocking
+    /// runtime retries in a loop — has no side effects.
+    pub fn acquire(&self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+        let _protocol = self.protocol.lock();
+        let path = self.locks.lock().acquire(p, lock)?;
+        bump(&self.counters.acquires, 1);
         self.close_interval(p);
-        let path = self.locks.acquire(p, lock)?;
-        self.counters.acquires += 1;
         let q = path.grantor;
         if q == p {
             // Local re-acquire: nothing new to learn, nothing on the wire.
@@ -231,10 +304,12 @@ impl LrcEngine {
         }
 
         // Write notices the grantor has and the acquirer lacks.
-        let know_q = self.knowledge(q);
-        let notices = self.store.notices_missing(&self.clocks[p.index()], &know_q);
+        let know_q = Self::knowledge_of(&self.shard(q).clock, q);
+        let mut store = self.store.write();
+        let p_clock = self.shard(p).clock.clone();
+        let notices = store.notices_missing(&p_clock, &know_q);
         self.deliver_notices(p, &notices);
-        self.clocks[p.index()].merge(&know_q);
+        self.shard(p).clock.merge(&know_q);
 
         // Update policy: bring every cached page up to date now. Diffs the
         // grantor holds ride the grant; the rest cost 2 messages per other
@@ -243,11 +318,11 @@ impl LrcEngine {
             LOCK_ID_BYTES + vc_bytes(self.cfg.n_procs) + Self::notice_bytes(&notices);
         if self.cfg.policy == Policy::Update {
             let needed = self.needed_for_cached_pages(p);
-            let plan = FetchPlan::build(&self.store, p, Some(q), &needed);
-            grant_payload += self.diff_payload(&plan.from_free);
-            let targets = plan.targets.clone();
-            for (target, diffs) in &targets {
+            let plan = FetchPlan::build(&store, p, Some(q), &needed);
+            grant_payload += self.diff_payload(&store, &plan.from_free);
+            for (target, diffs) in &plan.targets {
                 self.fetch_round_trip(
+                    &store,
                     p,
                     *target,
                     diffs,
@@ -255,8 +330,10 @@ impl LrcEngine {
                     MsgKind::AcquireDiffReply,
                 );
             }
-            self.counters.updates += self.apply_plan(p, &plan) as u64;
+            let touched = self.apply_plan(&mut store, p, &plan);
+            bump(&self.counters.updates, touched as u64);
         }
+        drop(store);
 
         if self.cfg.piggyback_notices {
             if let Some((src, dst)) = path.grant {
@@ -280,11 +357,13 @@ impl LrcEngine {
     ///
     /// # Errors
     ///
-    /// Propagates [`LockError::NotHolder`] and range errors.
-    pub fn release(&mut self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+    /// Propagates [`LockError::NotHolder`] and range errors; a failed
+    /// release leaves interval state untouched.
+    pub fn release(&self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+        let _protocol = self.protocol.lock();
+        self.locks.lock().release(p, lock)?;
         self.close_interval(p);
-        self.locks.release(p, lock)?;
-        self.counters.releases += 1;
+        bump(&self.counters.releases, 1);
         Ok(())
     }
 
@@ -298,23 +377,24 @@ impl LrcEngine {
     /// # Errors
     ///
     /// Propagates [`BarrierError`] (double arrival, range errors).
-    pub fn barrier(
-        &mut self,
-        p: ProcId,
-        barrier: BarrierId,
-    ) -> Result<BarrierArrival, BarrierError> {
-        self.barriers.check_arrival(p, barrier)?;
+    pub fn barrier(&self, p: ProcId, barrier: BarrierId) -> Result<BarrierArrival, BarrierError> {
+        let _protocol = self.protocol.lock();
+        let master = {
+            let barriers = self.barriers.lock();
+            barriers.check_arrival(p, barrier)?;
+            barriers.master(barrier)
+        };
         self.close_interval(p);
-        let master = self.barriers.master(barrier);
         if p != master {
-            let fresh = self
-                .store
-                .notices_missing(&self.clocks[master.index()], &self.knowledge(p));
+            let store = self.store.read();
+            let master_clock = self.shard(master).clock.clone();
+            let know_p = Self::knowledge_of(&self.shard(p).clock, p);
+            let fresh = store.notices_missing(&master_clock, &know_p);
             let payload =
                 BARRIER_ID_BYTES + vc_bytes(self.cfg.n_procs) + Self::notice_bytes(&fresh);
             self.net.send(p, master, MsgKind::BarrierArrival, payload);
         }
-        let outcome = self.barriers.arrive(p, barrier)?;
+        let outcome = self.barriers.lock().arrive(p, barrier)?;
         if let BarrierArrival::Complete { .. } = outcome {
             self.complete_barrier(master);
         }
@@ -326,11 +406,13 @@ impl LrcEngine {
     /// Closes `p`'s open interval: diffs every dirtied page against its
     /// twin, records the interval (if any page actually changed), and opens
     /// the next interval.
-    fn close_interval(&mut self, p: ProcId) {
-        let dirtied = std::mem::take(&mut self.dirty[p.index()]);
+    fn close_interval(&self, p: ProcId) {
+        let mut store = self.store.write();
+        let mut shard = self.shard(p);
+        let dirtied = std::mem::take(&mut shard.dirty);
         let mut page_diffs = Vec::with_capacity(dirtied.len());
         for g in dirtied {
-            let entry = &mut self.pages[p.index()][g.index()];
+            let entry = &mut shard.pages[g.index()];
             let twin = entry.twin.take().expect("dirty page has a twin");
             let copy = entry.copy.as_ref().expect("dirty page has a copy");
             let diff = Diff::between(&twin, copy);
@@ -341,17 +423,17 @@ impl LrcEngine {
         if page_diffs.is_empty() {
             return;
         }
-        let seq = self.clocks[p.index()].get(p);
-        let stamp = StampedInterval::new(IntervalId::new(p, seq), self.clocks[p.index()].clone());
-        self.store.close_interval(stamp, page_diffs);
-        self.counters.intervals_closed += 1;
-        self.clocks[p.index()].bump(p);
+        let seq = shard.clock.get(p);
+        let stamp = StampedInterval::new(IntervalId::new(p, seq), shard.clock.clone());
+        store.close_interval(stamp, page_diffs);
+        bump(&self.counters.intervals_closed, 1);
+        shard.clock.bump(p);
     }
 
-    /// `p`'s transferable knowledge: its clock with the own entry lowered
-    /// to the last *closed* interval.
-    fn knowledge(&self, p: ProcId) -> VectorClock {
-        let mut vc = self.clocks[p.index()].clone();
+    /// A processor's transferable knowledge: its clock with the own entry
+    /// lowered to the last *closed* interval.
+    fn knowledge_of(clock: &VectorClock, p: ProcId) -> VectorClock {
+        let mut vc = clock.clone();
         let open = vc.get(p);
         vc.set(p, open - 1);
         vc
@@ -369,15 +451,16 @@ impl LrcEngine {
 
     /// Delivers write notices to `p`: pending lists grow and, under the
     /// invalidate policy, resident valid copies are invalidated.
-    fn deliver_notices(&mut self, p: ProcId, notices: &[crate::WriteNotice]) {
-        self.counters.notices_received += notices.len() as u64;
+    fn deliver_notices(&self, p: ProcId, notices: &[crate::WriteNotice]) {
+        bump(&self.counters.notices_received, notices.len() as u64);
+        let mut shard = self.shard(p);
         for n in notices {
             debug_assert_ne!(n.interval.proc(), p, "no notices for own intervals");
-            let entry = &mut self.pages[p.index()][n.page.index()];
+            let entry = &mut shard.pages[n.page.index()];
             entry.pending.push(n.interval);
             if self.cfg.policy == Policy::Invalidate && entry.valid {
                 entry.valid = false;
-                self.counters.invalidations += 1;
+                bump(&self.counters.invalidations, 1);
             }
         }
     }
@@ -385,8 +468,9 @@ impl LrcEngine {
     /// All pending diffs of pages `p` has a copy of (the update policy's
     /// working set at acquires and barriers).
     fn needed_for_cached_pages(&self, p: ProcId) -> Vec<(IntervalId, PageId)> {
+        let shard = self.shard(p);
         let mut needed = Vec::new();
-        for (gi, entry) in self.pages[p.index()].iter().enumerate() {
+        for (gi, entry) in shard.pages.iter().enumerate() {
             if entry.copy.is_some() && !entry.pending.is_empty() {
                 let g = PageId::new(gi as u32);
                 needed.extend(entry.pending.iter().map(|&iv| (iv, g)));
@@ -399,7 +483,7 @@ impl LrcEngine {
     /// the chain is squashed in happened-before order before shipping, so
     /// overwritten modifications never cross the wire (§4.3.2's pruning of
     /// intervals "in which the modification was overwritten").
-    fn diff_payload(&self, diffs: &[(IntervalId, PageId)]) -> u64 {
+    fn diff_payload(&self, store: &IntervalStore, diffs: &[(IntervalId, PageId)]) -> u64 {
         let mut by_page: Vec<(PageId, Vec<IntervalId>)> = Vec::new();
         for &(iv, g) in diffs {
             match by_page.iter_mut().find(|(page, _)| *page == g) {
@@ -410,8 +494,7 @@ impl LrcEngine {
         let mut total = 0u64;
         for (g, mut ivs) in by_page {
             ivs.sort_by_key(|&iv| {
-                let w = self
-                    .store
+                let w = store
                     .stamp(iv)
                     .expect("planned interval recorded")
                     .clock()
@@ -420,7 +503,7 @@ impl LrcEngine {
             });
             let chain: Vec<&Diff> = ivs
                 .iter()
-                .map(|&iv| self.store.diff(iv, g).expect("planned diff exists"))
+                .map(|&iv| store.diff(iv, g).expect("planned diff exists"))
                 .collect();
             total += if chain.len() == 1 {
                 chain[0].encoded_size() as u64
@@ -433,7 +516,8 @@ impl LrcEngine {
 
     /// One request/reply exchange fetching `diffs` from `target`.
     fn fetch_round_trip(
-        &mut self,
+        &self,
+        store: &IntervalStore,
         p: ProcId,
         target: ProcId,
         diffs: &[(IntervalId, PageId)],
@@ -449,7 +533,7 @@ impl LrcEngine {
             pages.dedup();
             pages.len() as u64 * self.space.page_size().bytes() as u64
         } else {
-            self.diff_payload(diffs)
+            self.diff_payload(store, diffs)
         };
         self.net
             .round_trip(p, target, request, request_payload, reply, reply_payload);
@@ -458,7 +542,7 @@ impl LrcEngine {
     /// Applies every diff of a plan to `p`'s copies in happened-before
     /// order, page by page, and marks the touched pages valid. Returns the
     /// number of distinct pages touched.
-    fn apply_plan(&mut self, p: ProcId, plan: &FetchPlan) -> usize {
+    fn apply_plan(&self, store: &mut IntervalStore, p: ProcId, plan: &FetchPlan) -> usize {
         let mut all: Vec<(IntervalId, PageId)> = plan.from_free.clone();
         for (_, diffs) in &plan.targets {
             all.extend_from_slice(diffs);
@@ -468,18 +552,18 @@ impl LrcEngine {
         }
         // Linear extension of happened-before: stamp weight, then id.
         all.sort_by_key(|&(iv, _)| {
-            let w = self
-                .store
+            let w = store
                 .stamp(iv)
                 .expect("planned interval recorded")
                 .clock()
                 .weight();
             (w, iv.proc(), iv.seq())
         });
+        let mut shard = self.shard(p);
         let mut touched: Vec<PageId> = Vec::new();
         for (iv, g) in all {
-            let diff = self.store.diff(iv, g).expect("planned diff exists").clone();
-            let entry = &mut self.pages[p.index()][g.index()];
+            let diff = store.diff(iv, g).expect("planned diff exists").clone();
+            let entry = &mut shard.pages[g.index()];
             let copy = entry.copy_mut(self.space.page_size());
             diff.apply_to(copy);
             if let Some(twin) = entry.twin.as_mut() {
@@ -487,15 +571,15 @@ impl LrcEngine {
                 // processor's own diff stays minimal and correct.
                 diff.apply_to(twin);
             }
-            self.store.add_holder(p, iv, g);
-            self.counters.diffs_applied += 1;
+            store.add_holder(p, iv, g);
+            bump(&self.counters.diffs_applied, 1);
             touched.push(g);
         }
         touched.sort();
         touched.dedup();
         let count = touched.len();
         for g in touched {
-            let entry = &mut self.pages[p.index()][g.index()];
+            let entry = &mut shard.pages[g.index()];
             entry.pending.clear();
             entry.valid = true;
         }
@@ -505,21 +589,28 @@ impl LrcEngine {
     /// Resolves an access miss on `page` at `p` (§4.3.2/§4.3.3): pulls the
     /// needed diffs from the concurrent last modifiers (2m messages), plus
     /// a base copy if the page was never resident.
-    fn ensure_valid(&mut self, p: ProcId, page: PageId) {
-        let entry = &self.pages[p.index()][page.index()];
-        if entry.valid {
-            return;
-        }
-        let cold = entry.copy.is_none();
+    fn resolve_miss(&self, p: ProcId, page: PageId) {
+        let _protocol = self.protocol.lock();
+        let (cold, needed) = {
+            let shard = self.shard(p);
+            let entry = &shard.pages[page.index()];
+            if entry.valid {
+                // Resolved while this processor waited for the slow path.
+                return;
+            }
+            let needed: Vec<(IntervalId, PageId)> =
+                entry.pending.iter().map(|&iv| (iv, page)).collect();
+            (entry.copy.is_none(), needed)
+        };
         if cold {
-            self.counters.cold_misses += 1;
+            bump(&self.counters.cold_misses, 1);
         } else {
-            self.counters.warm_misses += 1;
+            bump(&self.counters.warm_misses, 1);
         }
+        let gc_owner = cold.then(|| self.gc_owner.lock()[page.index()]).flatten();
 
-        let needed: Vec<(IntervalId, PageId)> =
-            entry.pending.iter().map(|&iv| (iv, page)).collect();
-        let plan = FetchPlan::build(&self.store, p, None, &needed);
+        let mut store = self.store.write();
+        let plan = FetchPlan::build(&store, p, None, &needed);
 
         if cold {
             // "A copy of the page may have to be retrieved" (§4.3.3): the
@@ -530,18 +621,28 @@ impl LrcEngine {
                 .targets
                 .first()
                 .map(|(t, _)| *t)
-                .or(self.gc_owner[page.index()])
+                .or(gc_owner)
                 .unwrap_or_else(|| self.page_home(page));
             let base = if supplier == p {
                 // Only possible for the untouched-home case: the initial
                 // contents are local.
-                lrc_pagemem::PageBuf::zeroed(self.space.page_size())
+                PageBuf::zeroed(self.space.page_size())
             } else {
-                // Clone the supplier's copy without disturbing its state;
-                // a never-touched home supplies the initial zero page.
-                let base = match &self.pages[supplier.index()][page.index()].copy {
-                    Some(copy) => copy.clone(),
-                    None => lrc_pagemem::PageBuf::zeroed(self.space.page_size()),
+                let base = {
+                    let supplier_shard = self.shard(supplier);
+                    let entry = &supplier_shard.pages[page.index()];
+                    // Clone the supplier's *committed* contents without
+                    // disturbing its state. A dirty page's live copy holds
+                    // uncommitted open-interval writes that must not leak
+                    // to the faulting processor before their release — the
+                    // twin is the last committed contents (it is kept in
+                    // sync with every applied diff). A never-touched home
+                    // supplies the initial zero page.
+                    match (&entry.twin, &entry.copy) {
+                        (Some(twin), _) => twin.clone(),
+                        (None, Some(copy)) => copy.clone(),
+                        (None, None) => PageBuf::zeroed(self.space.page_size()),
+                    }
                 };
                 // The base rides the first diff reply when the supplier is
                 // also a fetch target; otherwise it is its own round trip.
@@ -557,20 +658,19 @@ impl LrcEngine {
                 }
                 base
             };
-            self.pages[p.index()][page.index()].copy = Some(base);
+            self.shard(p).pages[page.index()].copy = Some(base);
         }
         debug_assert!(
             cold || !plan.is_empty(),
             "warm miss without pending diffs cannot occur"
         );
 
-        let targets = plan.targets.clone();
-        for (i, (target, diffs)) in targets.iter().enumerate() {
+        for (i, (target, diffs)) in plan.targets.iter().enumerate() {
             if cold && i == 0 {
                 // The first supplier's reply also carries the base page.
                 let request_payload = diffs.len() as u64 * DIFF_REQUEST_ENTRY_BYTES + PAGE_ID_BYTES;
                 let reply_payload =
-                    self.diff_payload(diffs) + self.space.page_size().bytes() as u64;
+                    self.diff_payload(&store, diffs) + self.space.page_size().bytes() as u64;
                 self.net.round_trip(
                     p,
                     *target,
@@ -580,11 +680,19 @@ impl LrcEngine {
                     reply_payload,
                 );
             } else {
-                self.fetch_round_trip(p, *target, diffs, MsgKind::MissRequest, MsgKind::MissReply);
+                self.fetch_round_trip(
+                    &store,
+                    p,
+                    *target,
+                    diffs,
+                    MsgKind::MissRequest,
+                    MsgKind::MissReply,
+                );
             }
         }
-        self.apply_plan(p, &plan);
-        let entry = &mut self.pages[p.index()][page.index()];
+        self.apply_plan(&mut store, p, &plan);
+        let mut shard = self.shard(p);
+        let entry = &mut shard.pages[page.index()];
         entry.pending.clear();
         entry.valid = true;
     }
@@ -592,15 +700,16 @@ impl LrcEngine {
     /// Completes a barrier episode at `master`: merge all knowledge, send
     /// exit messages with the notices each processor lacks, and apply the
     /// policy.
-    fn complete_barrier(&mut self, master: ProcId) {
+    fn complete_barrier(&self, master: ProcId) {
         let n = self.cfg.n_procs;
         let mut merged = VectorClock::new(n);
         for r in ProcId::all(n) {
-            merged.merge(&self.knowledge(r));
+            merged.merge(&Self::knowledge_of(&self.shard(r).clock, r));
         }
+        let mut store = self.store.write();
         // Compute per-processor missing notices against pre-merge clocks.
         let missing: Vec<Vec<crate::WriteNotice>> = ProcId::all(n)
-            .map(|r| self.store.notices_missing(&self.clocks[r.index()], &merged))
+            .map(|r| store.notices_missing(&self.shard(r).clock, &merged))
             .collect();
         for r in ProcId::all(n) {
             if r != master {
@@ -609,17 +718,17 @@ impl LrcEngine {
                 self.net.send(master, r, MsgKind::BarrierExit, payload);
             }
             self.deliver_notices(r, &missing[r.index()]);
-            self.clocks[r.index()].merge(&merged);
+            self.shard(r).clock.merge(&merged);
         }
         if self.cfg.policy == Policy::Update {
             // Every processor pulls the diffs for its cached pages: one
             // round trip per (cacher, modifier) pair — Table 1's `2u`.
             for r in ProcId::all(n) {
                 let needed = self.needed_for_cached_pages(r);
-                let plan = FetchPlan::build(&self.store, r, None, &needed);
-                let targets = plan.targets.clone();
-                for (target, diffs) in &targets {
+                let plan = FetchPlan::build(&store, r, None, &needed);
+                for (target, diffs) in &plan.targets {
                     self.fetch_round_trip(
+                        &store,
                         r,
                         *target,
                         diffs,
@@ -627,12 +736,13 @@ impl LrcEngine {
                         MsgKind::BarrierDiffReply,
                     );
                 }
-                self.counters.updates += self.apply_plan(r, &plan) as u64;
+                let touched = self.apply_plan(&mut store, r, &plan);
+                bump(&self.counters.updates, touched as u64);
             }
         }
-        self.counters.barrier_episodes += 1;
+        bump(&self.counters.barrier_episodes, 1);
         if self.cfg.gc_at_barriers {
-            self.collect_garbage();
+            self.collect_garbage(&mut store);
         }
     }
 
@@ -641,7 +751,7 @@ impl LrcEngine {
     /// traffic), pages never cached anywhere keep only an owner pointer,
     /// and the entire interval/diff history is discarded. Safe exactly at
     /// barrier completion, when every interval has performed everywhere.
-    fn collect_garbage(&mut self) {
+    fn collect_garbage(&self, store: &mut IntervalStore) {
         let n = self.cfg.n_procs;
         // Validate every resident copy (the update policy already did).
         if self.cfg.policy == Policy::Invalidate {
@@ -650,10 +760,10 @@ impl LrcEngine {
                 if needed.is_empty() {
                     continue;
                 }
-                let plan = FetchPlan::build(&self.store, r, None, &needed);
-                let targets = plan.targets.clone();
-                for (target, diffs) in &targets {
+                let plan = FetchPlan::build(store, r, None, &needed);
+                for (target, diffs) in &plan.targets {
                     self.fetch_round_trip(
+                        store,
                         r,
                         *target,
                         diffs,
@@ -661,20 +771,25 @@ impl LrcEngine {
                         MsgKind::BarrierDiffReply,
                     );
                 }
-                self.counters.gc_validated_pages += self.apply_plan(r, &plan) as u64;
+                let touched = self.apply_plan(store, r, &plan);
+                bump(&self.counters.gc_validated_pages, touched as u64);
             }
         }
         // Record the authoritative owner of every page whose history is
         // about to disappear, then drop the history and dangling notices.
-        for (page, owner) in self.store.latest_writers() {
-            self.gc_owner[page.index()] = Some(owner);
+        {
+            let mut gc_owner = self.gc_owner.lock();
+            for (page, owner) in store.latest_writers() {
+                gc_owner[page.index()] = Some(owner);
+            }
         }
         for r in ProcId::all(n) {
-            for entry in &mut self.pages[r.index()] {
+            let mut shard = self.shard(r);
+            for entry in &mut shard.pages {
                 entry.pending.clear();
             }
         }
-        self.store.clear();
-        self.counters.gc_rounds += 1;
+        store.clear();
+        bump(&self.counters.gc_rounds, 1);
     }
 }

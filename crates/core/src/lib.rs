@@ -43,7 +43,7 @@
 //! use lrc_sync::LockId;
 //! use lrc_vclock::ProcId;
 //!
-//! let mut dsm = LrcEngine::new(LrcConfig::new(2, 1 << 16).policy(Policy::Invalidate))?;
+//! let dsm = LrcEngine::new(LrcConfig::new(2, 1 << 16).policy(Policy::Invalidate))?;
 //! let (p0, p1, l) = (ProcId::new(0), ProcId::new(1), LockId::new(0));
 //!
 //! dsm.acquire(p0, l)?;

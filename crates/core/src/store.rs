@@ -102,9 +102,19 @@ impl IntervalStore {
     }
 
     /// Records that `proc` now holds the diff `(interval, page)`.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `(interval, page)` names no recorded diff
+    /// — a protocol bookkeeping bug (e.g. applying a garbage-collected
+    /// diff) that would otherwise silently corrupt possession tracking.
     pub(crate) fn add_holder(&mut self, proc: ProcId, interval: IntervalId, page: PageId) {
-        if let Some(mask) = self.holders.get_mut(&(interval, page)) {
-            *mask |= 1u64 << proc.index();
+        match self.holders.get_mut(&(interval, page)) {
+            Some(mask) => *mask |= 1u64 << proc.index(),
+            None => debug_assert!(
+                false,
+                "add_holder({proc}, {interval}, {page}): no such diff is recorded"
+            ),
         }
     }
 
@@ -270,6 +280,17 @@ mod tests {
                 .len(),
             0
         );
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "no such diff"))]
+    fn add_holder_rejects_unknown_diff() {
+        let mut s = IntervalStore::new(2);
+        let g = PageId::new(0);
+        s.close_interval(stamp(0, 1, 2), vec![(g, diff_of(&[1]))]);
+        // Wrong page for a real interval: bookkeeping bug, must fail loudly
+        // in debug builds (and stay a no-op in release builds).
+        s.add_holder(p(1), IntervalId::new(p(0), 1), PageId::new(7));
     }
 
     #[test]

@@ -21,7 +21,7 @@ fn engine(policy: Policy) -> LrcEngine {
 
 #[test]
 fn gc_empties_the_store_at_every_barrier() {
-    let mut dsm = engine(Policy::Invalidate);
+    let dsm = engine(Policy::Invalidate);
     for round in 0..5u64 {
         for i in 0..4u16 {
             dsm.acquire(p(i), LockId::new(0)).unwrap();
@@ -80,7 +80,7 @@ fn values_survive_collection() {
     // their diffs are gone: resident copies were validated and cold misses
     // fall back to the post-GC owner.
     for policy in [Policy::Invalidate, Policy::Update] {
-        let mut dsm = engine(policy);
+        let dsm = engine(policy);
         dsm.acquire(p(1), LockId::new(0)).unwrap();
         dsm.write_u64(p(1), 0, 111);
         dsm.write_u64(p(1), 520, 222); // second page
@@ -105,7 +105,7 @@ fn values_survive_collection() {
 
 #[test]
 fn chains_across_gc_rounds_stay_consistent() {
-    let mut dsm = engine(Policy::Invalidate);
+    let dsm = engine(Policy::Invalidate);
     let lock = LockId::new(1);
     let mut expected = 0u64;
     for round in 0..6u64 {
@@ -126,7 +126,7 @@ fn chains_across_gc_rounds_stay_consistent() {
 
 #[test]
 fn gc_validates_invalid_resident_copies() {
-    let mut dsm = engine(Policy::Invalidate);
+    let dsm = engine(Policy::Invalidate);
     // p2 caches page 0; p1's locked write invalidates it via notices.
     dsm.read_u64(p(2), 0);
     dsm.acquire(p(1), LockId::new(0)).unwrap();

@@ -1,0 +1,149 @@
+//! Regression tests for protocol bugs found in the engine's slow paths:
+//! the cold-miss base copy leaking a supplier's *uncommitted* open-interval
+//! writes, and a failed (contended) acquire mutating interval state.
+
+use lrc_core::{LrcConfig, LrcEngine, Policy};
+use lrc_sync::{LockError, LockId};
+use lrc_vclock::ProcId;
+
+fn p(i: u16) -> ProcId {
+    ProcId::new(i)
+}
+
+fn l(i: u32) -> LockId {
+    LockId::new(i)
+}
+
+/// 4 procs, 16 pages of 512 bytes.
+fn engine(policy: Policy) -> LrcEngine {
+    LrcEngine::new(LrcConfig::new(4, 16 * 512).page_size(512).policy(policy)).unwrap()
+}
+
+/// A cold miss whose base copy ships from a processor with an *open*
+/// (unreleased) interval on the page must not observe that interval's
+/// writes: the supplier serves its twin — the last committed contents —
+/// not its live copy. Before the fix, the reader here saw 42.
+#[test]
+fn cold_miss_does_not_leak_unreleased_writes() {
+    for policy in [Policy::Invalidate, Policy::Update] {
+        let dsm = engine(policy);
+        // Page 0's home is p0, so p0 both writes it and supplies the base.
+        dsm.write_u64(p(0), 8, 42); // open interval: twin is the zero page
+        assert_eq!(
+            dsm.read_u64(p(1), 8),
+            0,
+            "{policy}: p1's cold fetch must see the committed (initial) \
+             contents, not p0's unreleased write"
+        );
+        // Once p0 releases and p1 synchronizes, the write must flow.
+        dsm.acquire(p(0), l(0)).unwrap();
+        dsm.release(p(0), l(0)).unwrap(); // closes p0's interval
+        dsm.acquire(p(1), l(0)).unwrap(); // notice arrives at p1
+        assert_eq!(
+            dsm.read_u64(p(1), 8),
+            42,
+            "{policy}: released writes must still propagate normally"
+        );
+        dsm.release(p(1), l(0)).unwrap();
+    }
+}
+
+/// Same leak through the warm path of a *diff-supplying* target: the
+/// supplier's committed diff must arrive, but the uncommitted writes of its
+/// current open interval must not ride along on the base page.
+#[test]
+fn cold_miss_base_from_diff_supplier_excludes_open_interval() {
+    let dsm = engine(Policy::Invalidate);
+    // p1 commits a write to page 0 (home p0, but p1 becomes the first
+    // diff target for p3's miss below).
+    dsm.acquire(p(1), l(0)).unwrap();
+    dsm.write_u64(p(1), 0, 7);
+    dsm.release(p(1), l(0)).unwrap();
+    // p3 learns of p1's interval through the lock.
+    dsm.acquire(p(3), l(0)).unwrap();
+    // Meanwhile p1 starts a new, unreleased interval on the same page
+    // (false sharing: a different word).
+    dsm.write_u64(p(1), 16, 99);
+    // p3's cold miss fetches base + diff from p1. The committed 7 must
+    // arrive; the uncommitted 99 must not.
+    assert_eq!(dsm.read_u64(p(3), 0), 7, "committed diff applies");
+    assert_eq!(
+        dsm.read_u64(p(3), 16),
+        0,
+        "open-interval write must not leak"
+    );
+    dsm.release(p(3), l(0)).unwrap();
+}
+
+/// A contended acquire fails with `HeldByOther` — the blocking runtime
+/// retries it in a loop. The failed attempt must leave interval state
+/// completely untouched: no interval close, no clock movement. Before the
+/// fix, `close_interval` ran ahead of the lock-table check, so every retry
+/// of a blocked acquirer with dirty pages closed an interval.
+#[test]
+fn failed_contended_acquire_has_no_side_effects() {
+    let dsm = engine(Policy::Invalidate);
+    dsm.acquire(p(0), l(0)).unwrap();
+
+    // p1 has an open interval with real modifications.
+    dsm.write_u64(p(1), 512, 5);
+    let clock_before = dsm.clock(p(1));
+    let counters_before = dsm.counters();
+    let intervals_before = dsm.store().interval_count();
+
+    for _ in 0..3 {
+        assert!(matches!(
+            dsm.acquire(p(1), l(0)),
+            Err(LockError::HeldByOther { .. })
+        ));
+    }
+
+    assert_eq!(
+        dsm.clock(p(1)),
+        clock_before,
+        "failed acquires must not advance the clock"
+    );
+    assert_eq!(dsm.store().interval_count(), intervals_before);
+    let counters = dsm.counters();
+    assert_eq!(
+        counters.intervals_closed, counters_before.intervals_closed,
+        "failed acquires must not close intervals"
+    );
+    assert_eq!(counters.acquires, counters_before.acquires);
+
+    // The eventual successful acquire closes exactly one interval.
+    dsm.release(p(0), l(0)).unwrap();
+    dsm.acquire(p(1), l(0)).unwrap();
+    assert_eq!(
+        dsm.counters().intervals_closed,
+        counters_before.intervals_closed + 1
+    );
+    dsm.release(p(1), l(0)).unwrap();
+}
+
+/// A double acquire (`AlreadyHeld`) is misuse, and must be side-effect
+/// free for the same reason.
+#[test]
+fn double_acquire_has_no_side_effects() {
+    let dsm = engine(Policy::Invalidate);
+    dsm.acquire(p(2), l(1)).unwrap();
+    dsm.write_u64(p(2), 1024, 9);
+    let clock_before = dsm.clock(p(2));
+    assert!(matches!(
+        dsm.acquire(p(2), l(1)),
+        Err(LockError::AlreadyHeld { .. })
+    ));
+    assert_eq!(dsm.clock(p(2)), clock_before);
+    assert_eq!(dsm.store().interval_count(), 0);
+}
+
+/// A release of an unheld lock must not close the open interval either.
+#[test]
+fn failed_release_has_no_side_effects() {
+    let dsm = engine(Policy::Invalidate);
+    dsm.write_u64(p(1), 512, 5);
+    let clock_before = dsm.clock(p(1));
+    assert!(dsm.release(p(1), l(0)).is_err());
+    assert_eq!(dsm.clock(p(1)), clock_before);
+    assert_eq!(dsm.store().interval_count(), 0);
+}

@@ -69,6 +69,20 @@ impl DsmBuilder {
         self
     }
 
+    /// Disables write-notice piggybacking (lazy protocols only; the
+    /// ablation of [`lrc_core::LrcConfig::piggyback_notices`]).
+    pub fn no_piggyback(mut self) -> Self {
+        self.params.piggyback_notices = false;
+        self
+    }
+
+    /// Ships whole pages on warm misses (lazy protocols only; the ablation
+    /// of [`lrc_core::LrcConfig::full_page_misses`]).
+    pub fn full_page_misses(mut self) -> Self {
+        self.params.full_page_misses = true;
+        self
+    }
+
     /// Builds the runtime.
     ///
     /// # Errors

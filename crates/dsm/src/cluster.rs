@@ -52,10 +52,20 @@ impl From<BarrierError> for DsmError {
     }
 }
 
-/// Shared state of the runtime: the protocol engine behind a mutex, plus
-/// condition variables for lock hand-off and barrier episodes.
+/// Shared state of the runtime: the (internally synchronized) protocol
+/// engine, plus condition variables for lock hand-off and barrier episodes.
+///
+/// The engine shards its own state per processor, so the runtime adds no
+/// global lock of its own: ordinary reads and writes go straight to the
+/// engine and contend only on the accessed processor's shard. The runtime
+/// keeps just enough state to *block* — a release generation counter for
+/// lock waiters and an episode counter per barrier.
 pub(crate) struct Cluster {
-    pub(crate) engine: parking_lot::Mutex<AnyEngine>,
+    pub(crate) engine: AnyEngine,
+    /// Bumped on every release; lock waiters re-try their acquire when it
+    /// moves. Capturing the generation *before* the acquire attempt and
+    /// re-checking it under the mutex closes the lost-wakeup window.
+    pub(crate) lock_generation: parking_lot::Mutex<u64>,
     /// Woken whenever any lock is released (waiters re-try their acquire).
     pub(crate) lock_cv: parking_lot::Condvar,
     /// Woken when a barrier episode completes.
@@ -94,7 +104,8 @@ impl Dsm {
         };
         Dsm {
             cluster: Arc::new(Cluster {
-                engine: parking_lot::Mutex::new(engine),
+                engine,
+                lock_generation: parking_lot::Mutex::new(0),
                 lock_cv: parking_lot::Condvar::new(),
                 barrier_cv: parking_lot::Condvar::new(),
                 episodes: parking_lot::Mutex::new(vec![0; n_barriers]),
@@ -171,7 +182,7 @@ impl Dsm {
 
     /// Snapshot of the accumulated network statistics.
     pub fn net_stats(&self) -> NetStats {
-        self.cluster.engine.lock().net_stats()
+        self.cluster.engine.net_stats()
     }
 }
 

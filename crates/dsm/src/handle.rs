@@ -35,7 +35,7 @@ impl ProcHandle {
     ///
     /// Panics if the range is outside the shared space.
     pub fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) {
-        self.cluster.engine.lock().read_into(self.proc, addr, buf);
+        self.cluster.engine.read_into(self.proc, addr, buf);
     }
 
     /// Writes `data` at `addr` (twinning pages on first write).
@@ -44,7 +44,7 @@ impl ProcHandle {
     ///
     /// Panics if the range is outside the shared space.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
-        self.cluster.engine.lock().write(self.proc, addr, data);
+        self.cluster.engine.write(self.proc, addr, data);
     }
 
     /// Reads a little-endian `u64` at `addr`.
@@ -74,13 +74,19 @@ impl ProcHandle {
     ///
     /// [`DsmError::Lock`] on misuse (unknown lock, double acquire).
     pub fn acquire(&mut self, lock: LockId) -> Result<(), DsmError> {
-        let mut engine = self.cluster.engine.lock();
         loop {
-            match engine.acquire(self.proc, lock) {
+            // Capture the release generation *before* trying: if a release
+            // slips in between the failed attempt and the wait below, the
+            // generation has moved and the wait falls through immediately —
+            // no release notification can be lost.
+            let generation = *self.cluster.lock_generation.lock();
+            match self.cluster.engine.acquire(self.proc, lock) {
                 Ok(()) => return Ok(()),
                 Err(LockError::HeldByOther { .. }) => {
-                    // Wait for any release, then retry the hand-off.
-                    self.cluster.lock_cv.wait(&mut engine);
+                    let mut current = self.cluster.lock_generation.lock();
+                    while *current == generation {
+                        self.cluster.lock_cv.wait(&mut current);
+                    }
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -94,9 +100,8 @@ impl ProcHandle {
     ///
     /// [`DsmError::Lock`] if this processor does not hold the lock.
     pub fn release(&mut self, lock: LockId) -> Result<(), DsmError> {
-        let mut engine = self.cluster.engine.lock();
-        engine.release(self.proc, lock)?;
-        drop(engine);
+        self.cluster.engine.release(self.proc, lock)?;
+        *self.cluster.lock_generation.lock() += 1;
         self.cluster.lock_cv.notify_all();
         Ok(())
     }
@@ -117,10 +122,8 @@ impl ProcHandle {
                 None => return Err(DsmError::Barrier(BarrierError::UnknownBarrier(barrier))),
             }
         };
-        let mut engine = self.cluster.engine.lock();
-        match engine.barrier(self.proc, barrier)? {
+        match self.cluster.engine.barrier(self.proc, barrier)? {
             BarrierArrival::Complete { .. } => {
-                drop(engine);
                 let mut episodes = self.cluster.episodes.lock();
                 episodes[barrier.index()] += 1;
                 drop(episodes);
@@ -128,7 +131,6 @@ impl ProcHandle {
                 Ok(())
             }
             BarrierArrival::Waiting { .. } => {
-                drop(engine);
                 let mut episodes = self.cluster.episodes.lock();
                 while episodes[barrier.index()] < target {
                     self.cluster.barrier_cv.wait(&mut episodes);

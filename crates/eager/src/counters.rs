@@ -1,4 +1,48 @@
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The engine's internal, thread-safe mirror of [`EagerCounters`]: one
+/// relaxed atomic per event class, aggregated into the plain `Copy` struct
+/// by [`SharedEagerCounters::snapshot`].
+#[derive(Debug, Default)]
+pub(crate) struct SharedEagerCounters {
+    pub misses_2hop: AtomicU64,
+    pub misses_3hop: AtomicU64,
+    pub updates_sent: AtomicU64,
+    pub invalidations_sent: AtomicU64,
+    pub pages_invalidated: AtomicU64,
+    pub writebacks: AtomicU64,
+    pub excess_invalidators: AtomicU64,
+    pub flushes: AtomicU64,
+    pub acquires: AtomicU64,
+    pub releases: AtomicU64,
+    pub barrier_episodes: AtomicU64,
+}
+
+/// Adds `n` to a counter field (statistics only — relaxed ordering).
+pub(crate) fn bump(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+impl SharedEagerCounters {
+    /// Aggregates the atomics into a plain snapshot.
+    pub fn snapshot(&self) -> EagerCounters {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        EagerCounters {
+            misses_2hop: get(&self.misses_2hop),
+            misses_3hop: get(&self.misses_3hop),
+            updates_sent: get(&self.updates_sent),
+            invalidations_sent: get(&self.invalidations_sent),
+            pages_invalidated: get(&self.pages_invalidated),
+            writebacks: get(&self.writebacks),
+            excess_invalidators: get(&self.excess_invalidators),
+            flushes: get(&self.flushes),
+            acquires: get(&self.acquires),
+            releases: get(&self.releases),
+            barrier_episodes: get(&self.barrier_episodes),
+        }
+    }
+}
 
 /// Protocol-level event counters of an [`EagerEngine`](crate::EagerEngine).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]

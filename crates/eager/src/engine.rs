@@ -7,7 +7,9 @@ use lrc_simnet::{
 };
 use lrc_sync::{BarrierArrival, BarrierError, BarrierId, BarrierSet, LockError, LockId, LockTable};
 use lrc_vclock::ProcId;
+use parking_lot::{Mutex, MutexGuard};
 
+use crate::counters::{bump, SharedEagerCounters};
 use crate::{EagerConfig, EagerCounters};
 
 /// One processor's view of one page under the eager protocol.
@@ -16,6 +18,15 @@ struct EPage {
     copy: Option<PageBuf>,
     twin: Option<PageBuf>,
     valid: bool,
+}
+
+/// One processor's private slice of the engine: page table and the pages
+/// dirtied in the current epoch. Ordinary cached accesses take only this
+/// shard's mutex.
+#[derive(Debug)]
+struct EagerShard {
+    pages: Vec<EPage>,
+    dirty: Vec<PageId>,
 }
 
 /// Directory entry: who caches the page and who reconciled it last.
@@ -43,20 +54,30 @@ struct EpochMod {
 ///
 /// Like [`lrc_core::LrcEngine`], the engine is data-full and charges every
 /// message to an internal [`Fabric`], so lazy and eager runs are directly
-/// comparable. See the [crate docs](crate) for an example.
+/// comparable. Also like the lazy engine it is internally synchronized —
+/// per-processor shards behind their own mutexes, the directory and
+/// synchronization tables behind fine-grained locks, a `protocol` mutex
+/// serializing the slow paths, and atomic statistics — so every method
+/// takes `&self` and a threaded runtime can drive processors concurrently.
+/// Lock order: `protocol` → directory/table locks → shard mutexes; no path
+/// holds two shard mutexes at once.
+///
+/// See the [crate docs](crate) for an example.
 #[derive(Debug)]
 pub struct EagerEngine {
     cfg: EagerConfig,
     space: AddrSpace,
-    pages: Vec<Vec<EPage>>,
-    dirty: Vec<Vec<PageId>>,
-    dir: Vec<DirEntry>,
-    locks: LockTable,
-    barriers: BarrierSet,
+    shards: Vec<Mutex<EagerShard>>,
+    dir: Mutex<Vec<DirEntry>>,
+    locks: Mutex<LockTable>,
+    barriers: Mutex<BarrierSet>,
     /// EI: modifications buffered per barrier episode (keyed by barrier).
-    epoch_mods: HashMap<u32, Vec<EpochMod>>,
+    epoch_mods: Mutex<HashMap<u32, Vec<EpochMod>>>,
+    /// Serializes the slow paths (synchronization operations and directory
+    /// misses).
+    protocol: Mutex<()>,
     net: Fabric,
-    counters: EagerCounters,
+    counters: SharedEagerCounters,
 }
 
 impl EagerEngine {
@@ -81,16 +102,21 @@ impl EagerEngine {
             .collect();
         Ok(EagerEngine {
             space,
-            pages: (0..n)
-                .map(|_| (0..space.n_pages()).map(|_| EPage::default()).collect())
+            shards: (0..n)
+                .map(|_| {
+                    Mutex::new(EagerShard {
+                        pages: (0..space.n_pages()).map(|_| EPage::default()).collect(),
+                        dirty: Vec::new(),
+                    })
+                })
                 .collect(),
-            dirty: vec![Vec::new(); n],
-            dir,
-            locks: LockTable::new(cfg.n_locks, n),
-            barriers: BarrierSet::new(cfg.n_barriers, n),
-            epoch_mods: HashMap::new(),
+            dir: Mutex::new(dir),
+            locks: Mutex::new(LockTable::new(cfg.n_locks, n)),
+            barriers: Mutex::new(BarrierSet::new(cfg.n_barriers, n)),
+            epoch_mods: Mutex::new(HashMap::new()),
+            protocol: Mutex::new(()),
             net: Fabric::new(n),
-            counters: EagerCounters::default(),
+            counters: SharedEagerCounters::default(),
             cfg,
         })
     }
@@ -111,13 +137,13 @@ impl EagerEngine {
     }
 
     /// Enables per-message logging on the internal fabric (for tests).
-    pub fn enable_net_trace(&mut self) {
+    pub fn enable_net_trace(&self) {
         self.net.enable_trace();
     }
 
-    /// Protocol event counters.
-    pub fn counters(&self) -> &EagerCounters {
-        &self.counters
+    /// Snapshot of the protocol event counters.
+    pub fn counters(&self) -> EagerCounters {
+        self.counters.snapshot()
     }
 
     /// True if `p` holds a valid copy of `page` (the initial home copy
@@ -127,8 +153,8 @@ impl EagerEngine {
     ///
     /// Panics if `p` or `page` is out of range.
     pub fn page_valid(&self, p: ProcId, page: PageId) -> bool {
-        self.pages[p.index()][page.index()].valid
-            || self.dir[page.index()].copyset & (1u64 << p.index()) != 0
+        let resident = { self.shard(p).pages[page.index()].valid };
+        resident || self.dir.lock()[page.index()].copyset & (1u64 << p.index()) != 0
     }
 
     /// Processors currently caching `page`.
@@ -137,27 +163,40 @@ impl EagerEngine {
     ///
     /// Panics if `page` is out of range.
     pub fn copyset(&self, page: PageId) -> Vec<ProcId> {
-        let mask = self.dir[page.index()].copyset;
+        let mask = self.dir.lock()[page.index()].copyset;
         ProcId::all(self.cfg.n_procs)
             .filter(|p| mask & (1u64 << p.index()) != 0)
             .collect()
     }
 
+    fn shard(&self, p: ProcId) -> MutexGuard<'_, EagerShard> {
+        self.shards[p.index()].lock()
+    }
+
     // ---- ordinary accesses ----
 
     /// Reads `buf.len()` bytes at `addr` as processor `p`, taking directory
-    /// misses as needed.
+    /// misses as needed. Hitting a valid cached page takes only `p`'s
+    /// shard lock.
     ///
     /// # Panics
     ///
     /// Panics if the range is out of bounds or `p` is out of range.
-    pub fn read_into(&mut self, p: ProcId, addr: u64, buf: &mut [u8]) {
+    pub fn read_into(&self, p: ProcId, addr: u64, buf: &mut [u8]) {
         let mut cursor = 0;
         for seg in self.space.segments(addr, buf.len()) {
-            self.ensure_valid(p, seg.page);
-            let entry = &self.pages[p.index()][seg.page.index()];
-            let copy = entry.copy.as_ref().expect("valid page has a copy");
-            copy.read(seg.offset, &mut buf[cursor..cursor + seg.len]);
+            loop {
+                {
+                    let shard = self.shard(p);
+                    let entry = &shard.pages[seg.page.index()];
+                    if entry.valid {
+                        let copy = entry.copy.as_ref().expect("valid page has a copy");
+                        copy.read(seg.offset, &mut buf[cursor..cursor + seg.len]);
+                        break;
+                    }
+                }
+                self.resolve_miss(p, seg.page);
+            }
             cursor += seg.len;
         }
     }
@@ -167,7 +206,7 @@ impl EagerEngine {
     /// # Panics
     ///
     /// See [`EagerEngine::read_into`].
-    pub fn read_vec(&mut self, p: ProcId, addr: u64, len: usize) -> Vec<u8> {
+    pub fn read_vec(&self, p: ProcId, addr: u64, len: usize) -> Vec<u8> {
         let mut buf = vec![0u8; len];
         self.read_into(p, addr, &mut buf);
         buf
@@ -178,7 +217,7 @@ impl EagerEngine {
     /// # Panics
     ///
     /// See [`EagerEngine::read_into`].
-    pub fn read_u64(&mut self, p: ProcId, addr: u64) -> u64 {
+    pub fn read_u64(&self, p: ProcId, addr: u64) -> u64 {
         let mut raw = [0u8; 8];
         self.read_into(p, addr, &mut raw);
         u64::from_le_bytes(raw)
@@ -190,17 +229,33 @@ impl EagerEngine {
     /// # Panics
     ///
     /// Panics if the range is out of bounds or `p` is out of range.
-    pub fn write(&mut self, p: ProcId, addr: u64, data: &[u8]) {
+    pub fn write(&self, p: ProcId, addr: u64, data: &[u8]) {
         let mut cursor = 0;
         for seg in self.space.segments(addr, data.len()) {
-            self.ensure_valid(p, seg.page);
-            let entry = &mut self.pages[p.index()][seg.page.index()];
-            if entry.twin.is_none() {
-                entry.twin = Some(entry.copy.as_ref().expect("valid page has a copy").clone());
-                self.dirty[p.index()].push(seg.page);
+            loop {
+                {
+                    let mut shard = self.shard(p);
+                    let gi = seg.page.index();
+                    if shard.pages[gi].valid {
+                        if shard.pages[gi].twin.is_none() {
+                            let twin = shard.pages[gi]
+                                .copy
+                                .as_ref()
+                                .expect("valid page has a copy")
+                                .clone();
+                            shard.pages[gi].twin = Some(twin);
+                            shard.dirty.push(seg.page);
+                        }
+                        let copy = shard.pages[gi]
+                            .copy
+                            .as_mut()
+                            .expect("valid page has a copy");
+                        copy.write(seg.offset, &data[cursor..cursor + seg.len]);
+                        break;
+                    }
+                }
+                self.resolve_miss(p, seg.page);
             }
-            let copy = entry.copy.as_mut().expect("valid page has a copy");
-            copy.write(seg.offset, &data[cursor..cursor + seg.len]);
             cursor += seg.len;
         }
     }
@@ -210,7 +265,7 @@ impl EagerEngine {
     /// # Panics
     ///
     /// See [`EagerEngine::write`].
-    pub fn write_u64(&mut self, p: ProcId, addr: u64, value: u64) {
+    pub fn write_u64(&self, p: ProcId, addr: u64, value: u64) {
         self.write(p, addr, &value.to_le_bytes());
     }
 
@@ -222,9 +277,10 @@ impl EagerEngine {
     /// # Errors
     ///
     /// Propagates [`LockError`].
-    pub fn acquire(&mut self, p: ProcId, lock: LockId) -> Result<(), LockError> {
-        let path = self.locks.acquire(p, lock)?;
-        self.counters.acquires += 1;
+    pub fn acquire(&self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+        let _protocol = self.protocol.lock();
+        let path = self.locks.lock().acquire(p, lock)?;
+        bump(&self.counters.acquires, 1);
         if let Some((src, dst)) = path.request {
             self.net.send(src, dst, MsgKind::LockRequest, LOCK_ID_BYTES);
         }
@@ -244,15 +300,22 @@ impl EagerEngine {
     /// # Errors
     ///
     /// Propagates [`LockError::NotHolder`] and range errors.
-    pub fn release(&mut self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+    pub fn release(&self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+        let _protocol = self.protocol.lock();
         // Validate before flushing so an illegal release has no effect.
-        if self.locks.holder(lock) != Some(p) {
-            self.locks.release(p, lock)?;
-            unreachable!("release of unheld lock must error");
+        {
+            let mut locks = self.locks.lock();
+            if locks.holder(lock) != Some(p) {
+                locks.release(p, lock)?;
+                unreachable!("release of unheld lock must error");
+            }
         }
         self.flush_at_release(p);
-        self.locks.release(p, lock)?;
-        self.counters.releases += 1;
+        self.locks
+            .lock()
+            .release(p, lock)
+            .expect("holder validated above");
+        bump(&self.counters.releases, 1);
         Ok(())
     }
 
@@ -264,14 +327,14 @@ impl EagerEngine {
     /// # Errors
     ///
     /// Propagates [`BarrierError`].
-    pub fn barrier(
-        &mut self,
-        p: ProcId,
-        barrier: BarrierId,
-    ) -> Result<BarrierArrival, BarrierError> {
+    pub fn barrier(&self, p: ProcId, barrier: BarrierId) -> Result<BarrierArrival, BarrierError> {
+        let _protocol = self.protocol.lock();
         // Validate the arrival before performing any flush side effects.
-        self.barriers.check_arrival(p, barrier)?;
-        let master = self.barriers.master(barrier);
+        let master = {
+            let barriers = self.barriers.lock();
+            barriers.check_arrival(p, barrier)?;
+            barriers.master(barrier)
+        };
         let diffs = self.take_epoch_diffs(p);
         let mut piggyback_pages = 0usize;
         match self.cfg.policy {
@@ -280,7 +343,8 @@ impl EagerEngine {
             }
             Policy::Invalidate => {
                 piggyback_pages = diffs.len();
-                let buffer = self.epoch_mods.entry(barrier.raw()).or_default();
+                let mut epoch_mods = self.epoch_mods.lock();
+                let buffer = epoch_mods.entry(barrier.raw()).or_default();
                 for (page, diff) in diffs {
                     buffer.push(EpochMod {
                         writer: p,
@@ -294,7 +358,7 @@ impl EagerEngine {
             let payload = BARRIER_ID_BYTES + invalidation_bytes(piggyback_pages);
             self.net.send(p, master, MsgKind::BarrierArrival, payload);
         }
-        let outcome = self.barriers.arrive(p, barrier)?;
+        let outcome = self.barriers.lock().arrive(p, barrier)?;
         if let BarrierArrival::Complete { .. } = outcome {
             self.complete_barrier(barrier, master);
         }
@@ -305,28 +369,35 @@ impl EagerEngine {
 
     /// Ends `p`'s current epoch: diffs all dirty pages against their twins
     /// and transfers ownership to `p`.
-    fn take_epoch_diffs(&mut self, p: ProcId) -> Vec<(PageId, Diff)> {
-        let dirtied = std::mem::take(&mut self.dirty[p.index()]);
-        let mut out = Vec::with_capacity(dirtied.len());
-        for g in dirtied {
-            let entry = &mut self.pages[p.index()][g.index()];
-            let twin = entry.twin.take().expect("dirty page has a twin");
-            let copy = entry.copy.as_ref().expect("dirty page has a copy");
-            let diff = Diff::between(&twin, copy);
-            if !diff.is_empty() {
-                self.dir[g.index()].owner = p;
-                out.push((g, diff));
+    fn take_epoch_diffs(&self, p: ProcId) -> Vec<(PageId, Diff)> {
+        let mut out = Vec::new();
+        {
+            let mut shard = self.shard(p);
+            let dirtied = std::mem::take(&mut shard.dirty);
+            out.reserve(dirtied.len());
+            for g in dirtied {
+                let entry = &mut shard.pages[g.index()];
+                let twin = entry.twin.take().expect("dirty page has a twin");
+                let copy = entry.copy.as_ref().expect("dirty page has a copy");
+                let diff = Diff::between(&twin, copy);
+                if !diff.is_empty() {
+                    out.push((g, diff));
+                }
             }
         }
         if !out.is_empty() {
-            self.counters.flushes += 1;
+            let mut dir = self.dir.lock();
+            for (g, _) in &out {
+                dir[g.index()].owner = p;
+            }
+            bump(&self.counters.flushes, 1);
         }
         out
     }
 
     /// Release-time propagation: updates (EU) or invalidations (EI) to all
     /// other cachers, one merged message per destination, plus acks.
-    fn flush_at_release(&mut self, p: ProcId) {
+    fn flush_at_release(&self, p: ProcId) {
         let diffs = self.take_epoch_diffs(p);
         if diffs.is_empty() {
             return;
@@ -341,9 +412,10 @@ impl EagerEngine {
 
     /// Destinations (other cachers) per page, merged per destination.
     fn destinations(&self, p: ProcId, diffs: &[(PageId, Diff)]) -> Vec<(ProcId, Vec<usize>)> {
+        let dir = self.dir.lock();
         let mut per_dest: HashMap<ProcId, Vec<usize>> = HashMap::new();
         for (i, (g, _)) in diffs.iter().enumerate() {
-            let mask = self.dir[g.index()].copyset & !(1u64 << p.index());
+            let mask = dir[g.index()].copyset & !(1u64 << p.index());
             for d in ProcId::all(self.cfg.n_procs) {
                 if mask & (1u64 << d.index()) != 0 {
                     per_dest.entry(d).or_default().push(i);
@@ -358,7 +430,7 @@ impl EagerEngine {
     /// EU: one update message per destination carrying the diffs of every
     /// modified page that destination caches, plus an ack each.
     fn push_updates(
-        &mut self,
+        &self,
         p: ProcId,
         diffs: &[(PageId, Diff)],
         update_kind: MsgKind,
@@ -370,70 +442,101 @@ impl EagerEngine {
                 .map(|&i| diffs[i].1.encoded_size() as u64)
                 .sum();
             self.net.send(p, dest, update_kind, payload);
-            for &i in &indices {
-                let (g, ref diff) = diffs[i];
-                let entry = &mut self.pages[dest.index()][g.index()];
-                let copy = entry
-                    .copy
-                    .get_or_insert_with(|| PageBuf::zeroed(self.space.page_size()));
-                diff.apply_to(copy);
-                if let Some(twin) = entry.twin.as_mut() {
-                    diff.apply_to(twin);
+            {
+                let mut dest_shard = self.shard(dest);
+                for &i in &indices {
+                    let (g, ref diff) = diffs[i];
+                    let entry = &mut dest_shard.pages[g.index()];
+                    let copy = entry
+                        .copy
+                        .get_or_insert_with(|| PageBuf::zeroed(self.space.page_size()));
+                    diff.apply_to(copy);
+                    if let Some(twin) = entry.twin.as_mut() {
+                        diff.apply_to(twin);
+                    }
+                    entry.valid = true;
                 }
-                entry.valid = true;
             }
             self.net.send(dest, p, ack_kind, 0);
-            self.counters.updates_sent += 1;
+            bump(&self.counters.updates_sent, 1);
         }
     }
 
     /// EI at a release: write notices to every other cacher; cachers drop
     /// their copies (writing back their own concurrent modifications
     /// first), leaving the releaser the only valid copy.
-    fn push_invalidations(&mut self, p: ProcId, diffs: &[(PageId, Diff)]) {
+    fn push_invalidations(&self, p: ProcId, diffs: &[(PageId, Diff)]) {
         for (dest, indices) in self.destinations(p, diffs) {
             let payload = invalidation_bytes(indices.len());
             self.net.send(p, dest, MsgKind::ReleaseInvalidate, payload);
-            self.counters.invalidations_sent += 1;
-            for &i in &indices {
-                let g = diffs[i].0;
-                let entry = &mut self.pages[dest.index()][g.index()];
-                if entry.twin.is_some() {
-                    // The destination wrote the page concurrently (false
-                    // sharing): its modifications ride back to the releaser
-                    // before the copy is dropped.
-                    let twin = entry.twin.take().expect("checked above");
-                    let copy = entry.copy.as_ref().expect("dirty page has a copy");
-                    let wb = Diff::between(&twin, copy);
-                    self.dirty[dest.index()].retain(|&d| d != g);
-                    entry.valid = false;
-                    if !wb.is_empty() {
-                        self.net
-                            .send(dest, p, MsgKind::WritebackReply, wb.encoded_size() as u64);
-                        self.counters.writebacks += 1;
-                        let releaser = &mut self.pages[p.index()][g.index()];
-                        let copy = releaser.copy.as_mut().expect("releaser has the page");
-                        wb.apply_to(copy);
+            bump(&self.counters.invalidations_sent, 1);
+            // Invalidate at the destination, collecting writebacks from
+            // concurrent writers (false sharing); never hold two shard
+            // locks at once — the writebacks apply to the releaser after
+            // the destination's shard is dropped.
+            let mut writebacks: Vec<(PageId, Diff)> = Vec::new();
+            {
+                let mut dest_shard = self.shard(dest);
+                for &i in &indices {
+                    let g = diffs[i].0;
+                    let gi = g.index();
+                    if dest_shard.pages[gi].twin.is_some() {
+                        // The destination wrote the page concurrently: its
+                        // modifications ride back to the releaser before
+                        // the copy is dropped.
+                        let twin = dest_shard.pages[gi].twin.take().expect("checked above");
+                        let copy = dest_shard.pages[gi]
+                            .copy
+                            .as_ref()
+                            .expect("dirty page has a copy");
+                        let wb = Diff::between(&twin, copy);
+                        dest_shard.dirty.retain(|&d| d != g);
+                        dest_shard.pages[gi].valid = false;
+                        if !wb.is_empty() {
+                            writebacks.push((g, wb));
+                        }
+                    } else {
+                        dest_shard.pages[gi].valid = false;
                     }
-                } else {
-                    entry.valid = false;
                 }
-                self.dir[g.index()].copyset &= !(1u64 << dest.index());
-                self.counters.pages_invalidated += 1;
+            }
+            for (g, wb) in &writebacks {
+                self.net
+                    .send(dest, p, MsgKind::WritebackReply, wb.encoded_size() as u64);
+                bump(&self.counters.writebacks, 1);
+                let mut releaser = self.shard(p);
+                let copy = releaser.pages[g.index()]
+                    .copy
+                    .as_mut()
+                    .expect("releaser has the page");
+                wb.apply_to(copy);
+            }
+            {
+                let mut dir = self.dir.lock();
+                for &i in &indices {
+                    let g = diffs[i].0;
+                    dir[g.index()].copyset &= !(1u64 << dest.index());
+                    bump(&self.counters.pages_invalidated, 1);
+                }
             }
             self.net.send(dest, p, MsgKind::ReleaseAck, 0);
         }
+        let mut dir = self.dir.lock();
         for (g, _) in diffs {
             // The releaser keeps the only valid copy.
-            self.dir[g.index()].copyset |= 1u64 << p.index();
+            dir[g.index()].copyset |= 1u64 << p.index();
         }
     }
 
     /// EI barrier completion: resolve multiple invalidators per page (the
     /// `2v` term), invalidate all other cachers (piggybacked, free), and
     /// send exit messages carrying the aggregated notices.
-    fn complete_barrier(&mut self, barrier: BarrierId, master: ProcId) {
-        let mods = self.epoch_mods.remove(&barrier.raw()).unwrap_or_default();
+    fn complete_barrier(&self, barrier: BarrierId, master: ProcId) {
+        let mods = self
+            .epoch_mods
+            .lock()
+            .remove(&barrier.raw())
+            .unwrap_or_default();
         let mut by_page: HashMap<PageId, Vec<(ProcId, Diff)>> = HashMap::new();
         for m in mods {
             by_page.entry(m.page).or_default().push((m.writer, m.diff));
@@ -457,22 +560,28 @@ impl EagerEngine {
                     diff.encoded_size() as u64,
                 );
                 self.net.send(winner, *w, MsgKind::BarrierResolveAck, 0);
-                let entry = &mut self.pages[winner.index()][g.index()];
-                let copy = entry.copy.as_mut().expect("winner wrote the page");
-                diff.apply_to(copy);
-                self.counters.excess_invalidators += 1;
+                {
+                    let mut winner_shard = self.shard(winner);
+                    let copy = winner_shard.pages[g.index()]
+                        .copy
+                        .as_mut()
+                        .expect("winner wrote the page");
+                    diff.apply_to(copy);
+                }
+                bump(&self.counters.excess_invalidators, 1);
             }
             // Everyone but the winner drops the page (notices piggybacked
             // on the barrier messages — no extra traffic).
-            let mask = self.dir[g.index()].copyset;
+            let mut dir = self.dir.lock();
+            let mask = dir[g.index()].copyset;
             for d in ProcId::all(self.cfg.n_procs) {
                 if d != winner && mask & (1u64 << d.index()) != 0 {
-                    self.pages[d.index()][g.index()].valid = false;
-                    self.counters.pages_invalidated += 1;
+                    self.shard(d).pages[g.index()].valid = false;
+                    bump(&self.counters.pages_invalidated, 1);
                 }
             }
-            self.dir[g.index()].copyset = 1u64 << winner.index();
-            self.dir[g.index()].owner = winner;
+            dir[g.index()].copyset = 1u64 << winner.index();
+            dir[g.index()].owner = winner;
         }
         for r in ProcId::all(self.cfg.n_procs) {
             if r != master {
@@ -480,35 +589,42 @@ impl EagerEngine {
                 self.net.send(master, r, MsgKind::BarrierExit, payload);
             }
         }
-        self.counters.barrier_episodes += 1;
+        bump(&self.counters.barrier_episodes, 1);
     }
 
     /// Directory miss: two messages when the home has a valid copy, three
     /// when the request is forwarded to the owner (§3).
-    fn ensure_valid(&mut self, p: ProcId, page: PageId) {
-        if self.pages[p.index()][page.index()].valid {
-            return;
+    fn resolve_miss(&self, p: ProcId, page: PageId) {
+        let _protocol = self.protocol.lock();
+        {
+            let shard = self.shard(p);
+            if shard.pages[page.index()].valid {
+                // Resolved while this processor waited for the slow path.
+                return;
+            }
         }
         let gi = page.index();
         let home = ProcId::new((gi % self.cfg.n_procs) as u16);
         let pbit = 1u64 << p.index();
-        if self.dir[gi].copyset & pbit != 0 {
+        let mut dir = self.dir.lock();
+        if dir[gi].copyset & pbit != 0 {
             // Initial home copy: materialize the zero page locally.
-            let entry = &mut self.pages[p.index()][gi];
+            let mut shard = self.shard(p);
+            let entry = &mut shard.pages[gi];
             entry
                 .copy
                 .get_or_insert_with(|| PageBuf::zeroed(self.space.page_size()));
             entry.valid = true;
             return;
         }
-        let home_has = self.dir[gi].copyset & (1u64 << home.index()) != 0;
-        let source = if home_has { home } else { self.dir[gi].owner };
+        let home_has = dir[gi].copyset & (1u64 << home.index()) != 0;
+        let source = if home_has { home } else { dir[gi].owner };
         debug_assert_ne!(source, p, "a missing processor cannot be the source");
 
         // Materialize the source copy (the home's initial copy is zeros).
         let content = {
-            let entry = &mut self.pages[source.index()][gi];
-            entry
+            let mut source_shard = self.shard(source);
+            source_shard.pages[gi]
                 .copy
                 .get_or_insert_with(|| PageBuf::zeroed(self.space.page_size()))
                 .clone()
@@ -524,34 +640,34 @@ impl EagerEngine {
                     MsgKind::MissReply,
                     page_bytes,
                 );
-                self.counters.misses_2hop += 1;
+                bump(&self.counters.misses_2hop, 1);
             }
             // p == home cannot happen here (its copyset bit would be set),
             // but the branch above keeps the accounting honest if the
             // directory ever says otherwise.
+        } else if p != home {
+            self.net.send(p, home, MsgKind::MissRequest, PAGE_ID_BYTES);
+            self.net
+                .send(home, source, MsgKind::MissForward, PAGE_ID_BYTES);
+            self.net.send(source, p, MsgKind::MissReply, page_bytes);
+            bump(&self.counters.misses_3hop, 1);
         } else {
-            if p != home {
-                self.net.send(p, home, MsgKind::MissRequest, PAGE_ID_BYTES);
-                self.net
-                    .send(home, source, MsgKind::MissForward, PAGE_ID_BYTES);
-                self.net.send(source, p, MsgKind::MissReply, page_bytes);
-                self.counters.misses_3hop += 1;
-            } else {
-                // The home itself misses: it forwards directly.
-                self.net.round_trip(
-                    p,
-                    source,
-                    MsgKind::MissRequest,
-                    PAGE_ID_BYTES,
-                    MsgKind::MissReply,
-                    page_bytes,
-                );
-                self.counters.misses_2hop += 1;
-            }
+            // The home itself misses: it forwards directly.
+            self.net.round_trip(
+                p,
+                source,
+                MsgKind::MissRequest,
+                PAGE_ID_BYTES,
+                MsgKind::MissReply,
+                page_bytes,
+            );
+            bump(&self.counters.misses_2hop, 1);
         }
-        let entry = &mut self.pages[p.index()][gi];
-        entry.copy = Some(content);
-        entry.valid = true;
-        self.dir[gi].copyset |= pbit;
+        {
+            let mut shard = self.shard(p);
+            shard.pages[gi].copy = Some(content);
+            shard.pages[gi].valid = true;
+        }
+        dir[gi].copyset |= pbit;
     }
 }

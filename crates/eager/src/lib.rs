@@ -32,7 +32,7 @@
 //! use lrc_sync::LockId;
 //! use lrc_vclock::ProcId;
 //!
-//! let mut dsm = EagerEngine::new(EagerConfig::new(2, 1 << 16).policy(Policy::Update))?;
+//! let dsm = EagerEngine::new(EagerConfig::new(2, 1 << 16).policy(Policy::Update))?;
 //! let (p0, p1, l) = (ProcId::new(0), ProcId::new(1), LockId::new(0));
 //!
 //! dsm.acquire(p0, l)?;

@@ -26,7 +26,7 @@ fn engine(policy: Policy) -> EagerEngine {
 
 #[test]
 fn acquires_carry_no_consistency_data() {
-    let mut dsm = engine(Policy::Update);
+    let dsm = engine(Policy::Update);
     dsm.acquire(p(1), l(0)).unwrap();
     dsm.write_u64(p(1), 0, 1);
     dsm.release(p(1), l(0)).unwrap();
@@ -40,7 +40,7 @@ fn acquires_carry_no_consistency_data() {
 
 #[test]
 fn release_pushes_updates_to_all_cachers() {
-    let mut dsm = engine(Policy::Update);
+    let dsm = engine(Policy::Update);
     // p1, p2, p3 cache page 0 (cold misses through the directory).
     for i in 1..4u16 {
         dsm.read_u64(p(i), 0);
@@ -64,7 +64,7 @@ fn release_pushes_updates_to_all_cachers() {
 
 #[test]
 fn release_invalidates_under_ei() {
-    let mut dsm = engine(Policy::Invalidate);
+    let dsm = engine(Policy::Invalidate);
     for i in 1..4u16 {
         dsm.read_u64(p(i), 0);
     }
@@ -89,7 +89,7 @@ fn release_invalidates_under_ei() {
 
 #[test]
 fn miss_is_two_hops_when_home_has_copy() {
-    let mut dsm = engine(Policy::Invalidate);
+    let dsm = engine(Policy::Invalidate);
     // Page 0's home is p0 and holds the initial copy: first miss by p2 is
     // 2 messages.
     let before = dsm.net().snapshot();
@@ -104,7 +104,7 @@ fn repeated_lock_rounds_update_everyone_eagerly() {
     // The Figure 3 pathology: once all four processors cache the page,
     // every EU release updates all of them although only the next lock
     // holder needs the data.
-    let mut dsm = engine(Policy::Update);
+    let dsm = engine(Policy::Update);
     for i in 0..4u16 {
         dsm.read_u64(p(i), 0);
     }
@@ -125,7 +125,7 @@ fn repeated_lock_rounds_update_everyone_eagerly() {
 
 #[test]
 fn eu_barrier_pushes_2u_messages() {
-    let mut dsm = engine(Policy::Update);
+    let dsm = engine(Policy::Update);
     // p1 and p2 cache page 0; p0 (home) also caches it implicitly.
     dsm.read_u64(p(1), 0);
     dsm.read_u64(p(2), 0);
@@ -145,7 +145,7 @@ fn eu_barrier_pushes_2u_messages() {
 
 #[test]
 fn ei_barrier_piggybacks_invalidations() {
-    let mut dsm = engine(Policy::Invalidate);
+    let dsm = engine(Policy::Invalidate);
     dsm.read_u64(p(1), 0);
     dsm.read_u64(p(2), 0);
     dsm.write_u64(p(1), 0, 5);
@@ -164,7 +164,7 @@ fn ei_barrier_piggybacks_invalidations() {
 
 #[test]
 fn ei_excess_invalidators_pay_2v() {
-    let mut dsm = engine(Policy::Invalidate);
+    let dsm = engine(Policy::Invalidate);
     // Three processors write disjoint words of page 0 between barriers.
     for i in 0..3u16 {
         dsm.read_u64(p(i), 0);
@@ -188,7 +188,7 @@ fn ei_excess_invalidators_pay_2v() {
 
 #[test]
 fn concurrent_writer_writes_back_on_invalidation() {
-    let mut dsm = engine(Policy::Invalidate);
+    let dsm = engine(Policy::Invalidate);
     // p1 and p2 write disjoint words of page 0; p1 releases a lock.
     dsm.read_u64(p(1), 0);
     dsm.read_u64(p(2), 0);
@@ -210,7 +210,7 @@ fn concurrent_writer_writes_back_on_invalidation() {
 
 #[test]
 fn empty_critical_sections_flush_nothing() {
-    let mut dsm = engine(Policy::Update);
+    let dsm = engine(Policy::Update);
     dsm.read_u64(p(1), 0);
     dsm.acquire(p(2), l(0)).unwrap();
     let before = dsm.net().snapshot();
@@ -221,7 +221,7 @@ fn empty_critical_sections_flush_nothing() {
 #[test]
 fn migratory_chain_values_flow_correctly() {
     for policy in [Policy::Invalidate, Policy::Update] {
-        let mut dsm = engine(policy);
+        let dsm = engine(policy);
         let mut expected = 0u64;
         for round in 0..8u16 {
             let proc = p(round % 4);
@@ -237,7 +237,7 @@ fn migratory_chain_values_flow_correctly() {
 
 #[test]
 fn lock_and_barrier_errors_propagate() {
-    let mut dsm = engine(Policy::Invalidate);
+    let dsm = engine(Policy::Invalidate);
     dsm.acquire(p(0), l(0)).unwrap();
     assert!(dsm.acquire(p(1), l(0)).is_err());
     assert!(dsm.release(p(1), l(0)).is_err());
@@ -249,7 +249,7 @@ fn lock_and_barrier_errors_propagate() {
 
 #[test]
 fn page_valid_reflects_directory_and_invalidations() {
-    let mut dsm = engine(Policy::Invalidate);
+    let dsm = engine(Policy::Invalidate);
     let page = dsm.space().page_of(0);
     assert!(
         dsm.page_valid(p(0), page),

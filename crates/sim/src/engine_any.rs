@@ -87,7 +87,7 @@ impl AnyEngine {
     /// # Panics
     ///
     /// Panics on out-of-range accesses (see the engines' docs).
-    pub fn read_into(&mut self, p: ProcId, addr: u64, buf: &mut [u8]) {
+    pub fn read_into(&self, p: ProcId, addr: u64, buf: &mut [u8]) {
         match self {
             AnyEngine::Lazy(e) => e.read_into(p, addr, buf),
             AnyEngine::Eager(e) => e.read_into(p, addr, buf),
@@ -99,7 +99,7 @@ impl AnyEngine {
     /// # Panics
     ///
     /// Panics on out-of-range accesses (see the engines' docs).
-    pub fn write(&mut self, p: ProcId, addr: u64, data: &[u8]) {
+    pub fn write(&self, p: ProcId, addr: u64, data: &[u8]) {
         match self {
             AnyEngine::Lazy(e) => e.write(p, addr, data),
             AnyEngine::Eager(e) => e.write(p, addr, data),
@@ -111,7 +111,7 @@ impl AnyEngine {
     /// # Errors
     ///
     /// Propagates [`LockError`].
-    pub fn acquire(&mut self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+    pub fn acquire(&self, p: ProcId, lock: LockId) -> Result<(), LockError> {
         match self {
             AnyEngine::Lazy(e) => e.acquire(p, lock),
             AnyEngine::Eager(e) => e.acquire(p, lock),
@@ -123,7 +123,7 @@ impl AnyEngine {
     /// # Errors
     ///
     /// Propagates [`LockError`].
-    pub fn release(&mut self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+    pub fn release(&self, p: ProcId, lock: LockId) -> Result<(), LockError> {
         match self {
             AnyEngine::Lazy(e) => e.release(p, lock),
             AnyEngine::Eager(e) => e.release(p, lock),
@@ -135,11 +135,7 @@ impl AnyEngine {
     /// # Errors
     ///
     /// Propagates [`BarrierError`].
-    pub fn barrier(
-        &mut self,
-        p: ProcId,
-        barrier: BarrierId,
-    ) -> Result<BarrierArrival, BarrierError> {
+    pub fn barrier(&self, p: ProcId, barrier: BarrierId) -> Result<BarrierArrival, BarrierError> {
         match self {
             AnyEngine::Lazy(e) => e.barrier(p, barrier),
             AnyEngine::Eager(e) => e.barrier(p, barrier),
@@ -147,7 +143,7 @@ impl AnyEngine {
     }
 
     /// Enables per-message logging on the engine's fabric.
-    pub fn enable_net_trace(&mut self) {
+    pub fn enable_net_trace(&self) {
         match self {
             AnyEngine::Lazy(e) => e.enable_net_trace(),
             AnyEngine::Eager(e) => e.enable_net_trace(),
@@ -155,7 +151,7 @@ impl AnyEngine {
     }
 
     /// The logged messages (empty unless tracing was enabled).
-    pub fn net_records(&self) -> &[lrc_simnet::MsgRecord] {
+    pub fn net_records(&self) -> Vec<lrc_simnet::MsgRecord> {
         match self {
             AnyEngine::Lazy(e) => e.net().traced(),
             AnyEngine::Eager(e) => e.net().traced(),
@@ -165,8 +161,8 @@ impl AnyEngine {
     /// Snapshot of the network statistics.
     pub fn net_stats(&self) -> NetStats {
         match self {
-            AnyEngine::Lazy(e) => e.net().stats().clone(),
-            AnyEngine::Eager(e) => e.net().stats().clone(),
+            AnyEngine::Lazy(e) => e.net().stats(),
+            AnyEngine::Eager(e) => e.net().stats(),
         }
     }
 
@@ -217,7 +213,7 @@ mod tests {
     #[test]
     fn dispatch_works_end_to_end() {
         for kind in ProtocolKind::ALL {
-            let mut e = AnyEngine::build(kind, &params()).unwrap();
+            let e = AnyEngine::build(kind, &params()).unwrap();
             let (p0, p1) = (ProcId::new(0), ProcId::new(1));
             let l = LockId::new(0);
             e.acquire(p0, l).unwrap();

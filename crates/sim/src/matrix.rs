@@ -158,7 +158,7 @@ pub fn run_traced(
     let mut engine = AnyEngine::build(kind, &params)?;
     engine.enable_net_trace();
     let report = crate::runner::replay(trace, kind, page_bytes, options, &mut engine)?;
-    let matrix = CommMatrix::from_records(meta.n_procs(), engine.net_records());
+    let matrix = CommMatrix::from_records(meta.n_procs(), &engine.net_records());
     Ok((report, matrix))
 }
 

@@ -1,4 +1,6 @@
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use lrc_vclock::ProcId;
 
@@ -34,11 +36,19 @@ impl fmt::Display for MsgRecord {
 /// With [`Fabric::enable_trace`] it also keeps an ordered log of
 /// [`MsgRecord`]s, which the tests use to assert fine-grained protocol
 /// behaviour (e.g. "a release sends nothing under LRC").
-#[derive(Clone, Debug, Default)]
+///
+/// The meter is internally thread-safe: counts are per-kind atomics updated
+/// with relaxed ordering (they are statistics, not synchronization), so
+/// concurrently running processors of a threaded runtime can charge traffic
+/// without contending on a lock. [`Fabric::stats`] aggregates the atomics
+/// into a plain [`NetStats`] snapshot on read.
+#[derive(Debug, Default)]
 pub struct Fabric {
     n_procs: usize,
-    stats: NetStats,
-    trace: Option<Vec<MsgRecord>>,
+    msgs: [AtomicU64; MsgKind::COUNT],
+    bytes: [AtomicU64; MsgKind::COUNT],
+    trace_on: AtomicBool,
+    trace: Mutex<Vec<MsgRecord>>,
 }
 
 impl Fabric {
@@ -51,8 +61,7 @@ impl Fabric {
         assert!(n_procs > 0, "a fabric needs at least one processor");
         Fabric {
             n_procs,
-            stats: NetStats::new(),
-            trace: None,
+            ..Fabric::default()
         }
     }
 
@@ -62,15 +71,18 @@ impl Fabric {
     }
 
     /// Starts logging individual messages (unbounded; intended for tests).
-    pub fn enable_trace(&mut self) {
-        if self.trace.is_none() {
-            self.trace = Some(Vec::new());
-        }
+    pub fn enable_trace(&self) {
+        self.trace_on.store(true, Ordering::Release);
     }
 
-    /// The logged messages, empty unless [`Fabric::enable_trace`] was called.
-    pub fn traced(&self) -> &[MsgRecord] {
-        self.trace.as_deref().unwrap_or(&[])
+    /// The logged messages, empty unless [`Fabric::enable_trace`] was
+    /// called. Returns a snapshot: messages sent after the call are not in
+    /// the returned vector.
+    pub fn traced(&self) -> Vec<MsgRecord> {
+        if !self.trace_on.load(Ordering::Acquire) {
+            return Vec::new();
+        }
+        self.trace.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Sends one message of `kind` with `payload` bytes from `src` to `dst`.
@@ -80,24 +92,28 @@ impl Fabric {
     /// Panics if an endpoint is out of range or if `src == dst` — local
     /// operations must not be charged as messages (that is the whole point
     /// of laziness).
-    pub fn send(&mut self, src: ProcId, dst: ProcId, kind: MsgKind, payload: u64) {
+    pub fn send(&self, src: ProcId, dst: ProcId, kind: MsgKind, payload: u64) {
         assert!(src.index() < self.n_procs, "source {src} out of range");
         assert!(dst.index() < self.n_procs, "destination {dst} out of range");
         assert_ne!(src, dst, "{src} attempted to send {kind} to itself");
-        self.stats.record(kind, payload);
-        if let Some(log) = &mut self.trace {
-            log.push(MsgRecord {
-                src,
-                dst,
-                kind,
-                payload,
-            });
+        self.msgs[kind.index()].fetch_add(1, Ordering::Relaxed);
+        self.bytes[kind.index()].fetch_add(crate::MSG_HEADER_BYTES + payload, Ordering::Relaxed);
+        if self.trace_on.load(Ordering::Acquire) {
+            self.trace
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(MsgRecord {
+                    src,
+                    dst,
+                    kind,
+                    payload,
+                });
         }
     }
 
     /// A request/reply exchange: two messages with separate payloads.
     pub fn round_trip(
-        &mut self,
+        &self,
         src: ProcId,
         dst: ProcId,
         request: MsgKind,
@@ -109,14 +125,22 @@ impl Fabric {
         self.send(dst, src, reply, reply_payload);
     }
 
-    /// The accumulated statistics.
-    pub fn stats(&self) -> &NetStats {
-        &self.stats
+    /// Aggregates the per-kind atomics into a statistics snapshot.
+    pub fn stats(&self) -> NetStats {
+        let mut out = NetStats::new();
+        for &kind in MsgKind::ALL.iter() {
+            out.set(
+                kind,
+                self.msgs[kind.index()].load(Ordering::Relaxed),
+                self.bytes[kind.index()].load(Ordering::Relaxed),
+            );
+        }
+        out
     }
 
     /// Snapshots the statistics (for [`NetStats::since`] deltas).
     pub fn snapshot(&self) -> NetStats {
-        self.stats.clone()
+        self.stats()
     }
 }
 
@@ -131,7 +155,7 @@ mod tests {
 
     #[test]
     fn send_meters_traffic() {
-        let mut f = Fabric::new(2);
+        let f = Fabric::new(2);
         f.send(p(0), p(1), MsgKind::LockRequest, 8);
         assert_eq!(f.stats().total().msgs, 1);
         assert_eq!(f.stats().class(OpClass::Lock).msgs, 1);
@@ -139,7 +163,7 @@ mod tests {
 
     #[test]
     fn round_trip_counts_two_messages() {
-        let mut f = Fabric::new(2);
+        let f = Fabric::new(2);
         f.round_trip(p(0), p(1), MsgKind::MissRequest, 4, MsgKind::MissReply, 512);
         assert_eq!(f.stats().class(OpClass::Miss).msgs, 2);
         assert_eq!(
@@ -151,20 +175,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "to itself")]
     fn self_send_rejected() {
-        let mut f = Fabric::new(2);
+        let f = Fabric::new(2);
         f.send(p(1), p(1), MsgKind::LockRequest, 0);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn unknown_endpoint_rejected() {
-        let mut f = Fabric::new(2);
+        let f = Fabric::new(2);
         f.send(p(0), p(5), MsgKind::LockRequest, 0);
     }
 
     #[test]
     fn trace_records_in_order() {
-        let mut f = Fabric::new(3);
+        let f = Fabric::new(3);
         f.enable_trace();
         f.send(p(0), p(1), MsgKind::BarrierArrival, 8);
         f.send(p(1), p(0), MsgKind::BarrierExit, 8);
@@ -177,8 +201,27 @@ mod tests {
 
     #[test]
     fn trace_disabled_by_default() {
-        let mut f = Fabric::new(2);
+        let f = Fabric::new(2);
         f.send(p(0), p(1), MsgKind::LockRequest, 0);
         assert!(f.traced().is_empty());
+    }
+
+    #[test]
+    fn concurrent_sends_all_counted() {
+        let f = std::sync::Arc::new(Fabric::new(2));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let f = std::sync::Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        f.send(p(0), p(1), MsgKind::LockRequest, 8);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(f.stats().kind(MsgKind::LockRequest).msgs, 4000);
     }
 }

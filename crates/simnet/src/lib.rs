@@ -17,7 +17,7 @@
 //! use lrc_simnet::{Fabric, MsgKind, OpClass};
 //! use lrc_vclock::ProcId;
 //!
-//! let mut net = Fabric::new(4);
+//! let net = Fabric::new(4);
 //! net.send(ProcId::new(0), ProcId::new(1), MsgKind::LockRequest, 8);
 //! net.send(ProcId::new(1), ProcId::new(2), MsgKind::LockForward, 8);
 //! net.send(ProcId::new(2), ProcId::new(0), MsgKind::LockGrant, 64);

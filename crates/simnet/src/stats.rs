@@ -80,6 +80,12 @@ impl NetStats {
         c.bytes += crate::MSG_HEADER_BYTES + payload_bytes;
     }
 
+    /// Overwrites the counter of one kind (used by [`crate::Fabric`] when
+    /// aggregating its atomics into a snapshot).
+    pub(crate) fn set(&mut self, kind: MsgKind, msgs: u64, bytes: u64) {
+        self.by_kind[kind.index()] = Counter { msgs, bytes };
+    }
+
     /// Traffic of one message kind.
     pub fn kind(&self, kind: MsgKind) -> Counter {
         self.by_kind[kind.index()]

@@ -152,3 +152,40 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // The 16-way flag cross multiplies replays, so fewer cases keep the
+    // sweep inside a sensible test budget.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The ablation/extension cross: gc_at_barriers × piggyback_notices ×
+    /// full_page_misses, for both lazy policies, must each still be
+    /// indistinguishable from sequential consistency. The flags change
+    /// *accounting and history retention*, never visible memory — a
+    /// divergence here means an ablation knob corrupted the protocol.
+    #[test]
+    fn ablation_cross_matches_sequential_consistency(cmds in prop::collection::vec(cmd(), 1..40)) {
+        let trace = build(&cmds);
+        prop_assert!(check_labeling(&trace).is_ok(), "generator must be race-free");
+        for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::LazyUpdate] {
+            for gc in [false, true] {
+                for piggyback in [true, false] {
+                    for full_pages in [false, true] {
+                        let options = SimOptions {
+                            check_sc: true,
+                            gc_at_barriers: gc,
+                            piggyback_notices: piggyback,
+                            full_page_misses: full_pages,
+                        };
+                        let result = run_trace(&trace, kind, 512, &options);
+                        prop_assert!(
+                            result.is_ok(),
+                            "{kind} gc={gc} piggyback={piggyback} full_pages={full_pages}: {}",
+                            result.err().map(|e| e.to_string()).unwrap_or_default()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -12,14 +12,27 @@ use lrc::workloads::{AppKind, Scale};
 
 /// Replays a trace through runtime handles, sequentially on one thread
 /// (the same global order the simulator uses), writing identical bytes.
-fn replay_through_runtime(trace: &Trace, kind: ProtocolKind, page: usize) -> lrc::simnet::NetStats {
+fn replay_through_runtime(
+    trace: &Trace,
+    kind: ProtocolKind,
+    page: usize,
+    options: &SimOptions,
+) -> lrc::simnet::NetStats {
     let meta = trace.meta();
-    let dsm = DsmBuilder::new(kind, meta.n_procs(), meta.mem_bytes())
+    let mut builder = DsmBuilder::new(kind, meta.n_procs(), meta.mem_bytes())
         .page_size(page)
         .locks(meta.n_locks().max(1))
-        .barriers(meta.n_barriers().max(1))
-        .build()
-        .expect("valid config");
+        .barriers(meta.n_barriers().max(1));
+    if !options.piggyback_notices {
+        builder = builder.no_piggyback();
+    }
+    if options.full_page_misses {
+        builder = builder.full_page_misses();
+    }
+    if options.gc_at_barriers {
+        builder = builder.gc_at_barriers();
+    }
+    let dsm = builder.build().expect("valid config");
     let mut handles: Vec<_> = (0..meta.n_procs())
         .map(|i| dsm.handle(lrc::vclock::ProcId::new(i as u16)))
         .collect();
@@ -56,10 +69,38 @@ fn runtime_equals_simulator_on_lock_workloads() {
         for kind in ProtocolKind::ALL {
             for page in [512usize, 4096] {
                 let sim = run_trace(&trace, kind, page, &SimOptions::fast()).unwrap();
-                let runtime = replay_through_runtime(&trace, kind, page);
+                let runtime = replay_through_runtime(&trace, kind, page, &SimOptions::fast());
                 assert_eq!(
                     sim.net, runtime,
                     "{name}/{kind}@{page}: runtime and simulator disagree"
+                );
+            }
+        }
+    }
+}
+
+/// The runtime and simulator must also agree under every lazy-protocol
+/// ablation: piggybacking off, full-page misses, and their combination —
+/// for both data-movement policies. (Garbage collection is crossed in by
+/// the threaded barrier test below and the random-program sweeps; these
+/// lock workloads are barrier-free, so `gc_at_barriers` never fires here.)
+#[test]
+fn runtime_equals_simulator_under_ablations() {
+    let trace = migratory(4, 24, 16);
+    for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::LazyUpdate] {
+        for piggyback in [true, false] {
+            for full_pages in [true, false] {
+                let options = SimOptions {
+                    piggyback_notices: piggyback,
+                    full_page_misses: full_pages,
+                    ..SimOptions::fast()
+                };
+                let sim = run_trace(&trace, kind, 512, &options).unwrap();
+                let runtime = replay_through_runtime(&trace, kind, 512, &options);
+                assert_eq!(
+                    sim.net, runtime,
+                    "{kind} piggyback={piggyback} full_pages={full_pages}: \
+                     runtime and simulator disagree"
                 );
             }
         }
@@ -108,4 +149,53 @@ fn threaded_runs_remain_consistent() {
         0,
         "lazy releases stay local even under threads"
     );
+}
+
+/// Threaded barrier phases under gc_at_barriers × both lazy policies: the
+/// runtime must complete every episode (no lost wakeups), data written
+/// before each barrier must be visible after it, and barrier traffic stays
+/// at the paper's 2(n-1) messages per episode plus the policy's diff
+/// round trips.
+#[test]
+fn threaded_barrier_phases_conform_under_gc_and_policies() {
+    const PROCS: usize = 4;
+    const EPISODES: u64 = 12;
+    for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::LazyUpdate] {
+        for gc in [false, true] {
+            let mut builder = DsmBuilder::new(kind, PROCS, 1 << 16)
+                .page_size(512)
+                .barriers(1);
+            if gc {
+                builder = builder.gc_at_barriers();
+            }
+            let dsm = builder.build().unwrap();
+            let barrier = lrc::sync::BarrierId::new(0);
+            dsm.parallel(|proc| {
+                let me = proc.proc().index() as u64;
+                for round in 0..EPISODES {
+                    // Phase write: each processor owns one word per round.
+                    proc.write_u64(8 * me, round * 100 + me);
+                    proc.barrier(barrier)?;
+                    // Phase read: everyone sees everyone's phase write.
+                    for other in 0..PROCS as u64 {
+                        assert_eq!(
+                            proc.read_u64(8 * other),
+                            round * 100 + other,
+                            "{kind} gc={gc}: stale read after barrier"
+                        );
+                    }
+                    proc.barrier(barrier)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+            let stats = dsm.net_stats();
+            let barrier_msgs = stats.class(lrc::simnet::OpClass::Barrier).msgs;
+            let floor = 2 * EPISODES * 2 * (PROCS as u64 - 1);
+            assert!(
+                barrier_msgs >= floor,
+                "{kind} gc={gc}: {barrier_msgs} barrier msgs < 2(n-1) per episode"
+            );
+        }
+    }
 }
