@@ -78,6 +78,30 @@ fn bench_eager_round(c: &mut Criterion) {
     });
 }
 
+/// A migratory round moving a *large* block: every hand-off applies a
+/// multi-KiB diff chain, which is what the `IntervalStore` split-borrow
+/// API (`hold_and_diff`) optimizes — before it, each applied diff was
+/// cloned out of the store on this path.
+fn bench_lazy_large_diff_apply(c: &mut Criterion) {
+    c.bench_function("protocol/li_large_diff_apply", |b| {
+        let dsm = LrcEngine::new(LrcConfig::new(PROCS, MEM).policy(Policy::Invalidate)).unwrap();
+        let lock = LockId::new(1);
+        let mut turn = 0u64;
+        let mut block = [0u8; 2048];
+        b.iter(|| {
+            let proc = p((turn % PROCS as u64) as u16);
+            dsm.acquire(proc, lock).unwrap();
+            // Every byte changes each turn, so each hand-off ships and
+            // applies a full 2 KiB diff.
+            block.fill(turn as u8);
+            dsm.write(proc, 0, &block);
+            dsm.release(proc, lock).unwrap();
+            turn += 1;
+            black_box(block[0])
+        });
+    });
+}
+
 /// One barrier episode with fresh write notices from every processor.
 fn bench_barrier_episode(c: &mut Criterion) {
     c.bench_function("protocol/li_barrier_episode", |b| {
@@ -101,6 +125,7 @@ criterion_group!(
     bench_lazy_round,
     bench_lazy_update_round,
     bench_eager_round,
+    bench_lazy_large_diff_apply,
     bench_barrier_episode
 );
 criterion_main!(benches);

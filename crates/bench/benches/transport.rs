@@ -1,0 +1,161 @@
+//! Criterion benchmarks of the `lrc-net` layer: codec throughput for the
+//! heavyweight message types and end-to-end op round trips over both
+//! transports (channel loopback and TCP loopback) — the per-operation
+//! overhead a message-passing deployment adds on top of the engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrc_core::EngineOp;
+use lrc_dsm::{DsmBuilder, NodeClient, NodeServer};
+use lrc_net::{ChannelNet, Frame, TcpTransport, WireCtx, WireMsg};
+use lrc_pagemem::{Diff, PageBuf, PageId, PageSize};
+use lrc_sim::ProtocolKind;
+use lrc_sync::LockId;
+use lrc_vclock::ProcId;
+use std::hint::black_box;
+
+/// A realistic miss reply: a 4 KiB base page plus a dense diff.
+fn miss_reply() -> WireMsg {
+    let size = PageSize::new(4096).unwrap();
+    let twin = PageBuf::zeroed(size);
+    let mut cur = twin.clone();
+    for chunk in 0..16 {
+        cur.write(chunk * 256, &[chunk as u8 + 1; 128]);
+    }
+    WireMsg::MissReply {
+        page: PageId::new(3),
+        base: Some(vec![0xab; 4096]),
+        diffs: vec![lrc_net::WireDiff {
+            page: PageId::new(3),
+            stamp: 9,
+            diff: Diff::between(&twin, &cur),
+        }],
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = miss_reply();
+    let frame = msg.encode_frame(1, 0, 7);
+    let bytes = frame.encode();
+    let ctx = WireCtx { n_procs: 8 };
+
+    let mut group = c.benchmark_group("net_codec");
+    group.bench_function("encode_miss_reply", |b| {
+        b.iter(|| black_box(msg.encode_frame(1, 0, 7).encode()))
+    });
+    group.bench_function("decode_miss_reply", |b| {
+        b.iter(|| {
+            let (frame, _) = Frame::decode(black_box(&bytes)).unwrap();
+            black_box(WireMsg::decode(frame.kind, &frame.body, &ctx).unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// One remote op round trip (request over the transport, dispatch into
+/// the engine, reply back) versus the direct in-process call.
+fn bench_round_trips(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_round_trip");
+
+    // Baseline: the same op applied directly.
+    {
+        let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 16)
+            .build()
+            .unwrap();
+        let mut h = dsm.handle(ProcId::new(1));
+        let mut x = 0u64;
+        group.bench_function("direct_write_u64", |b| {
+            b.iter(|| {
+                x += 1;
+                h.write_u64(64, x);
+            })
+        });
+    }
+
+    // Channel transport.
+    {
+        let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 16)
+            .build()
+            .unwrap();
+        let mut mesh = ChannelNet::mesh(2);
+        let client_end = mesh.pop().unwrap();
+        let server_end = mesh.pop().unwrap();
+        let server = NodeServer::new(dsm.clone(), server_end);
+        let serving = std::thread::spawn(move || server.serve());
+        let client = NodeClient::connect(client_end, 0, vec![ProcId::new(1)]).unwrap();
+        let mut h = client.handle(ProcId::new(1));
+        let mut x = 0u64;
+        group.bench_function("channel_write_u64", |b| {
+            b.iter(|| {
+                x += 1;
+                h.write_u64(64, x).unwrap();
+            })
+        });
+        client.shutdown().unwrap();
+        serving.join().unwrap().unwrap();
+    }
+
+    // TCP loopback transport.
+    {
+        let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 16)
+            .build()
+            .unwrap();
+        let hub = TcpTransport::bind("127.0.0.1:0", 0).unwrap();
+        let addr = hub.local_addr();
+        let connecting = std::thread::spawn(move || TcpTransport::connect(&addr, 1, 0).unwrap());
+        let server = NodeServer::new(dsm.clone(), hub.accept(1).unwrap());
+        let serving = std::thread::spawn(move || server.serve());
+        let client =
+            NodeClient::connect(connecting.join().unwrap(), 0, vec![ProcId::new(1)]).unwrap();
+        let mut h = client.handle(ProcId::new(1));
+        let mut x = 0u64;
+        group.bench_function("tcp_write_u64", |b| {
+            b.iter(|| {
+                x += 1;
+                h.write_u64(64, x).unwrap();
+            })
+        });
+        client.shutdown().unwrap();
+        serving.join().unwrap().unwrap();
+    }
+
+    group.finish();
+}
+
+/// Bulk throughput: how fast large writes stream over each transport.
+fn bench_bulk(c: &mut Criterion) {
+    const BLOCK: usize = 16 * 1024;
+    let mut group = c.benchmark_group("net_bulk");
+
+    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 20)
+        .page_size(4096)
+        .build()
+        .unwrap();
+    let mut mesh = ChannelNet::mesh(2);
+    let client_end = mesh.pop().unwrap();
+    let server_end = mesh.pop().unwrap();
+    let server = NodeServer::new(dsm.clone(), server_end);
+    let serving = std::thread::spawn(move || server.serve());
+    let client = NodeClient::connect(client_end, 0, vec![ProcId::new(1)]).unwrap();
+    let mut h = client.handle(ProcId::new(1));
+    let mut fill = 0u8;
+    group.bench_function("channel_write_16k", |b| {
+        b.iter(|| {
+            fill = fill.wrapping_add(1);
+            h.apply(&EngineOp::Write {
+                addr: 0,
+                data: vec![fill; BLOCK],
+            })
+            .unwrap();
+        })
+    });
+    // Keep the engine history bounded for long runs.
+    let mut local = dsm.handle(ProcId::new(0));
+    local.acquire(LockId::new(0)).unwrap();
+    local.release(LockId::new(0)).unwrap();
+    client.shutdown().unwrap();
+    serving.join().unwrap().unwrap();
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_round_trips, bench_bulk);
+criterion_main!(benches);

@@ -9,7 +9,9 @@ use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
 use crate::counters::{bump, SharedLazyCounters};
 use crate::pagestate::PageEntry;
-use crate::{ConfigError, FetchPlan, IntervalStore, LazyCounters, LrcConfig, Policy};
+use crate::{
+    ConfigError, EngineOp, EngineOpError, FetchPlan, IntervalStore, LazyCounters, LrcConfig, Policy,
+};
 
 /// One processor's private slice of the engine: its page table, vector
 /// time, and open-interval dirty list. Everything an ordinary cached read
@@ -267,6 +269,42 @@ impl LrcEngine {
     /// See [`LrcEngine::write`].
     pub fn write_u64(&self, p: ProcId, addr: u64, value: u64) {
         self.write(p, addr, &value.to_le_bytes());
+    }
+
+    /// Dispatches one decoded remote request as processor `p` — the entry
+    /// point a network node uses to service messages for processors it
+    /// does not host locally. Reads return their bytes; every other
+    /// successful operation returns an empty vector.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineOpError`] wrapping the lock or barrier failure. Contended
+    /// acquires surface as [`lrc_sync::LockError::HeldByOther`]; a
+    /// blocking runtime retries them (see `lrc-dsm`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range accesses, like the direct methods.
+    pub fn apply_op(&self, p: ProcId, op: &EngineOp) -> Result<Vec<u8>, EngineOpError> {
+        match op {
+            EngineOp::Read { addr, len } => Ok(self.read_vec(p, *addr, *len as usize)),
+            EngineOp::Write { addr, data } => {
+                self.write(p, *addr, data);
+                Ok(Vec::new())
+            }
+            EngineOp::Acquire(lock) => {
+                self.acquire(p, *lock)?;
+                Ok(Vec::new())
+            }
+            EngineOp::Release(lock) => {
+                self.release(p, *lock)?;
+                Ok(Vec::new())
+            }
+            EngineOp::Barrier(barrier) => {
+                self.barrier(p, *barrier)?;
+                Ok(Vec::new())
+            }
+        }
     }
 
     // ---- special accesses ----
@@ -562,7 +600,10 @@ impl LrcEngine {
         let mut shard = self.shard(p);
         let mut touched: Vec<PageId> = Vec::new();
         for (iv, g) in all {
-            let diff = store.diff(iv, g).expect("planned diff exists").clone();
+            // Split borrow: the holder bit flips and the diff is applied
+            // straight out of the store — no per-diff clone on the hot
+            // miss path.
+            let diff = store.hold_and_diff(p, iv, g).expect("planned diff exists");
             let entry = &mut shard.pages[g.index()];
             let copy = entry.copy_mut(self.space.page_size());
             diff.apply_to(copy);
@@ -571,7 +612,6 @@ impl LrcEngine {
                 // processor's own diff stays minimal and correct.
                 diff.apply_to(twin);
             }
-            store.add_holder(p, iv, g);
             bump(&self.counters.diffs_applied, 1);
             touched.push(g);
         }

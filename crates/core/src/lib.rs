@@ -64,10 +64,12 @@ mod counters;
 mod engine;
 mod pagestate;
 mod plan;
+mod remote;
 mod store;
 
 pub use config::{ConfigError, LrcConfig, Policy, MAX_PROCS};
 pub use counters::LazyCounters;
 pub use engine::LrcEngine;
 pub use plan::FetchPlan;
+pub use remote::{EngineOp, EngineOpError};
 pub use store::{IntervalStore, WriteNotice};

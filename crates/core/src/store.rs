@@ -118,6 +118,28 @@ impl IntervalStore {
         }
     }
 
+    /// Split-borrow fetch for the apply path: records `proc` as a holder of
+    /// `(interval, page)` and returns the diff *by reference* in one call.
+    ///
+    /// `holders` and `diffs` are disjoint fields, so the mutable holder
+    /// update and the shared diff borrow coexist — callers applying a plan
+    /// no longer clone every diff out of the store just to appease the
+    /// borrow checker (the hottest allocation on the miss path).
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `(interval, page)` names no recorded diff
+    /// (see [`IntervalStore::add_holder`]).
+    pub(crate) fn hold_and_diff(
+        &mut self,
+        proc: ProcId,
+        interval: IntervalId,
+        page: PageId,
+    ) -> Option<&Diff> {
+        self.add_holder(proc, interval, page);
+        self.diffs.get(&(interval, page))
+    }
+
     /// All write notices of intervals of `creator` with sequence in
     /// `(after, upto]` — what a grantor sends an acquirer whose clock entry
     /// for `creator` is `after` when the grantor's knowledge is `upto`.

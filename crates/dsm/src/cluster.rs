@@ -52,22 +52,32 @@ impl From<BarrierError> for DsmError {
     }
 }
 
+/// One lock's wait queue: a release generation plus the condvar its
+/// waiters sleep on. Per-lock queues mean a release wakes only *that*
+/// lock's waiters — under heavy multi-lock contention the old global
+/// generation woke every waiter of every lock on every release.
+pub(crate) struct LockSlot {
+    /// Bumped on every release of this lock; waiters re-try their acquire
+    /// when it moves. Capturing the generation *before* the acquire
+    /// attempt and re-checking it under the mutex closes the lost-wakeup
+    /// window.
+    pub(crate) generation: parking_lot::Mutex<u64>,
+    /// Woken when this lock is released.
+    pub(crate) released: parking_lot::Condvar,
+}
+
 /// Shared state of the runtime: the (internally synchronized) protocol
 /// engine, plus condition variables for lock hand-off and barrier episodes.
 ///
 /// The engine shards its own state per processor, so the runtime adds no
 /// global lock of its own: ordinary reads and writes go straight to the
 /// engine and contend only on the accessed processor's shard. The runtime
-/// keeps just enough state to *block* — a release generation counter for
-/// lock waiters and an episode counter per barrier.
+/// keeps just enough state to *block* — a wait queue per lock and an
+/// episode counter per barrier.
 pub(crate) struct Cluster {
     pub(crate) engine: AnyEngine,
-    /// Bumped on every release; lock waiters re-try their acquire when it
-    /// moves. Capturing the generation *before* the acquire attempt and
-    /// re-checking it under the mutex closes the lost-wakeup window.
-    pub(crate) lock_generation: parking_lot::Mutex<u64>,
-    /// Woken whenever any lock is released (waiters re-try their acquire).
-    pub(crate) lock_cv: parking_lot::Condvar,
+    /// Per-lock wait queues, indexed by lock id.
+    pub(crate) lock_slots: Vec<LockSlot>,
     /// Woken when a barrier episode completes.
     pub(crate) barrier_cv: parking_lot::Condvar,
     /// Completed episodes per barrier, advanced by the closing arrival.
@@ -105,8 +115,12 @@ impl Dsm {
         Dsm {
             cluster: Arc::new(Cluster {
                 engine,
-                lock_generation: parking_lot::Mutex::new(0),
-                lock_cv: parking_lot::Condvar::new(),
+                lock_slots: (0..n_locks)
+                    .map(|_| LockSlot {
+                        generation: parking_lot::Mutex::new(0),
+                        released: parking_lot::Condvar::new(),
+                    })
+                    .collect(),
                 barrier_cv: parking_lot::Condvar::new(),
                 episodes: parking_lot::Mutex::new(vec![0; n_barriers]),
                 n_procs,

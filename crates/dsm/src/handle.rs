@@ -1,6 +1,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use lrc_core::{EngineOp, EngineOpError};
 use lrc_sync::{BarrierArrival, BarrierError, BarrierId, LockError, LockId};
 use lrc_vclock::ProcId;
 
@@ -75,17 +76,25 @@ impl ProcHandle {
     /// [`DsmError::Lock`] on misuse (unknown lock, double acquire).
     pub fn acquire(&mut self, lock: LockId) -> Result<(), DsmError> {
         loop {
-            // Capture the release generation *before* trying: if a release
-            // slips in between the failed attempt and the wait below, the
-            // generation has moved and the wait falls through immediately —
-            // no release notification can be lost.
-            let generation = *self.cluster.lock_generation.lock();
+            // Capture this lock's release generation *before* trying: if a
+            // release slips in between the failed attempt and the wait
+            // below, the generation has moved and the wait falls through
+            // immediately — no release notification can be lost. Out-of-
+            // range ids skip the capture; the engine reports them.
+            let generation = self
+                .cluster
+                .lock_slots
+                .get(lock.index())
+                .map(|slot| *slot.generation.lock());
             match self.cluster.engine.acquire(self.proc, lock) {
                 Ok(()) => return Ok(()),
                 Err(LockError::HeldByOther { .. }) => {
-                    let mut current = self.cluster.lock_generation.lock();
+                    // A contended lock is necessarily in range.
+                    let slot = &self.cluster.lock_slots[lock.index()];
+                    let generation = generation.expect("contended lock is in range");
+                    let mut current = slot.generation.lock();
                     while *current == generation {
-                        self.cluster.lock_cv.wait(&mut current);
+                        slot.released.wait(&mut current);
                     }
                 }
                 Err(e) => return Err(e.into()),
@@ -101,9 +110,46 @@ impl ProcHandle {
     /// [`DsmError::Lock`] if this processor does not hold the lock.
     pub fn release(&mut self, lock: LockId) -> Result<(), DsmError> {
         self.cluster.engine.release(self.proc, lock)?;
-        *self.cluster.lock_generation.lock() += 1;
-        self.cluster.lock_cv.notify_all();
+        // Wake only this lock's waiters (a successful release implies the
+        // id is in range).
+        let slot = &self.cluster.lock_slots[lock.index()];
+        *slot.generation.lock() += 1;
+        slot.released.notify_all();
         Ok(())
+    }
+
+    /// Dispatches one decoded remote request with this runtime's blocking
+    /// semantics. This is the node runtime's service entry point — a
+    /// network node hosting this processor's peer decodes a frame into an
+    /// [`EngineOp`] and applies it here. Data-plane operations (reads and
+    /// writes) go straight to the engine's own remote entry point
+    /// ([`lrc_sim::AnyEngine::apply_op`]); synchronization operations go
+    /// through this handle's blocking wrappers, because blocking and
+    /// wake-ups (lock wait queues, barrier episodes) live in the runtime,
+    /// not the engine. Reads return their bytes; other operations return
+    /// an empty vector.
+    ///
+    /// # Errors
+    ///
+    /// [`DsmError`] on misuse, like the individual methods.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range accesses.
+    pub fn apply(&mut self, op: &EngineOp) -> Result<Vec<u8>, DsmError> {
+        match op {
+            EngineOp::Read { .. } | EngineOp::Write { .. } => self
+                .cluster
+                .engine
+                .apply_op(self.proc, op)
+                .map_err(|e| match e {
+                    EngineOpError::Lock(e) => DsmError::Lock(e),
+                    EngineOpError::Barrier(e) => DsmError::Barrier(e),
+                }),
+            EngineOp::Acquire(lock) => self.acquire(*lock).map(|()| Vec::new()),
+            EngineOp::Release(lock) => self.release(*lock).map(|()| Vec::new()),
+            EngineOp::Barrier(barrier) => self.barrier(*barrier).map(|()| Vec::new()),
+        }
     }
 
     /// Arrives at `barrier` and blocks until every processor has arrived.

@@ -14,6 +14,11 @@
 //! explicitly. That changes *how* a miss is detected, never the protocol
 //! traffic, and keeps the crate `forbid(unsafe_code)`.
 //!
+//! The [`NodeServer`] / [`NodeClient`] pair additionally runs the DSM as
+//! *message-passing nodes*: processors hosted on peer nodes drive the
+//! engine through `lrc-net`'s wire protocol instead of direct calls (see
+//! the [`node`-module docs](NodeServer)).
+//!
 //! # Example
 //!
 //! ```
@@ -47,7 +52,9 @@
 mod builder;
 mod cluster;
 mod handle;
+mod node;
 
 pub use builder::DsmBuilder;
 pub use cluster::{Dsm, DsmError};
 pub use handle::ProcHandle;
+pub use node::{NodeClient, NodeError, NodeServer, RemoteHandle};

@@ -1,0 +1,630 @@
+//! The node runtime: hosting the DSM's processors across message-passing
+//! nodes.
+//!
+//! A deployment has one **engine node** running a [`NodeServer`] around
+//! the shared [`Dsm`], and any number of **peer nodes** whose processors
+//! are driven through a [`NodeClient`]. A remote processor's operations no
+//! longer call the engine directly: each one is encoded as a wire frame
+//! ([`lrc_net::WireMsg::OpRequest`]), moved by a pluggable
+//! [`lrc_net::Transport`] (in-process channels or TCP), decoded on the
+//! engine node, and dispatched through [`ProcHandle::apply`] — the same
+//! blocking lock/barrier semantics local threads get, because the server
+//! runs one worker thread per remote processor.
+//!
+//! The simulated fabric keeps charging *modeled* message sizes inside the
+//! engine; the transport meters the bytes its codec *actually* produces
+//! ([`lrc_net::WireStats`]), so a run reports both sides of the
+//! modeled-vs-measured cross-check.
+//!
+//! # Example (in-process channel transport)
+//!
+//! ```
+//! use lrc_dsm::{DsmBuilder, NodeClient, NodeServer};
+//! use lrc_net::ChannelNet;
+//! use lrc_sim::ProtocolKind;
+//! use lrc_vclock::ProcId;
+//!
+//! let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 14).build()?;
+//! let mut mesh = ChannelNet::mesh(2);
+//! let client_end = mesh.pop().unwrap();
+//! let server_end = mesh.pop().unwrap();
+//!
+//! let server = NodeServer::new(dsm.clone(), server_end);
+//! let serving = std::thread::spawn(move || server.serve());
+//!
+//! // Node 1 hosts p1; p0 stays local to the engine node.
+//! let client = NodeClient::connect(client_end, 0, vec![ProcId::new(1)])?;
+//! let mut remote = client.handle(ProcId::new(1));
+//! remote.write_u64(64, 7)?;
+//! assert_eq!(remote.read_u64(64)?, 7);
+//! client.shutdown()?;
+//! serving.join().unwrap()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use lrc_core::EngineOp;
+use lrc_net::{NetError, NodeId, Transport, WireCtx, WireKind, WireMsg, WireStats};
+use lrc_sync::{BarrierId, LockId};
+use lrc_vclock::ProcId;
+
+use crate::cluster::Dsm;
+
+/// Errors surfaced by the node runtime.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NodeError {
+    /// The transport failed.
+    Net(NetError),
+    /// The peer violated the session protocol.
+    Protocol(String),
+    /// The engine node reported an operation failure (rendered; the typed
+    /// error lives on the server side).
+    Remote(String),
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::Net(e) => write!(f, "transport error: {e}"),
+            NodeError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+            NodeError::Remote(detail) => write!(f, "remote operation failed: {detail}"),
+        }
+    }
+}
+
+impl Error for NodeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NodeError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for NodeError {
+    fn from(e: NetError) -> Self {
+        NodeError::Net(e)
+    }
+}
+
+impl From<lrc_net::WireError> for NodeError {
+    fn from(e: lrc_net::WireError) -> Self {
+        NodeError::Net(NetError::Wire(e))
+    }
+}
+
+/// The engine node's service loop: decodes incoming frames and dispatches
+/// remote processors' operations into the shared [`Dsm`].
+///
+/// One worker thread runs per announced remote processor, owning that
+/// processor's [`crate::ProcHandle`]; contended acquires and barrier
+/// arrivals therefore block exactly like local threads, without stalling
+/// the dispatch loop.
+pub struct NodeServer {
+    dsm: Dsm,
+    transport: Arc<dyn Transport>,
+    ctx: WireCtx,
+}
+
+impl NodeServer {
+    /// Wraps a running DSM and a transport endpoint into a server.
+    pub fn new(dsm: Dsm, transport: impl Transport + 'static) -> NodeServer {
+        let ctx = WireCtx {
+            n_procs: dsm.n_procs(),
+        };
+        NodeServer {
+            dsm,
+            transport: Arc::new(transport),
+            ctx,
+        }
+    }
+
+    /// Measured wire traffic of this node.
+    pub fn wire_stats(&self) -> WireStats {
+        self.transport.stats()
+    }
+
+    /// Serves until every greeted peer has sent [`WireMsg::Shutdown`],
+    /// then joins the workers and returns.
+    ///
+    /// The exit condition counts *greeted* peers (nodes whose `Hello`
+    /// has been processed): a `Shutdown` from a never-greeted node is a
+    /// protocol violation, and with several peers the caller must ensure
+    /// every peer connects before the first one shuts down — otherwise
+    /// the server can retire while a late `Hello` is still in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError`] on transport failures or protocol violations (an
+    /// operation for an unannounced processor, a malformed frame, a
+    /// `Shutdown` before any `Hello` from that node).
+    pub fn serve(&self) -> Result<(), NodeError> {
+        let mut workers: HashMap<ProcId, Sender<(u64, NodeId, EngineOp)>> = HashMap::new();
+        let mut worker_threads: Vec<JoinHandle<()>> = Vec::new();
+        let mut greeted: Vec<NodeId> = Vec::new();
+        let mut peers: Vec<NodeId> = Vec::new();
+        let result = loop {
+            let frame = match self.transport.recv() {
+                Ok(frame) => frame,
+                Err(e) => break Err(NodeError::from(e)),
+            };
+            let msg = match WireMsg::decode(frame.kind, &frame.body, &self.ctx) {
+                Ok(msg) => msg,
+                Err(e) => break Err(NodeError::from(e)),
+            };
+            match msg {
+                WireMsg::Hello { node, procs } => {
+                    if !greeted.contains(&node) {
+                        greeted.push(node);
+                    }
+                    if !peers.contains(&node) {
+                        peers.push(node);
+                    }
+                    if let Some(bad) = procs.iter().find(|p| p.index() >= self.dsm.n_procs()) {
+                        break Err(NodeError::Protocol(format!(
+                            "node {node} announced out-of-range processor {bad}"
+                        )));
+                    }
+                    if let Some(dup) = procs.iter().find(|p| workers.contains_key(p)) {
+                        // Replacing the worker would let two threads drive
+                        // one processor concurrently, breaking per-
+                        // processor program order.
+                        break Err(NodeError::Protocol(format!(
+                            "processor {dup} is already hosted by another announcement"
+                        )));
+                    }
+                    for proc in procs {
+                        let (tx, rx) = channel::<(u64, NodeId, EngineOp)>();
+                        let mut handle = self.dsm.handle(proc);
+                        let transport = Arc::clone(&self.transport);
+                        let thread = std::thread::Builder::new()
+                            .name(format!("lrc-node-worker-{proc}"))
+                            .spawn(move || {
+                                while let Ok((seq, src, op)) = rx.recv() {
+                                    let result = handle.apply(&op).map_err(|e| e.to_string());
+                                    let reply = WireMsg::OpReply { result };
+                                    if transport.send(&reply, src, seq).is_err() {
+                                        break;
+                                    }
+                                }
+                            })
+                            .expect("spawn node worker");
+                        workers.insert(proc, tx);
+                        worker_threads.push(thread);
+                    }
+                }
+                WireMsg::OpRequest { proc, op } => match workers.get(&proc) {
+                    Some(tx) => {
+                        if tx.send((frame.seq, frame.src, op)).is_err() {
+                            break Err(NodeError::Protocol(format!("worker for {proc} is gone")));
+                        }
+                    }
+                    None => {
+                        let reply = WireMsg::OpReply {
+                            result: Err(format!("processor {proc} is not hosted remotely")),
+                        };
+                        if let Err(e) = self.transport.send(&reply, frame.src, frame.seq) {
+                            break Err(NodeError::from(e));
+                        }
+                    }
+                },
+                WireMsg::Shutdown => {
+                    if !greeted.contains(&frame.src) {
+                        break Err(NodeError::Protocol(format!(
+                            "node {} sent Shutdown before any Hello",
+                            frame.src
+                        )));
+                    }
+                    peers.retain(|&n| n != frame.src);
+                    if peers.is_empty() {
+                        break Ok(());
+                    }
+                }
+                other => {
+                    break Err(NodeError::Protocol(format!(
+                        "unexpected {} from node {}",
+                        other.kind(),
+                        frame.src
+                    )))
+                }
+            }
+        };
+        drop(workers); // close the channels so workers drain and exit
+        for thread in worker_threads {
+            let _ = thread.join();
+        }
+        result
+    }
+}
+
+impl fmt::Debug for NodeServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NodeServer(node {}, {} procs)",
+            self.transport.node(),
+            self.dsm.n_procs()
+        )
+    }
+}
+
+/// A blocked caller's reply slot: `Ok(bytes)` or the rendered remote
+/// error.
+type ReplySlot = Sender<Result<Vec<u8>, String>>;
+
+struct ClientInner {
+    transport: Arc<dyn Transport>,
+    engine_node: NodeId,
+    next_seq: AtomicU64,
+    pending: Mutex<HashMap<u64, ReplySlot>>,
+}
+
+/// A peer node's connection to the engine node.
+///
+/// Announces its hosted processors with a `Hello`, then hands out
+/// [`RemoteHandle`]s whose operations travel as wire frames. A background
+/// demultiplexer routes replies back to blocked callers by sequence
+/// number, so handles on different threads share one connection.
+pub struct NodeClient {
+    inner: Arc<ClientInner>,
+    procs: Vec<ProcId>,
+    demux: Option<JoinHandle<()>>,
+}
+
+impl NodeClient {
+    /// Announces `procs` as hosted by this node and starts the reply
+    /// demultiplexer.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Net`] if the hello cannot be sent.
+    pub fn connect(
+        transport: impl Transport + 'static,
+        engine_node: NodeId,
+        procs: Vec<ProcId>,
+    ) -> Result<NodeClient, NodeError> {
+        let node = transport.node();
+        let inner = Arc::new(ClientInner {
+            transport: Arc::new(transport),
+            engine_node,
+            next_seq: AtomicU64::new(1),
+            pending: Mutex::new(HashMap::new()),
+        });
+        inner.transport.send(
+            &WireMsg::Hello {
+                node,
+                procs: procs.clone(),
+            },
+            engine_node,
+            0,
+        )?;
+        let demux_inner = Arc::clone(&inner);
+        let demux = std::thread::Builder::new()
+            .name(format!("lrc-node-demux-{node}"))
+            .spawn(move || demux_loop(&demux_inner))
+            .expect("spawn reply demultiplexer");
+        Ok(NodeClient {
+            inner,
+            procs,
+            demux: Some(demux),
+        })
+    }
+
+    /// The processors this node announced.
+    pub fn procs(&self) -> &[ProcId] {
+        &self.procs
+    }
+
+    /// A handle driving `proc` over the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` was not announced at connect time (the server
+    /// would reject its operations).
+    pub fn handle(&self, proc: ProcId) -> RemoteHandle {
+        assert!(
+            self.procs.contains(&proc),
+            "processor {proc} was not announced by this node"
+        );
+        RemoteHandle {
+            inner: Arc::clone(&self.inner),
+            proc,
+        }
+    }
+
+    /// Measured wire traffic of this node.
+    pub fn wire_stats(&self) -> WireStats {
+        self.inner.transport.stats()
+    }
+
+    /// Ends the session: tells the engine node this peer is done.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Net`] if the shutdown cannot be sent.
+    pub fn shutdown(mut self) -> Result<(), NodeError> {
+        self.inner
+            .transport
+            .send(&WireMsg::Shutdown, self.inner.engine_node, 0)?;
+        // The demultiplexer ends when the transport closes; do not block
+        // on it here — for channel transports the far end outlives us.
+        self.demux.take();
+        Ok(())
+    }
+}
+
+impl fmt::Debug for NodeClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NodeClient(node {}, {} procs)",
+            self.inner.transport.node(),
+            self.procs.len()
+        )
+    }
+}
+
+/// Routes `OpReply` frames to the callers blocked on their sequence
+/// numbers; exits when the transport closes.
+fn demux_loop(inner: &ClientInner) {
+    while let Ok(frame) = inner.transport.recv() {
+        if frame.kind != WireKind::OpReply {
+            continue; // tolerate stray traffic; requests carry the state
+        }
+        // `OpReply` is op-plane: its encoding carries no vector clock, so
+        // the decode is context-independent. Width 0 makes that load-
+        // bearing — if a clock-bearing field is ever added to `OpReply`,
+        // a zero-width clock consumes nothing and the decoder's
+        // trailing-bytes check fails loudly instead of mis-decoding.
+        let msg = WireMsg::decode(frame.kind, &frame.body, &WireCtx { n_procs: 0 });
+        let result = match msg {
+            Ok(WireMsg::OpReply { result }) => result,
+            _ => Err("malformed reply frame".to_string()),
+        };
+        let waiter = inner
+            .pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&frame.seq);
+        if let Some(tx) = waiter {
+            let _ = tx.send(result);
+        }
+    }
+    // Unblock every caller still waiting.
+    let mut pending = inner.pending.lock().unwrap_or_else(|e| e.into_inner());
+    for (_, tx) in pending.drain() {
+        let _ = tx.send(Err("transport closed".to_string()));
+    }
+}
+
+/// One remotely hosted processor: the wire-backed analogue of
+/// [`crate::ProcHandle`].
+///
+/// Methods block until the engine node replies; locks and barriers block
+/// server-side with the runtime's usual semantics.
+pub struct RemoteHandle {
+    inner: Arc<ClientInner>,
+    proc: ProcId,
+}
+
+impl RemoteHandle {
+    /// This handle's processor id.
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    /// Sends one operation and blocks for its outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Remote`] for engine-side failures (lock/barrier
+    /// misuse), [`NodeError::Net`] for transport failures.
+    pub fn apply(&mut self, op: &EngineOp) -> Result<Vec<u8>, NodeError> {
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel();
+        self.inner
+            .pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(seq, tx);
+        let request = WireMsg::OpRequest {
+            proc: self.proc,
+            op: op.clone(),
+        };
+        if let Err(e) = self
+            .inner
+            .transport
+            .send(&request, self.inner.engine_node, seq)
+        {
+            self.inner
+                .pending
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&seq);
+            return Err(e.into());
+        }
+        match rx.recv() {
+            Ok(Ok(bytes)) => Ok(bytes),
+            Ok(Err(remote)) => Err(NodeError::Remote(remote)),
+            Err(_) => Err(NodeError::Net(NetError::Closed)),
+        }
+    }
+
+    /// Reads `buf.len()` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// See [`RemoteHandle::apply`].
+    pub fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), NodeError> {
+        let bytes = self.apply(&EngineOp::Read {
+            addr,
+            len: buf.len() as u32,
+        })?;
+        if bytes.len() != buf.len() {
+            return Err(NodeError::Protocol(format!(
+                "read returned {} bytes, wanted {}",
+                bytes.len(),
+                buf.len()
+            )));
+        }
+        buf.copy_from_slice(&bytes);
+        Ok(())
+    }
+
+    /// Writes `data` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// See [`RemoteHandle::apply`].
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), NodeError> {
+        self.apply(&EngineOp::Write {
+            addr,
+            data: data.to_vec(),
+        })
+        .map(|_| ())
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// See [`RemoteHandle::apply`].
+    pub fn read_u64(&mut self, addr: u64) -> Result<u64, NodeError> {
+        let mut raw = [0u8; 8];
+        self.read_bytes(addr, &mut raw)?;
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// See [`RemoteHandle::apply`].
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), NodeError> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Acquires `lock`, blocking (server-side) while another processor
+    /// holds it.
+    ///
+    /// # Errors
+    ///
+    /// See [`RemoteHandle::apply`].
+    pub fn acquire(&mut self, lock: LockId) -> Result<(), NodeError> {
+        self.apply(&EngineOp::Acquire(lock)).map(|_| ())
+    }
+
+    /// Releases `lock`.
+    ///
+    /// # Errors
+    ///
+    /// See [`RemoteHandle::apply`].
+    pub fn release(&mut self, lock: LockId) -> Result<(), NodeError> {
+        self.apply(&EngineOp::Release(lock)).map(|_| ())
+    }
+
+    /// Arrives at `barrier` and blocks (server-side) until every
+    /// processor has arrived.
+    ///
+    /// # Errors
+    ///
+    /// See [`RemoteHandle::apply`].
+    pub fn barrier(&mut self, barrier: BarrierId) -> Result<(), NodeError> {
+        self.apply(&EngineOp::Barrier(barrier)).map(|_| ())
+    }
+}
+
+impl fmt::Debug for RemoteHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RemoteHandle({})", self.proc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DsmBuilder;
+    use lrc_net::ChannelNet;
+    use lrc_sim::ProtocolKind;
+
+    fn two_node_setup(
+        kind: ProtocolKind,
+    ) -> (
+        Dsm,
+        NodeClient,
+        std::thread::JoinHandle<Result<(), NodeError>>,
+    ) {
+        let dsm = DsmBuilder::new(kind, 2, 1 << 14)
+            .page_size(512)
+            .build()
+            .unwrap();
+        let mut mesh = ChannelNet::mesh(2);
+        let client_end = mesh.pop().unwrap();
+        let server_end = mesh.pop().unwrap();
+        let server = NodeServer::new(dsm.clone(), server_end);
+        let serving = std::thread::spawn(move || server.serve());
+        let client = NodeClient::connect(client_end, 0, vec![ProcId::new(1)]).unwrap();
+        (dsm, client, serving)
+    }
+
+    #[test]
+    fn remote_ops_round_trip_through_the_engine() {
+        let (dsm, client, serving) = two_node_setup(ProtocolKind::LazyInvalidate);
+        let mut remote = client.handle(ProcId::new(1));
+        let lock = LockId::new(0);
+
+        remote.acquire(lock).unwrap();
+        remote.write_u64(8, 41).unwrap();
+        let v = remote.read_u64(8).unwrap();
+        remote.write_u64(8, v + 1).unwrap();
+        remote.release(lock).unwrap();
+
+        // The engine node sees the remote writes through the protocol.
+        let mut local = dsm.handle(ProcId::new(0));
+        local.acquire(LockId::new(0)).unwrap();
+        assert_eq!(local.read_u64(8), 42);
+        local.release(LockId::new(0)).unwrap();
+
+        let wire = client.wire_stats();
+        assert_eq!(wire.msgs_sent, 6, "hello + five operations");
+        assert_eq!(
+            wire.msgs_received,
+            wire.msgs_sent - 1,
+            "one reply per request; the hello has none"
+        );
+        client.shutdown().unwrap();
+        serving.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn remote_errors_are_reported() {
+        let (_dsm, client, serving) = two_node_setup(ProtocolKind::EagerInvalidate);
+        let mut remote = client.handle(ProcId::new(1));
+        let err = remote.release(LockId::new(0)).unwrap_err();
+        assert!(matches!(err, NodeError::Remote(_)));
+        assert!(err.to_string().contains("release"));
+        client.shutdown().unwrap();
+        serving.join().unwrap().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "not announced")]
+    fn unannounced_processor_is_rejected_client_side() {
+        let (_dsm, client, serving) = two_node_setup(ProtocolKind::LazyInvalidate);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            client.handle(ProcId::new(0));
+        }));
+        client.shutdown().unwrap();
+        serving.join().unwrap().unwrap();
+        if let Err(panic) = result {
+            std::panic::resume_unwind(panic);
+        }
+    }
+}

@@ -1,6 +1,6 @@
 use std::collections::HashMap;
 
-use lrc_core::{ConfigError, Policy};
+use lrc_core::{ConfigError, EngineOp, EngineOpError, Policy};
 use lrc_pagemem::{AddrSpace, Diff, PageBuf, PageId};
 use lrc_simnet::{
     invalidation_bytes, Fabric, MsgKind, BARRIER_ID_BYTES, LOCK_ID_BYTES, PAGE_ID_BYTES,
@@ -267,6 +267,39 @@ impl EagerEngine {
     /// See [`EagerEngine::write`].
     pub fn write_u64(&self, p: ProcId, addr: u64, value: u64) {
         self.write(p, addr, &value.to_le_bytes());
+    }
+
+    /// Dispatches one decoded remote request as processor `p` — the eager
+    /// counterpart of [`lrc_core::LrcEngine::apply_op`], used by network
+    /// nodes to service messages for processors they do not host locally.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineOpError`] wrapping the lock or barrier failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range accesses, like the direct methods.
+    pub fn apply_op(&self, p: ProcId, op: &EngineOp) -> Result<Vec<u8>, EngineOpError> {
+        match op {
+            EngineOp::Read { addr, len } => Ok(self.read_vec(p, *addr, *len as usize)),
+            EngineOp::Write { addr, data } => {
+                self.write(p, *addr, data);
+                Ok(Vec::new())
+            }
+            EngineOp::Acquire(lock) => {
+                self.acquire(p, *lock)?;
+                Ok(Vec::new())
+            }
+            EngineOp::Release(lock) => {
+                self.release(p, *lock)?;
+                Ok(Vec::new())
+            }
+            EngineOp::Barrier(barrier) => {
+                self.barrier(p, *barrier)?;
+                Ok(Vec::new())
+            }
+        }
     }
 
     // ---- special accesses ----
@@ -622,12 +655,18 @@ impl EagerEngine {
         debug_assert_ne!(source, p, "a missing processor cannot be the source");
 
         // Materialize the source copy (the home's initial copy is zeros).
+        // A dirty source serves its *twin* — the last reconciled contents —
+        // never its live copy, whose unflushed epoch writes must not leak
+        // to a cold miss under false sharing before the release-time flush
+        // makes them visible everywhere (the eager analogue of the lazy
+        // engine's twin-based base).
         let content = {
-            let mut source_shard = self.shard(source);
-            source_shard.pages[gi]
-                .copy
-                .get_or_insert_with(|| PageBuf::zeroed(self.space.page_size()))
-                .clone()
+            let source_shard = self.shard(source);
+            match (&source_shard.pages[gi].twin, &source_shard.pages[gi].copy) {
+                (Some(twin), _) => twin.clone(),
+                (None, Some(copy)) => copy.clone(),
+                (None, None) => PageBuf::zeroed(self.space.page_size()),
+            }
         };
         let page_bytes = self.space.page_size().bytes() as u64;
         if home_has {

@@ -1,0 +1,77 @@
+//! Regression tests for eager-engine protocol bugs: the cold-miss copy
+//! leaking a supplier's *unflushed* epoch writes — the eager analogue of
+//! the lazy engine's twin-leak bug (`crates/core/tests/regressions.rs`).
+//! The eager leak is masked in most runs because releases flush eagerly,
+//! but a cold miss that lands *mid-epoch* under false sharing observed the
+//! supplier's live copy before the fix.
+
+use lrc_core::Policy;
+use lrc_eager::{EagerConfig, EagerEngine};
+use lrc_sync::LockId;
+use lrc_vclock::ProcId;
+
+fn p(i: u16) -> ProcId {
+    ProcId::new(i)
+}
+
+fn l(i: u32) -> LockId {
+    LockId::new(i)
+}
+
+/// 4 procs, 16 pages of 512 bytes (the lazy regression suite's geometry).
+fn engine(policy: Policy) -> EagerEngine {
+    EagerEngine::new(EagerConfig::new(4, 16 * 512).page_size(512).policy(policy)).unwrap()
+}
+
+/// A cold miss served by a processor with an *unflushed* epoch on the page
+/// must receive the last reconciled contents (the supplier's twin), never
+/// the live copy. Before the fix, the reader here saw 42 mid-epoch.
+#[test]
+fn cold_miss_does_not_leak_unflushed_epoch_writes() {
+    for policy in [Policy::Invalidate, Policy::Update] {
+        let dsm = engine(policy);
+        // Page 0's home is p0, so p0 both writes it and supplies the copy.
+        dsm.acquire(p(0), l(0)).unwrap();
+        dsm.write_u64(p(0), 8, 42); // open epoch: twin is the zero page
+        assert_eq!(
+            dsm.read_u64(p(1), 8),
+            0,
+            "{policy}: p1's cold fetch must see the reconciled (initial) \
+             contents, not p0's unflushed write"
+        );
+        // The release flushes to all cachers (p1 now caches the page):
+        // updates apply directly under EU; EI invalidates and the re-read
+        // refetches the reconciled copy.
+        dsm.release(p(0), l(0)).unwrap();
+        assert_eq!(
+            dsm.read_u64(p(1), 8),
+            42,
+            "{policy}: flushed writes must still propagate normally"
+        );
+    }
+}
+
+/// Same leak through the 3-hop path: the *owner* (not the home) supplies
+/// the copy, and its current epoch's writes must not ride along.
+#[test]
+fn cold_miss_from_dirty_owner_serves_reconciled_contents() {
+    let dsm = engine(Policy::Invalidate);
+    // p0 takes ownership of page 1 (home p1) with a flushed write.
+    dsm.acquire(p(0), l(0)).unwrap();
+    dsm.write_u64(p(0), 512, 7);
+    // The release invalidates the home's copy and makes p0 the owner.
+    dsm.release(p(0), l(0)).unwrap();
+    // p0 starts a new, unflushed epoch on the same page (false sharing:
+    // a different word).
+    dsm.acquire(p(0), l(0)).unwrap();
+    dsm.write_u64(p(0), 512 + 16, 99);
+    // p3's cold miss forwards through the home to the dirty owner p0. The
+    // flushed 7 must arrive; the unflushed 99 must not.
+    assert_eq!(dsm.read_u64(p(3), 512), 7, "reconciled write applies");
+    assert_eq!(
+        dsm.read_u64(p(3), 512 + 16),
+        0,
+        "open-epoch write must not leak"
+    );
+    dsm.release(p(0), l(0)).unwrap();
+}

@@ -1,0 +1,205 @@
+//! The pluggable transport abstraction.
+//!
+//! A [`Transport`] moves encoded [`Frame`]s between *nodes* (operating
+//! system processes or test-local endpoints — not to be confused with the
+//! DSM's simulated processors, several of which may live on one node).
+//! Two backends ship with the crate: the deterministic in-process
+//! [`ChannelTransport`](crate::ChannelTransport) and the
+//! [`TcpTransport`](crate::TcpTransport) with length-prefixed framing over
+//! real sockets. Both count the bytes they actually move, so the modeled
+//! byte accounting of `lrc-simnet` can be cross-checked against a
+//! measurement.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::wire::{Frame, WireError, WireKind, WireMsg};
+
+/// Identifier of a transport endpoint (a node of the deployment).
+pub type NodeId = u16;
+
+/// Errors surfaced by transports.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NetError {
+    /// The peer (or the whole session) is gone.
+    Closed,
+    /// The destination node is not connected.
+    UnknownPeer(NodeId),
+    /// An underlying I/O failure (rendered; `io::Error` is not `Clone`).
+    Io(String),
+    /// The byte stream did not decode.
+    Wire(WireError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Closed => write!(f, "transport closed"),
+            NetError::UnknownPeer(n) => write!(f, "no connection to node {n}"),
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}
+
+/// A snapshot of one endpoint's measured traffic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WireStats {
+    /// Frames sent.
+    pub msgs_sent: u64,
+    /// Bytes sent (headers + bodies, as encoded).
+    pub bytes_sent: u64,
+    /// Frames received.
+    pub msgs_received: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+}
+
+/// Internal per-endpoint traffic meter (atomics; snapshot with
+/// [`WireMeter::stats`]).
+#[derive(Debug, Default)]
+pub struct WireMeter {
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_received: AtomicU64,
+    bytes_received: AtomicU64,
+    sent_by_kind: [AtomicU64; WireKind::COUNT],
+    sent_bytes_by_kind: [AtomicU64; WireKind::COUNT],
+}
+
+impl WireMeter {
+    /// Records one sent frame.
+    pub fn count_sent(&self, kind: WireKind, bytes: usize) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.sent_by_kind[kind.tag() as usize].fetch_add(1, Ordering::Relaxed);
+        self.sent_bytes_by_kind[kind.tag() as usize].fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one received frame.
+    pub fn count_received(&self, bytes: usize) {
+        self.msgs_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Aggregate snapshot.
+    pub fn stats(&self) -> WireStats {
+        WireStats {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            msgs_received: self.msgs_received.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sent traffic of one message kind: `(frames, bytes)`.
+    pub fn sent_of(&self, kind: WireKind) -> (u64, u64) {
+        (
+            self.sent_by_kind[kind.tag() as usize].load(Ordering::Relaxed),
+            self.sent_bytes_by_kind[kind.tag() as usize].load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Encodes a message into frame bytes, refusing bodies over
+/// [`crate::wire::MAX_BODY_BYTES`] *at the sender* — the receiver would
+/// reject the header anyway, but failing here surfaces a typed error
+/// instead of a wedged session.
+pub(crate) fn encode_frame_checked(
+    msg: &WireMsg,
+    src: NodeId,
+    dst: NodeId,
+    seq: u64,
+) -> Result<Vec<u8>, NetError> {
+    let frame = msg.encode_frame(src, dst, seq);
+    if frame.body.len() > crate::wire::MAX_BODY_BYTES {
+        return Err(NetError::Wire(WireError::Malformed(format!(
+            "body of {} bytes exceeds the {} byte cap",
+            frame.body.len(),
+            crate::wire::MAX_BODY_BYTES
+        ))));
+    }
+    Ok(frame.encode())
+}
+
+/// A reliable, ordered, frame-oriented link between nodes.
+///
+/// Implementations encode the message once ([`WireMsg::encode_frame`] +
+/// [`Frame::encode`]) and meter the encoded length, so "bytes sent" means
+/// the same thing on every backend. `recv` blocks. Sessions normally end
+/// with a [`WireMsg::Shutdown`] message; the TCP backend additionally
+/// reports [`NetError::Closed`] once every peer link has died (EOF or a
+/// corrupt stream), so an ungraceful peer death surfaces as an error
+/// instead of a hang. A channel endpoint can also enqueue to itself, so
+/// it only closes when the whole mesh is dropped.
+pub trait Transport: Send + Sync {
+    /// This endpoint's node id.
+    fn node(&self) -> NodeId;
+
+    /// Encodes and sends `msg` to `dst` with correlation id `seq`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownPeer`] for unconnected destinations,
+    /// [`NetError::Closed`] / [`NetError::Io`] for dead links.
+    fn send(&self, msg: &WireMsg, dst: NodeId, seq: u64) -> Result<(), NetError>;
+
+    /// Receives the next frame, blocking until one arrives.
+    ///
+    /// The frame's header (magic, version, kind, checksum) is already
+    /// validated; decode the body with [`WireMsg::decode`] and the
+    /// session's [`crate::WireCtx`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] once no more frames can arrive.
+    fn recv(&self) -> Result<Frame, NetError>;
+
+    /// Measured traffic of this endpoint.
+    fn stats(&self) -> WireStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_counts_both_directions() {
+        let m = WireMeter::default();
+        m.count_sent(WireKind::OpRequest, 40);
+        m.count_sent(WireKind::OpRequest, 50);
+        m.count_received(32);
+        let s = m.stats();
+        assert_eq!(s.msgs_sent, 2);
+        assert_eq!(s.bytes_sent, 90);
+        assert_eq!(s.msgs_received, 1);
+        assert_eq!(s.bytes_received, 32);
+        assert_eq!(m.sent_of(WireKind::OpRequest), (2, 90));
+        assert_eq!(m.sent_of(WireKind::Hello), (0, 0));
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(NetError::Closed.to_string().contains("closed"));
+        assert!(NetError::UnknownPeer(3).to_string().contains('3'));
+        assert!(NetError::from(WireError::BadMagic)
+            .to_string()
+            .contains("magic"));
+    }
+}

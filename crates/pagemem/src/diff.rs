@@ -233,6 +233,59 @@ impl Diff {
         Diff { runs }
     }
 
+    /// Appends the diff's wire encoding to `out`, tagged with the page it
+    /// applies to and the sequence number of the interval that produced
+    /// it. The layout matches [`Diff::encoded_size`] *exactly* — page id
+    /// (4), run count (4), interval stamp (4), then per run offset (4),
+    /// length (4), and the run's bytes — so the modeled byte accounting of
+    /// `lrc-simnet` becomes a measurement for diffs.
+    pub fn write_wire(&self, page: u32, stamp: u32, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_size());
+        out.extend_from_slice(&page.to_le_bytes());
+        out.extend_from_slice(&(self.runs.len() as u32).to_le_bytes());
+        out.extend_from_slice(&stamp.to_le_bytes());
+        for run in &self.runs {
+            out.extend_from_slice(&run.offset().to_le_bytes());
+            out.extend_from_slice(&(run.len() as u32).to_le_bytes());
+            out.extend_from_slice(run.data());
+        }
+    }
+
+    /// Decodes one wire diff from the front of `bytes`, returning the page
+    /// tag, interval stamp, the diff, and the number of bytes consumed.
+    ///
+    /// Returns `None` on truncation, an unreasonable run count, empty
+    /// runs, or runs that are not sorted and disjoint (a diff that would
+    /// not have been produced by [`Diff::write_wire`]).
+    pub fn read_wire(bytes: &[u8]) -> Option<(u32, u32, Diff, usize)> {
+        let u32_at = |at: usize| -> Option<u32> {
+            bytes
+                .get(at..at + 4)
+                .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        };
+        let page = u32_at(0)?;
+        let run_count = u32_at(4)? as usize;
+        let stamp = u32_at(8)?;
+        if run_count > bytes.len() / RUN_HEADER_BYTES {
+            return None; // each run costs at least its header
+        }
+        let mut at = DIFF_HEADER_BYTES;
+        let mut runs = Vec::with_capacity(run_count);
+        let mut min_offset = 0usize;
+        for _ in 0..run_count {
+            let offset = u32_at(at)?;
+            let len = u32_at(at + 4)? as usize;
+            let data = bytes.get(at + 8..at + 8 + len)?;
+            if len == 0 || (offset as usize) < min_offset {
+                return None;
+            }
+            min_offset = offset as usize + len;
+            runs.push(DiffRun::new(offset, data.to_vec()));
+            at += RUN_HEADER_BYTES + len;
+        }
+        Some((page, stamp, Diff { runs }, at))
+    }
+
     /// True if any byte range of `self` overlaps any byte range of `other`.
     /// Concurrent diffs of a properly-labeled program never overlap.
     pub fn overlaps(&self, other: &Diff) -> bool {
@@ -416,6 +469,48 @@ mod tests {
     #[should_panic(expected = "at least one byte")]
     fn empty_run_rejected() {
         DiffRun::new(0, Vec::new());
+    }
+
+    #[test]
+    fn wire_round_trip_matches_encoded_size() {
+        let twin = page();
+        let mut cur = twin.clone();
+        cur.write(3, &[9; 7]);
+        cur.write(60, &[4; 2]);
+        let diff = Diff::between(&twin, &cur);
+        let mut buf = Vec::new();
+        diff.write_wire(17, 5, &mut buf);
+        assert_eq!(buf.len(), diff.encoded_size(), "wire bytes match model");
+        let (page_id, stamp, back, used) = Diff::read_wire(&buf).unwrap();
+        assert_eq!((page_id, stamp, used), (17, 5, buf.len()));
+        assert_eq!(back, diff);
+        // An empty diff is a bare header.
+        let mut buf = Vec::new();
+        Diff::new().write_wire(0, 0, &mut buf);
+        assert_eq!(buf.len(), DIFF_HEADER_BYTES);
+        assert!(Diff::read_wire(&buf).unwrap().2.is_empty());
+    }
+
+    #[test]
+    fn wire_decode_rejects_corruption() {
+        let twin = page();
+        let mut cur = twin.clone();
+        cur.write(0, &[1; 4]);
+        let diff = Diff::between(&twin, &cur);
+        let mut buf = Vec::new();
+        diff.write_wire(0, 1, &mut buf);
+        // Truncation at every boundary.
+        for cut in [1, 4, 11, buf.len() - 1] {
+            assert!(Diff::read_wire(&buf[..cut]).is_none(), "cut at {cut}");
+        }
+        // Absurd run count.
+        let mut bad = buf.clone();
+        bad[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Diff::read_wire(&bad).is_none());
+        // Zero-length run.
+        let mut bad = buf.clone();
+        bad[16..20].copy_from_slice(&0u32.to_le_bytes());
+        assert!(Diff::read_wire(&bad).is_none());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use lrc_core::{ConfigError, LrcConfig, LrcEngine};
+use lrc_core::{ConfigError, EngineOp, EngineOpError, LrcConfig, LrcEngine};
 use lrc_eager::{EagerConfig, EagerEngine};
 use lrc_pagemem::AddrSpace;
 use lrc_simnet::NetStats;
@@ -139,6 +139,23 @@ impl AnyEngine {
         match self {
             AnyEngine::Lazy(e) => e.barrier(p, barrier),
             AnyEngine::Eager(e) => e.barrier(p, barrier),
+        }
+    }
+
+    /// Dispatches one decoded remote request (the network nodes' single
+    /// entry point into either engine family).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineOpError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range accesses (see the engines' docs).
+    pub fn apply_op(&self, p: ProcId, op: &EngineOp) -> Result<Vec<u8>, EngineOpError> {
+        match self {
+            AnyEngine::Lazy(e) => e.apply_op(p, op),
+            AnyEngine::Eager(e) => e.apply_op(p, op),
         }
     }
 

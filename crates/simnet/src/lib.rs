@@ -29,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod crosscheck;
 mod fabric;
 mod kind;
 mod sizes;
 mod stats;
 
+pub use crosscheck::{CrosscheckRow, SizeCrosscheck};
 pub use fabric::{Fabric, MsgRecord};
 pub use kind::{MsgKind, OpClass};
 pub use sizes::{

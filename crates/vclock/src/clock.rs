@@ -90,6 +90,35 @@ impl VectorClock {
         *e
     }
 
+    /// Wire size of this clock: one little-endian `u32` per processor —
+    /// exactly the 4 bytes per entry `lrc-simnet`'s model charges.
+    pub fn wire_len(&self) -> usize {
+        4 * self.entries.len()
+    }
+
+    /// Appends the clock's wire encoding to `out` (entries in processor
+    /// order, each a little-endian `u32`).
+    pub fn write_wire(&self, out: &mut Vec<u8>) {
+        out.reserve(self.wire_len());
+        for &e in &self.entries {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+    }
+
+    /// Decodes a clock for `n_procs` processors from the front of `bytes`.
+    /// Returns `None` if fewer than `4 * n_procs` bytes are available.
+    pub fn read_wire(bytes: &[u8], n_procs: usize) -> Option<VectorClock> {
+        let need = 4 * n_procs;
+        if bytes.len() < need {
+            return None;
+        }
+        let entries = bytes[..need]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Some(VectorClock { entries })
+    }
+
     /// Pointwise maximum with `other`, in place. This is how a processor
     /// learns remote time on an acquire or barrier exit.
     ///

@@ -39,6 +39,31 @@ impl IntervalId {
     pub fn seq(self) -> u32 {
         self.seq
     }
+
+    /// Wire size of an interval id: processor (`u16`) + sequence (`u32`).
+    ///
+    /// Two bytes more than `lrc-simnet`'s modeled 4-byte interval field —
+    /// the model packs the sequence into 16 bits, which a real execution
+    /// can overflow; the measured encoding keeps full fidelity and the
+    /// deviation shows up in the modeled-vs-measured cross-check.
+    pub const WIRE_BYTES: usize = 6;
+
+    /// Appends the id's wire encoding to `out`.
+    pub fn write_wire(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.proc.raw().to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+    }
+
+    /// Decodes an interval id from the front of `bytes`. Returns `None` if
+    /// fewer than [`IntervalId::WIRE_BYTES`] bytes are available.
+    pub fn read_wire(bytes: &[u8]) -> Option<IntervalId> {
+        if bytes.len() < Self::WIRE_BYTES {
+            return None;
+        }
+        let proc = ProcId::new(u16::from_le_bytes([bytes[0], bytes[1]]));
+        let seq = u32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]);
+        Some(IntervalId::new(proc, seq))
+    }
 }
 
 impl fmt::Display for IntervalId {

@@ -9,7 +9,8 @@
 //! | [`core`] | `lrc-core` | the LRC protocol engine (the paper's contribution) |
 //! | [`eager`] | `lrc-eager` | the Munin-style eager RC baseline |
 //! | [`sim`] | `lrc-sim` | trace-driven simulator, SC oracle, sweeps |
-//! | [`dsm`] | `lrc-dsm` | threaded runtime DSM with locks/barriers |
+//! | [`dsm`] | `lrc-dsm` | threaded runtime DSM with locks/barriers, node runtime |
+//! | [`net`] | `lrc-net` | wire protocol and pluggable transports |
 //! | [`workloads`] | `lrc-workloads` | SPLASH-like trace generators |
 //! | [`trace`] | `lrc-trace` | trace model, validation, race detection |
 //! | [`pagemem`] | `lrc-pagemem` | pages, twins, diffs |
@@ -41,6 +42,7 @@
 pub use lrc_core as core;
 pub use lrc_dsm as dsm;
 pub use lrc_eager as eager;
+pub use lrc_net as net;
 pub use lrc_pagemem as pagemem;
 pub use lrc_sim as sim;
 pub use lrc_simnet as simnet;

@@ -61,6 +61,75 @@ fn contended_lock_counters_lose_no_increments() {
     }
 }
 
+/// Multi-lock contention: disjoint pairs of processors contend on
+/// *different* locks simultaneously, then every processor sweeps every
+/// lock in a proc-dependent rotation. With per-lock wait queues a release
+/// wakes only its own lock's waiters; this test fails (lost increments or
+/// a hang) if a wake-up is misrouted or lost, and under the old global
+/// condvar it measured the spurious-wakeup storm it replaces.
+#[test]
+fn disjoint_and_rotating_multi_lock_contention() {
+    const PROCS: usize = 4;
+    const LOCKS: u32 = 4;
+    const ROUNDS: u64 = 60;
+    for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::LazyUpdate] {
+        let dsm = DsmBuilder::new(kind, PROCS, 1 << 16)
+            .page_size(512)
+            .locks(LOCKS as usize)
+            .build()
+            .unwrap();
+        dsm.parallel(|proc| {
+            let me = proc.proc().index() as u64;
+            // Phase 1: procs {0,1} hammer lock 0 while {2,3} hammer lock 1
+            // — two independent wait queues active at once.
+            let pair_lock = LockId::new((me / 2) as u32);
+            let pair_addr = 512 * (pair_lock.raw() as u64 + 1);
+            for _ in 0..ROUNDS {
+                proc.acquire(pair_lock)?;
+                let v = proc.read_u64(pair_addr);
+                proc.write_u64(pair_addr, v + 1);
+                proc.release(pair_lock)?;
+            }
+            // Phase 2: every processor sweeps every lock, each starting at
+            // a different offset so all queues stay contended.
+            for round in 0..ROUNDS {
+                let lock = LockId::new(((me + round) % LOCKS as u64) as u32);
+                let addr = 512 * (lock.raw() as u64 + 1) + 8;
+                proc.acquire(lock)?;
+                let v = proc.read_u64(addr);
+                proc.write_u64(addr, v + 1);
+                proc.release(lock)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let mut reader = dsm.handle(ProcId::new(0));
+        for lock in 0..LOCKS {
+            reader.acquire(LockId::new(lock)).unwrap();
+            let pair = reader.read_u64(512 * (lock as u64 + 1));
+            let sweep = reader.read_u64(512 * (lock as u64 + 1) + 8);
+            reader.release(LockId::new(lock)).unwrap();
+            if lock < 2 {
+                assert_eq!(
+                    pair,
+                    2 * ROUNDS,
+                    "{kind} lock {lock}: pair-phase lost increments"
+                );
+            } else {
+                assert_eq!(
+                    pair, 0,
+                    "{kind} lock {lock}: pair phase never used this lock"
+                );
+            }
+            assert_eq!(
+                sweep,
+                PROCS as u64 * ROUNDS / LOCKS as u64,
+                "{kind} lock {lock}: sweep-phase lost increments"
+            );
+        }
+    }
+}
+
 /// Barrier stress: many episodes of the same two barriers back to back.
 /// A lost episode wake-up deadlocks the test (caught by the harness
 /// timeout); an ordering bug trips the read assertions.
