@@ -38,6 +38,37 @@ impl fmt::Display for Policy {
     }
 }
 
+/// A deliberately-broken protocol variant, for **mutation testing** the
+/// verification stack: the history checker (`lrc-hist`) must reject runs
+/// of every non-[`Stock`](ProtocolMutation::Stock) variant. Never enable
+/// outside tests — each mutation silently corrupts memory consistency
+/// while keeping the engine superficially functional (locks still hand
+/// off, barriers still complete, nothing panics).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ProtocolMutation {
+    /// The faithful protocol.
+    #[default]
+    Stock,
+    /// Skip twin-diffing when an interval closes: writes are never turned
+    /// into diffs, so no write notice is ever generated and modifications
+    /// never leave the writing processor.
+    SkipTwinDiff,
+    /// Drop write notices instead of delivering them: acquirers and
+    /// barrier crossers merge clocks but never learn which pages changed,
+    /// so stale copies stay valid.
+    DropNotices,
+}
+
+impl fmt::Display for ProtocolMutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolMutation::Stock => f.write_str("stock"),
+            ProtocolMutation::SkipTwinDiff => f.write_str("skip-twin-diff"),
+            ProtocolMutation::DropNotices => f.write_str("drop-notices"),
+        }
+    }
+}
+
 /// Configuration of an [`LrcEngine`](crate::LrcEngine).
 ///
 /// Start from [`LrcConfig::new`] and chain setters:
@@ -81,6 +112,9 @@ pub struct LrcConfig {
     /// then all interval records and diffs are discarded. Cold misses
     /// afterwards fetch whole pages from the last writer. Default `false`.
     pub gc_at_barriers: bool,
+    /// Deliberately-broken protocol variant for mutation testing the
+    /// checker stack. Default [`ProtocolMutation::Stock`] (faithful).
+    pub mutation: ProtocolMutation,
 }
 
 impl LrcConfig {
@@ -97,6 +131,7 @@ impl LrcConfig {
             piggyback_notices: true,
             full_page_misses: false,
             gc_at_barriers: false,
+            mutation: ProtocolMutation::Stock,
         }
     }
 
@@ -142,6 +177,13 @@ impl LrcConfig {
         self
     }
 
+    /// Selects a deliberately-broken protocol variant (mutation testing
+    /// only; see [`ProtocolMutation`]).
+    pub fn mutate(mut self, mutation: ProtocolMutation) -> Self {
+        self.mutation = mutation;
+        self
+    }
+
     /// Validates the configuration and derives the address space.
     ///
     /// # Errors
@@ -169,6 +211,10 @@ pub enum ConfigError {
     EmptySpace,
     /// Invalid page size.
     BadPageSize(PageSizeError),
+    /// A [`ProtocolMutation`] was requested for an engine family that
+    /// does not implement it (mutations exist for the lazy engines only;
+    /// silently ignoring one would make a mutation-test vacuous).
+    UnsupportedMutation(ProtocolMutation),
 }
 
 impl fmt::Display for ConfigError {
@@ -179,6 +225,10 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::EmptySpace => f.write_str("shared address space is empty"),
             ConfigError::BadPageSize(e) => write!(f, "{e}"),
+            ConfigError::UnsupportedMutation(m) => write!(
+                f,
+                "protocol mutation '{m}' is only implemented by the lazy engines"
+            ),
         }
     }
 }
@@ -250,6 +300,17 @@ mod tests {
     fn policy_display() {
         assert_eq!(Policy::Invalidate.to_string(), "invalidate");
         assert_eq!(Policy::Update.suffix(), "U");
+    }
+
+    #[test]
+    fn mutations_default_stock_and_display() {
+        let cfg = LrcConfig::new(2, 1 << 14);
+        assert_eq!(cfg.mutation, ProtocolMutation::Stock);
+        let broken = cfg.mutate(ProtocolMutation::SkipTwinDiff);
+        assert_eq!(broken.mutation, ProtocolMutation::SkipTwinDiff);
+        assert_eq!(ProtocolMutation::Stock.to_string(), "stock");
+        assert_eq!(ProtocolMutation::SkipTwinDiff.to_string(), "skip-twin-diff");
+        assert_eq!(ProtocolMutation::DropNotices.to_string(), "drop-notices");
     }
 
     #[test]

@@ -1,3 +1,6 @@
+use std::sync::{Arc, OnceLock};
+
+use lrc_hist::HistoryRecorder;
 use lrc_pagemem::{AddrSpace, Diff, PageBuf, PageId};
 use lrc_simnet::{
     notice_batch_bytes, vc_bytes, Fabric, MsgKind, BARRIER_ID_BYTES, DIFF_REQUEST_ENTRY_BYTES,
@@ -10,7 +13,8 @@ use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use crate::counters::{bump, SharedLazyCounters};
 use crate::pagestate::PageEntry;
 use crate::{
-    ConfigError, EngineOp, EngineOpError, FetchPlan, IntervalStore, LazyCounters, LrcConfig, Policy,
+    ConfigError, EngineOp, EngineOpError, FetchPlan, IntervalStore, LazyCounters, LrcConfig,
+    Policy, ProtocolMutation,
 };
 
 /// One processor's private slice of the engine: its page table, vector
@@ -78,6 +82,11 @@ pub struct LrcEngine {
     protocol: Mutex<()>,
     net: Fabric,
     counters: SharedLazyCounters,
+    /// Optional history recorder (`lrc-hist`): when attached, every
+    /// public operation logs itself — reads with the bytes they observed,
+    /// synchronization operations with their engine-assigned order. The
+    /// unattached fast path costs one atomic load.
+    recorder: OnceLock<Arc<HistoryRecorder>>,
 }
 
 impl LrcEngine {
@@ -110,8 +119,36 @@ impl LrcEngine {
             protocol: Mutex::new(()),
             net: Fabric::new(n),
             counters: SharedLazyCounters::default(),
+            recorder: OnceLock::new(),
             cfg,
         })
+    }
+
+    /// Attaches a history recorder: from now on every read (with its
+    /// observed bytes), write, acquire, release, and barrier crossing is
+    /// appended to the recorder's per-processor logs, with
+    /// synchronization order assigned under the engine's protocol lock.
+    /// Attach before driving the engine so the history starts complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recorder is already attached or its processor count
+    /// differs from the engine's.
+    pub fn attach_recorder(&self, recorder: Arc<HistoryRecorder>) {
+        assert_eq!(
+            recorder.n_procs(),
+            self.cfg.n_procs,
+            "recorder processor count does not match the engine"
+        );
+        assert!(
+            self.recorder.set(recorder).is_ok(),
+            "a history recorder is already attached"
+        );
+    }
+
+    #[inline]
+    fn recorder(&self) -> Option<&HistoryRecorder> {
+        self.recorder.get().map(Arc::as_ref)
     }
 
     /// The engine's configuration.
@@ -174,6 +211,12 @@ impl LrcEngine {
         ProcId::new((page.index() % self.cfg.n_procs) as u16)
     }
 
+    /// The current holder of `lock`, if any (`None` for free or unknown
+    /// locks) — diagnostics for stuck-waiter reports.
+    pub fn lock_holder(&self, lock: LockId) -> Option<ProcId> {
+        self.locks.lock().holder(lock)
+    }
+
     fn shard(&self, p: ProcId) -> MutexGuard<'_, ProcShard> {
         self.shards[p.index()].lock()
     }
@@ -203,6 +246,9 @@ impl LrcEngine {
                 self.resolve_miss(p, seg.page);
             }
             cursor += seg.len;
+        }
+        if let Some(rec) = self.recorder() {
+            rec.read(p, addr, buf);
         }
     }
 
@@ -259,6 +305,9 @@ impl LrcEngine {
                 self.resolve_miss(p, seg.page);
             }
             cursor += seg.len;
+        }
+        if let Some(rec) = self.recorder() {
+            rec.write(p, addr, data);
         }
     }
 
@@ -324,6 +373,11 @@ impl LrcEngine {
         let _protocol = self.protocol.lock();
         let path = self.locks.lock().acquire(p, lock)?;
         bump(&self.counters.acquires, 1);
+        if let Some(rec) = self.recorder() {
+            // Under the protocol lock: the recorded grant order is the
+            // order the lock table granted.
+            rec.acquire(p, lock);
+        }
         self.close_interval(p);
         let q = path.grantor;
         if q == p {
@@ -400,6 +454,9 @@ impl LrcEngine {
     pub fn release(&self, p: ProcId, lock: LockId) -> Result<(), LockError> {
         let _protocol = self.protocol.lock();
         self.locks.lock().release(p, lock)?;
+        if let Some(rec) = self.recorder() {
+            rec.release(p, lock);
+        }
         self.close_interval(p);
         bump(&self.counters.releases, 1);
         Ok(())
@@ -433,6 +490,9 @@ impl LrcEngine {
             self.net.send(p, master, MsgKind::BarrierArrival, payload);
         }
         let outcome = self.barriers.lock().arrive(p, barrier)?;
+        if let Some(rec) = self.recorder() {
+            rec.barrier(p, barrier);
+        }
         if let BarrierArrival::Complete { .. } = outcome {
             self.complete_barrier(master);
         }
@@ -457,6 +517,12 @@ impl LrcEngine {
             if !diff.is_empty() {
                 page_diffs.push((g, diff));
             }
+        }
+        if self.cfg.mutation == ProtocolMutation::SkipTwinDiff {
+            // Mutation testing: the twins were consumed but their diffs
+            // are discarded — this interval's writes silently never
+            // propagate. The history checker must reject the run.
+            return;
         }
         if page_diffs.is_empty() {
             return;
@@ -490,6 +556,12 @@ impl LrcEngine {
     /// Delivers write notices to `p`: pending lists grow and, under the
     /// invalidate policy, resident valid copies are invalidated.
     fn deliver_notices(&self, p: ProcId, notices: &[crate::WriteNotice]) {
+        if self.cfg.mutation == ProtocolMutation::DropNotices {
+            // Mutation testing: knowledge merges but the page-level
+            // notices vanish, so stale copies stay valid. The history
+            // checker must reject the run.
+            return;
+        }
         bump(&self.counters.notices_received, notices.len() as u64);
         let mut shard = self.shard(p);
         for n in notices {

@@ -67,7 +67,7 @@ mod plan;
 mod remote;
 mod store;
 
-pub use config::{ConfigError, LrcConfig, Policy, MAX_PROCS};
+pub use config::{ConfigError, LrcConfig, Policy, ProtocolMutation, MAX_PROCS};
 pub use counters::LazyCounters;
 pub use engine::LrcEngine;
 pub use plan::FetchPlan;

@@ -121,6 +121,82 @@ fn failed_contended_acquire_has_no_side_effects() {
     dsm.release(p(1), l(0)).unwrap();
 }
 
+/// The same invariant under the *update* policy, where acquire-time side
+/// effects are heavier (diff pulls for every cached page): a contended
+/// acquire must change nothing — no clock movement, no interval, no
+/// traffic. Before the acquire-before-`close_interval` fix, every retry
+/// with dirty pages closed an interval here too.
+#[test]
+fn failed_contended_acquire_is_side_effect_free_under_update_policy() {
+    let dsm = engine(Policy::Update);
+    dsm.acquire(p(0), l(0)).unwrap();
+
+    dsm.write_u64(p(1), 512, 5); // p1 has an open interval
+    let clock_before = dsm.clock(p(1));
+    let counters_before = dsm.counters();
+    let intervals_before = dsm.store().interval_count();
+    let net_before = dsm.net().stats();
+
+    for _ in 0..3 {
+        assert!(matches!(
+            dsm.acquire(p(1), l(0)),
+            Err(LockError::HeldByOther { .. })
+        ));
+    }
+
+    assert_eq!(dsm.clock(p(1)), clock_before);
+    assert_eq!(dsm.store().interval_count(), intervals_before);
+    let counters = dsm.counters();
+    assert_eq!(counters.intervals_closed, counters_before.intervals_closed);
+    assert_eq!(counters.updates, counters_before.updates);
+    assert_eq!(
+        dsm.net().stats(),
+        net_before,
+        "failed acquires must put nothing on the wire"
+    );
+
+    dsm.release(p(0), l(0)).unwrap();
+    dsm.acquire(p(1), l(0)).unwrap();
+    dsm.release(p(1), l(0)).unwrap();
+}
+
+/// A failed acquire must not *split* the open interval. Before the fix,
+/// the first failed retry closed the interval mid-stream, so writes
+/// before and after the retries landed in two intervals — observable as
+/// an extra write notice at the next processor's acquire (and extra
+/// notice bytes on the wire).
+#[test]
+fn retried_acquire_does_not_split_the_open_interval() {
+    let dsm = engine(Policy::Invalidate);
+    dsm.acquire(p(0), l(0)).unwrap();
+
+    dsm.write_u64(p(1), 512, 1); // open interval, first write
+    for _ in 0..2 {
+        assert!(dsm.acquire(p(1), l(0)).is_err());
+    }
+    dsm.write_u64(p(1), 520, 2); // same page, same (still-open) interval
+
+    dsm.release(p(0), l(0)).unwrap();
+    dsm.acquire(p(1), l(0)).unwrap(); // closes exactly one interval
+    dsm.release(p(1), l(0)).unwrap();
+    assert_eq!(
+        dsm.store().interval_count(),
+        1,
+        "both writes belong to one interval"
+    );
+
+    // The next acquirer learns p1's modifications as ONE notice: the
+    // interval was never split.
+    let before = dsm.counters().notices_received;
+    dsm.acquire(p(2), l(0)).unwrap();
+    assert_eq!(
+        dsm.counters().notices_received - before,
+        1,
+        "one interval, one write notice for the page"
+    );
+    dsm.release(p(2), l(0)).unwrap();
+}
+
 /// A double acquire (`AlreadyHeld`) is misuse, and must be side-effect
 /// free for the same reason.
 #[test]

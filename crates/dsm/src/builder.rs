@@ -1,4 +1,6 @@
-use lrc_core::ConfigError;
+use std::time::Duration;
+
+use lrc_core::{ConfigError, ProtocolMutation};
 use lrc_sim::{AnyEngine, EngineParams, ProtocolKind};
 
 use crate::cluster::Dsm;
@@ -23,6 +25,7 @@ use crate::cluster::Dsm;
 pub struct DsmBuilder {
     kind: ProtocolKind,
     params: EngineParams,
+    wait_timeout: Option<Duration>,
 }
 
 impl DsmBuilder {
@@ -34,13 +37,9 @@ impl DsmBuilder {
             params: EngineParams {
                 n_procs,
                 mem_bytes,
-                page_bytes: 4096,
-                n_locks: 16,
-                n_barriers: 4,
-                piggyback_notices: true,
-                full_page_misses: false,
-                gc_at_barriers: false,
+                ..EngineParams::default()
             },
+            wait_timeout: None,
         }
     }
 
@@ -83,6 +82,23 @@ impl DsmBuilder {
         self
     }
 
+    /// Selects a deliberately-broken protocol variant (mutation testing
+    /// of the history checker; lazy protocols only — see
+    /// [`lrc_core::ProtocolMutation`]).
+    pub fn mutation(mut self, mutation: ProtocolMutation) -> Self {
+        self.params.mutation = mutation;
+        self
+    }
+
+    /// Bounds every blocking wait (lock hand-offs, barrier episodes) by
+    /// `timeout`. A wait that exceeds the deadline panics with a
+    /// stuck-waiter report — what a test suite wants from a lost wake-up
+    /// instead of a silent CI hang. Default: wait forever.
+    pub fn wait_timeout(mut self, timeout: Duration) -> Self {
+        self.wait_timeout = Some(timeout);
+        self
+    }
+
     /// Builds the runtime.
     ///
     /// # Errors
@@ -95,6 +111,7 @@ impl DsmBuilder {
             self.kind,
             self.params.n_locks,
             self.params.n_barriers,
+            self.wait_timeout,
         ))
     }
 }

@@ -1,7 +1,9 @@
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
+use lrc_hist::HistoryRecorder;
 use lrc_sim::{AnyEngine, ProtocolKind};
 use lrc_simnet::NetStats;
 use lrc_sync::{BarrierError, LockError};
@@ -83,6 +85,10 @@ pub(crate) struct Cluster {
     /// Completed episodes per barrier, advanced by the closing arrival.
     pub(crate) episodes: parking_lot::Mutex<Vec<u64>>,
     pub(crate) n_procs: usize,
+    /// Deadline for every blocking wait (lock hand-offs and barrier
+    /// episodes). `None` waits forever; tests set a bound so a lost
+    /// wake-up fails with a stuck-waiter report instead of hanging CI.
+    pub(crate) wait_timeout: Option<Duration>,
 }
 
 /// A running DSM: `n` simulated processors sharing a paged address space
@@ -107,6 +113,7 @@ impl Dsm {
         kind: ProtocolKind,
         n_locks: usize,
         n_barriers: usize,
+        wait_timeout: Option<Duration>,
     ) -> Self {
         let n_procs = match &engine {
             AnyEngine::Lazy(e) => e.config().n_procs,
@@ -124,11 +131,25 @@ impl Dsm {
                 barrier_cv: parking_lot::Condvar::new(),
                 episodes: parking_lot::Mutex::new(vec![0; n_barriers]),
                 n_procs,
+                wait_timeout,
             }),
             kind,
             n_locks,
             n_barriers,
         }
+    }
+
+    /// Attaches a history recorder to the underlying engine: every
+    /// processor's reads (with observed bytes), writes, and
+    /// synchronization operations are logged for conformance checking
+    /// with `lrc-hist`. Attach before spawning work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recorder is already attached or its processor count
+    /// differs from the engine's.
+    pub fn attach_recorder(&self, recorder: Arc<HistoryRecorder>) {
+        self.cluster.engine.attach_recorder(recorder);
     }
 
     /// Number of processors.

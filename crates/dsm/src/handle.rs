@@ -94,7 +94,24 @@ impl ProcHandle {
                     let generation = generation.expect("contended lock is in range");
                     let mut current = slot.generation.lock();
                     while *current == generation {
-                        slot.released.wait(&mut current);
+                        match self.cluster.wait_timeout {
+                            None => slot.released.wait(&mut current),
+                            Some(limit) => {
+                                let result = slot.released.wait_for(&mut current, limit);
+                                if result.timed_out() && *current == generation {
+                                    panic!(
+                                        "DSM wait deadline exceeded: {} waited {limit:?} \
+                                         for {lock} (held by {}, release generation stuck \
+                                         at {generation}) — lost wake-up or deadlock",
+                                        self.proc,
+                                        match self.cluster.engine.lock_holder(lock) {
+                                            Some(holder) => holder.to_string(),
+                                            None => "nobody".to_string(),
+                                        },
+                                    );
+                                }
+                            }
+                        }
                     }
                 }
                 Err(e) => return Err(e.into()),
@@ -179,7 +196,21 @@ impl ProcHandle {
             BarrierArrival::Waiting { .. } => {
                 let mut episodes = self.cluster.episodes.lock();
                 while episodes[barrier.index()] < target {
-                    self.cluster.barrier_cv.wait(&mut episodes);
+                    match self.cluster.wait_timeout {
+                        None => self.cluster.barrier_cv.wait(&mut episodes),
+                        Some(limit) => {
+                            let result = self.cluster.barrier_cv.wait_for(&mut episodes, limit);
+                            if result.timed_out() && episodes[barrier.index()] < target {
+                                panic!(
+                                    "DSM wait deadline exceeded: {} waited {limit:?} at \
+                                     {barrier} for episode {target} (completed: {}) — a \
+                                     processor never arrived, or its wake-up was lost",
+                                    self.proc,
+                                    episodes[barrier.index()],
+                                );
+                            }
+                        }
+                    }
                 }
                 Ok(())
             }

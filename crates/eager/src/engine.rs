@@ -1,6 +1,8 @@
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use lrc_core::{ConfigError, EngineOp, EngineOpError, Policy};
+use lrc_hist::HistoryRecorder;
 use lrc_pagemem::{AddrSpace, Diff, PageBuf, PageId};
 use lrc_simnet::{
     invalidation_bytes, Fabric, MsgKind, BARRIER_ID_BYTES, LOCK_ID_BYTES, PAGE_ID_BYTES,
@@ -78,6 +80,9 @@ pub struct EagerEngine {
     protocol: Mutex<()>,
     net: Fabric,
     counters: SharedEagerCounters,
+    /// Optional history recorder (`lrc-hist`); see
+    /// [`EagerEngine::attach_recorder`].
+    recorder: OnceLock<Arc<HistoryRecorder>>,
 }
 
 impl EagerEngine {
@@ -117,8 +122,40 @@ impl EagerEngine {
             protocol: Mutex::new(()),
             net: Fabric::new(n),
             counters: SharedEagerCounters::default(),
+            recorder: OnceLock::new(),
             cfg,
         })
+    }
+
+    /// Attaches a history recorder, exactly like
+    /// [`lrc_core::LrcEngine::attach_recorder`]: both engine families
+    /// feed the same conformance checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recorder is already attached or its processor count
+    /// differs from the engine's.
+    pub fn attach_recorder(&self, recorder: Arc<HistoryRecorder>) {
+        assert_eq!(
+            recorder.n_procs(),
+            self.cfg.n_procs,
+            "recorder processor count does not match the engine"
+        );
+        assert!(
+            self.recorder.set(recorder).is_ok(),
+            "a history recorder is already attached"
+        );
+    }
+
+    #[inline]
+    fn recorder(&self) -> Option<&HistoryRecorder> {
+        self.recorder.get().map(Arc::as_ref)
+    }
+
+    /// The current holder of `lock`, if any (`None` for free or unknown
+    /// locks) — diagnostics for stuck-waiter reports.
+    pub fn lock_holder(&self, lock: LockId) -> Option<ProcId> {
+        self.locks.lock().holder(lock)
     }
 
     /// The engine's configuration.
@@ -199,6 +236,9 @@ impl EagerEngine {
             }
             cursor += seg.len;
         }
+        if let Some(rec) = self.recorder() {
+            rec.read(p, addr, buf);
+        }
     }
 
     /// Reads `len` bytes at `addr` into a fresh vector.
@@ -258,6 +298,9 @@ impl EagerEngine {
             }
             cursor += seg.len;
         }
+        if let Some(rec) = self.recorder() {
+            rec.write(p, addr, data);
+        }
     }
 
     /// Writes a little-endian `u64` at `addr`.
@@ -314,6 +357,11 @@ impl EagerEngine {
         let _protocol = self.protocol.lock();
         let path = self.locks.lock().acquire(p, lock)?;
         bump(&self.counters.acquires, 1);
+        if let Some(rec) = self.recorder() {
+            // Under the protocol lock: the recorded grant order is the
+            // order the lock table granted.
+            rec.acquire(p, lock);
+        }
         if let Some((src, dst)) = path.request {
             self.net.send(src, dst, MsgKind::LockRequest, LOCK_ID_BYTES);
         }
@@ -348,6 +396,9 @@ impl EagerEngine {
             .lock()
             .release(p, lock)
             .expect("holder validated above");
+        if let Some(rec) = self.recorder() {
+            rec.release(p, lock);
+        }
         bump(&self.counters.releases, 1);
         Ok(())
     }
@@ -392,6 +443,9 @@ impl EagerEngine {
             self.net.send(p, master, MsgKind::BarrierArrival, payload);
         }
         let outcome = self.barriers.lock().arrive(p, barrier)?;
+        if let Some(rec) = self.recorder() {
+            rec.barrier(p, barrier);
+        }
         if let BarrierArrival::Complete { .. } = outcome {
             self.complete_barrier(barrier, master);
         }
@@ -579,7 +633,27 @@ impl EagerEngine {
         pages.sort_by_key(|(g, _)| *g);
         for (g, mut writers) in pages {
             writers.sort_by_key(|(w, _)| *w);
-            let winner = writers.last().expect("page has at least one writer").0;
+            // The winner must hold the *authoritative* copy. That is the
+            // directory owner — the page's last flusher — whenever its
+            // copy is still valid: a release inside this episode already
+            // reconciled concurrent modifications into the releaser's
+            // copy (via writebacks) and invalidated the buffered writers,
+            // so picking a buffered writer would resurrect a stale copy
+            // and silently drop the releaser's writes. (Found by the
+            // recorded-history checker: a processor lost its own
+            // barrier-published write after flushing it at a release.)
+            // When no flusher survives with a valid copy — the pure
+            // barrier-phase case — any buffered writer's copy is previous
+            // content plus its own writes, and the highest-numbered one
+            // wins as before.
+            let winner = {
+                let owner = self.dir.lock()[g.index()].owner;
+                if self.shard(owner).pages[g.index()].valid {
+                    owner
+                } else {
+                    writers.last().expect("page has at least one writer").0
+                }
+            };
             for (w, diff) in &writers {
                 if *w == winner {
                     continue;
@@ -598,7 +672,7 @@ impl EagerEngine {
                     let copy = winner_shard.pages[g.index()]
                         .copy
                         .as_mut()
-                        .expect("winner wrote the page");
+                        .expect("winner holds a copy");
                     diff.apply_to(copy);
                 }
                 bump(&self.counters.excess_invalidators, 1);

@@ -7,7 +7,7 @@
 
 use lrc_core::Policy;
 use lrc_eager::{EagerConfig, EagerEngine};
-use lrc_sync::LockId;
+use lrc_sync::{BarrierId, LockId};
 use lrc_vclock::ProcId;
 
 fn p(i: u16) -> ProcId {
@@ -49,6 +49,45 @@ fn cold_miss_does_not_leak_unflushed_epoch_writes() {
             "{policy}: flushed writes must still propagate normally"
         );
     }
+}
+
+/// EI barrier completion must crown the holder of the *authoritative*
+/// copy. When a release inside the episode already reconciled the page
+/// (writebacks into the releaser, buffered writers invalidated), the old
+/// code still picked the highest-numbered *buffered* writer — a stale,
+/// already-invalidated copy — dropping the releaser's writes, including
+/// its own barrier-published data. Found by the recorded-history checker
+/// (`tests/hist_threaded.rs`, seed 22); this is the single-threaded
+/// reproduction, which fails before the fix.
+#[test]
+fn barrier_winner_is_the_reconciled_copy_not_a_stale_buffered_writer() {
+    let dsm = engine(Policy::Invalidate);
+    let b = BarrierId::new(0);
+    // p1 writes word A of page 0 and arrives: its diff is buffered for
+    // episode-end resolution, its twin is consumed.
+    dsm.write_u64(p(1), 8, 111);
+    dsm.barrier(p(1), b).unwrap();
+    // p2 writes word B of the same page (false sharing) and flushes it at
+    // a *release*: p2 becomes the reconciled copy holder and directory
+    // owner; p1's copy is invalidated without a writeback (its epoch
+    // already sits in the barrier buffer).
+    dsm.write_u64(p(2), 16, 222);
+    dsm.acquire(p(2), l(0)).unwrap();
+    dsm.release(p(2), l(0)).unwrap();
+    // The remaining processors arrive; the last arrival completes the
+    // episode and resolves page 0: p1's buffered diff must merge into
+    // p2's reconciled copy — not the other way around.
+    dsm.barrier(p(0), b).unwrap();
+    dsm.barrier(p(3), b).unwrap();
+    dsm.barrier(p(2), b).unwrap();
+    assert_eq!(
+        dsm.read_u64(p(2), 16),
+        222,
+        "the releaser's own write must survive barrier resolution"
+    );
+    assert_eq!(dsm.read_u64(p(2), 8), 111, "the buffered diff must merge");
+    assert_eq!(dsm.read_u64(p(0), 8), 111);
+    assert_eq!(dsm.read_u64(p(0), 16), 222);
 }
 
 /// Same leak through the 3-hop path: the *owner* (not the home) supplies

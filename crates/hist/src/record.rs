@@ -1,0 +1,231 @@
+use std::fmt;
+use std::sync::Arc;
+
+use lrc_sync::{BarrierId, LockId};
+use lrc_vclock::ProcId;
+use parking_lot::Mutex;
+
+use crate::{HistEvent, History};
+
+/// Collects per-processor event logs from a running engine.
+///
+/// The engines call the hooks below from their public entry points: reads
+/// and writes from the fast path (each processor appends only to its own
+/// log, so the per-log mutex is uncontended), synchronization operations
+/// from the slow path *while the engine holds its protocol lock* — which
+/// is what makes the assigned grant and episode orders agree with the
+/// order the protocol actually processed them in. Attach one recorder to
+/// one engine via `attach_recorder` (`lrc-core`, `lrc-eager`, or
+/// `Dsm::attach_recorder` in `lrc-dsm`), run the program, then take the
+/// [`History`] with [`HistoryRecorder::finish`].
+pub struct HistoryRecorder {
+    n_procs: usize,
+    logs: Vec<Mutex<Vec<HistEvent>>>,
+    /// Grants handed out so far, per lock (grown on demand).
+    grants: Mutex<Vec<u64>>,
+    /// Arrivals seen so far, per barrier (grown on demand).
+    arrivals: Mutex<Vec<u64>>,
+}
+
+impl HistoryRecorder {
+    /// A recorder for an `n_procs`-processor engine.
+    pub fn new(n_procs: usize) -> Arc<Self> {
+        Arc::new(HistoryRecorder {
+            n_procs,
+            logs: (0..n_procs).map(|_| Mutex::new(Vec::new())).collect(),
+            grants: Mutex::new(Vec::new()),
+            arrivals: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Number of processors this recorder covers.
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    fn push(&self, p: ProcId, event: HistEvent) {
+        self.logs[p.index()].lock().push(event);
+    }
+
+    /// Records a read that observed `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn read(&self, p: ProcId, addr: u64, value: &[u8]) {
+        self.push(
+            p,
+            HistEvent::Read {
+                addr,
+                value: value.to_vec(),
+            },
+        );
+    }
+
+    /// Records a write of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn write(&self, p: ProcId, addr: u64, value: &[u8]) {
+        self.push(
+            p,
+            HistEvent::Write {
+                addr,
+                value: value.to_vec(),
+            },
+        );
+    }
+
+    /// Records a *successful* lock acquire and assigns it the next grant
+    /// in `lock`'s total grant order. Call while the engine's protocol
+    /// lock serializes synchronization operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn acquire(&self, p: ProcId, lock: LockId) {
+        let grant = {
+            let mut grants = self.grants.lock();
+            if grants.len() <= lock.index() {
+                grants.resize(lock.index() + 1, 0);
+            }
+            grants[lock.index()] += 1;
+            grants[lock.index()]
+        };
+        self.push(p, HistEvent::Acquire { lock, grant });
+    }
+
+    /// Records a lock release. The release closes the lock's most recent
+    /// grant — the holder is exclusive, so no grant can intervene between
+    /// a processor's acquire and its release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn release(&self, p: ProcId, lock: LockId) {
+        let grant = {
+            let grants = self.grants.lock();
+            grants.get(lock.index()).copied().unwrap_or(0)
+        };
+        self.push(p, HistEvent::Release { lock, grant });
+    }
+
+    /// Records a barrier arrival and assigns its episode (arrival count
+    /// divided by the processor count — every episode needs all
+    /// processors). Call under the engine's protocol lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn barrier(&self, p: ProcId, barrier: BarrierId) {
+        let episode = {
+            let mut arrivals = self.arrivals.lock();
+            if arrivals.len() <= barrier.index() {
+                arrivals.resize(barrier.index() + 1, 0);
+            }
+            let episode = arrivals[barrier.index()] / self.n_procs as u64;
+            arrivals[barrier.index()] += 1;
+            episode
+        };
+        self.push(p, HistEvent::Barrier { barrier, episode });
+    }
+
+    /// Snapshots the recorded history (the recorder keeps collecting; for
+    /// a finished run this is simply the complete history).
+    pub fn finish(&self) -> History {
+        History {
+            logs: self.logs.iter().map(|log| log.lock().clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Debug for HistoryRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let events: usize = self.logs.iter().map(|log| log.lock().len()).sum();
+        write!(
+            f,
+            "HistoryRecorder({} procs, {events} events)",
+            self.n_procs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u16) -> ProcId {
+        ProcId::new(i)
+    }
+
+    #[test]
+    fn grants_count_per_lock_and_releases_match() {
+        let rec = HistoryRecorder::new(2);
+        rec.acquire(p(0), LockId::new(0));
+        rec.release(p(0), LockId::new(0));
+        rec.acquire(p(1), LockId::new(0));
+        rec.acquire(p(0), LockId::new(3)); // independent order per lock
+        let h = rec.finish();
+        assert_eq!(
+            h.log(p(0))[0],
+            HistEvent::Acquire {
+                lock: LockId::new(0),
+                grant: 1
+            }
+        );
+        assert_eq!(
+            h.log(p(0))[1],
+            HistEvent::Release {
+                lock: LockId::new(0),
+                grant: 1
+            }
+        );
+        assert_eq!(
+            h.log(p(1))[0],
+            HistEvent::Acquire {
+                lock: LockId::new(0),
+                grant: 2
+            }
+        );
+        assert_eq!(
+            h.log(p(0))[2],
+            HistEvent::Acquire {
+                lock: LockId::new(3),
+                grant: 1
+            }
+        );
+    }
+
+    #[test]
+    fn episodes_advance_every_n_arrivals() {
+        let rec = HistoryRecorder::new(2);
+        let b = BarrierId::new(0);
+        rec.barrier(p(0), b);
+        rec.barrier(p(1), b);
+        rec.barrier(p(1), b);
+        rec.barrier(p(0), b);
+        let h = rec.finish();
+        let episodes: Vec<u64> = h
+            .log(p(0))
+            .iter()
+            .chain(h.log(p(1)))
+            .filter_map(|e| match e {
+                HistEvent::Barrier { episode, .. } => Some(*episode),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(episodes, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn accesses_carry_bytes_and_debug_counts() {
+        let rec = HistoryRecorder::new(1);
+        rec.write(p(0), 8, &[1, 2]);
+        rec.read(p(0), 8, &[1, 2]);
+        assert!(format!("{rec:?}").contains("2 events"));
+        let h = rec.finish();
+        assert_eq!(h.log(p(0))[1].access(), Some((8, 2, false)));
+        assert_eq!(h.log(p(0))[0].access(), Some((8, 2, true)));
+    }
+}

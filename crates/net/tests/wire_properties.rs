@@ -221,6 +221,60 @@ proptest! {
         }
     }
 
+    /// A valid body re-framed under a *wrong length prefix* is rejected
+    /// cleanly — no panic, no partial decode. Four mismatch shapes: the
+    /// prefix overruns the buffer (truncation), under-spans the real body
+    /// (checksum refuses the prefix slice), spans appended junk (checksum
+    /// refuses the grown body), or claims an absurd size (cap refuses
+    /// before allocating).
+    #[test]
+    fn wrong_length_prefix_is_cleanly_rejected(
+        msg in msg(),
+        delta in 1usize..48,
+        junk in prop::collection::vec(any::<u8>(), 1..48),
+    ) {
+        let frame = msg.encode_frame(0, 1, 9);
+        let body_len = frame.body.len();
+        let good = frame.encode();
+        prop_assert!(Frame::decode(&good).is_ok(), "baseline frame decodes");
+
+        // Overrun: the prefix promises more bytes than the buffer holds.
+        let mut overrun = good.clone();
+        overrun[20..24].copy_from_slice(&((body_len + delta) as u32).to_le_bytes());
+        prop_assert!(matches!(
+            Frame::decode(&overrun),
+            Err(WireError::Truncated(_))
+        ));
+
+        // Undershoot: the prefix claims a strict prefix of the real body;
+        // the checksum (stored over the full body) must refuse it.
+        if body_len > 0 {
+            let declared = (delta - 1) % body_len; // 0..body_len-1
+            let mut short = good.clone();
+            short[20..24].copy_from_slice(&(declared as u32).to_le_bytes());
+            prop_assert_eq!(
+                Frame::decode(&short).unwrap_err(),
+                WireError::BadChecksum,
+                "an under-spanning prefix must not yield a partial decode"
+            );
+        }
+
+        // Grown: junk appended and the prefix re-framed to cover it.
+        let mut grown = good.clone();
+        grown.extend_from_slice(&junk);
+        grown[20..24].copy_from_slice(&((body_len + junk.len()) as u32).to_le_bytes());
+        prop_assert_eq!(Frame::decode(&grown).unwrap_err(), WireError::BadChecksum);
+
+        // Absurd: over the body cap — refused before any allocation.
+        let mut absurd = good;
+        absurd[20..24]
+            .copy_from_slice(&((lrc_net::MAX_BODY_BYTES + 1) as u32).to_le_bytes());
+        prop_assert!(matches!(
+            Frame::decode(&absurd),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
     /// The encodings designed to be measurements of the simulation model
     /// match it exactly: clocks cost `vc_bytes`, notice records cost
     /// `notice_batch_bytes`, diffs cost `Diff::encoded_size`, and the

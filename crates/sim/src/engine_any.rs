@@ -1,5 +1,8 @@
-use lrc_core::{ConfigError, EngineOp, EngineOpError, LrcConfig, LrcEngine};
+use std::sync::Arc;
+
+use lrc_core::{ConfigError, EngineOp, EngineOpError, LrcConfig, LrcEngine, ProtocolMutation};
 use lrc_eager::{EagerConfig, EagerEngine};
+use lrc_hist::HistoryRecorder;
 use lrc_pagemem::AddrSpace;
 use lrc_simnet::NetStats;
 use lrc_sync::{BarrierArrival, BarrierError, BarrierId, LockError, LockId};
@@ -39,6 +42,31 @@ pub struct EngineParams {
     /// Garbage-collect consistency information at barriers (lazy engines
     /// only; the TreadMarks extension).
     pub gc_at_barriers: bool,
+    /// Deliberately-broken protocol variant for mutation-testing the
+    /// history checker. Lazy engines only: [`AnyEngine::build`] *rejects*
+    /// a non-stock mutation for the eager kinds rather than silently
+    /// building a faithful engine.
+    pub mutation: ProtocolMutation,
+}
+
+impl Default for EngineParams {
+    /// A minimal single-processor system with the builder defaults
+    /// (4 KiB pages, 16 locks, 4 barriers, no ablations, stock
+    /// protocol). Construction sites spell out the fields they mean and
+    /// take the rest from here, so adding a knob touches one place.
+    fn default() -> Self {
+        EngineParams {
+            n_procs: 1,
+            mem_bytes: 1 << 16,
+            page_bytes: 4096,
+            n_locks: 16,
+            n_barriers: 4,
+            piggyback_notices: true,
+            full_page_misses: false,
+            gc_at_barriers: false,
+            mutation: ProtocolMutation::Stock,
+        }
+    }
 }
 
 impl AnyEngine {
@@ -63,8 +91,14 @@ impl AnyEngine {
             if params.gc_at_barriers {
                 cfg = cfg.gc_at_barriers();
             }
+            cfg = cfg.mutate(params.mutation);
             Ok(AnyEngine::Lazy(LrcEngine::new(cfg)?))
         } else {
+            if params.mutation != ProtocolMutation::Stock {
+                // Silently building a *stock* eager engine would make a
+                // mutation test vacuously green.
+                return Err(ConfigError::UnsupportedMutation(params.mutation));
+            }
             let cfg = EagerConfig::new(params.n_procs, params.mem_bytes)
                 .page_size(params.page_bytes)
                 .policy(kind.policy())
@@ -159,6 +193,28 @@ impl AnyEngine {
         }
     }
 
+    /// Attaches a history recorder to either engine family (see
+    /// [`lrc_core::LrcEngine::attach_recorder`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recorder is already attached or its processor count
+    /// differs from the engine's.
+    pub fn attach_recorder(&self, recorder: Arc<HistoryRecorder>) {
+        match self {
+            AnyEngine::Lazy(e) => e.attach_recorder(recorder),
+            AnyEngine::Eager(e) => e.attach_recorder(recorder),
+        }
+    }
+
+    /// The current holder of `lock`, if any (diagnostics).
+    pub fn lock_holder(&self, lock: LockId) -> Option<ProcId> {
+        match self {
+            AnyEngine::Lazy(e) => e.lock_holder(lock),
+            AnyEngine::Eager(e) => e.lock_holder(lock),
+        }
+    }
+
     /// Enables per-message logging on the engine's fabric.
     pub fn enable_net_trace(&self) {
         match self {
@@ -211,9 +267,7 @@ mod tests {
             page_bytes: 512,
             n_locks: 2,
             n_barriers: 1,
-            piggyback_notices: true,
-            full_page_misses: false,
-            gc_at_barriers: false,
+            ..EngineParams::default()
         }
     }
 
@@ -250,5 +304,24 @@ mod tests {
         let mut bad = params();
         bad.page_bytes = 1000;
         assert!(AnyEngine::build(ProtocolKind::LazyInvalidate, &bad).is_err());
+    }
+
+    #[test]
+    fn eager_engines_reject_mutations_instead_of_ignoring_them() {
+        let mut mutated = params();
+        mutated.mutation = ProtocolMutation::SkipTwinDiff;
+        // Lazy engines implement the mutation...
+        assert!(AnyEngine::build(ProtocolKind::LazyInvalidate, &mutated).is_ok());
+        // ...eager engines must refuse rather than build a stock engine
+        // (a silently-faithful "mutant" makes mutation tests vacuous).
+        for kind in [ProtocolKind::EagerInvalidate, ProtocolKind::EagerUpdate] {
+            assert_eq!(
+                AnyEngine::build(kind, &mutated).err(),
+                Some(ConfigError::UnsupportedMutation(
+                    ProtocolMutation::SkipTwinDiff
+                )),
+                "{kind}"
+            );
+        }
     }
 }

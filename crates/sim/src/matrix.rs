@@ -154,6 +154,7 @@ pub fn run_traced(
         piggyback_notices: options.piggyback_notices,
         full_page_misses: options.full_page_misses,
         gc_at_barriers: options.gc_at_barriers,
+        ..EngineParams::default()
     };
     let mut engine = AnyEngine::build(kind, &params)?;
     engine.enable_net_trace();

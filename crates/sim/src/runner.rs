@@ -213,6 +213,7 @@ pub fn run_trace(
         piggyback_notices: options.piggyback_notices,
         full_page_misses: options.full_page_misses,
         gc_at_barriers: options.gc_at_barriers,
+        ..EngineParams::default()
     };
     let mut engine = AnyEngine::build(kind, &params)?;
     replay(trace, kind, page_bytes, options, &mut engine)

@@ -185,6 +185,27 @@ impl VectorClock {
         }
     }
 
+    /// True if `self` happened strictly before `other` — the
+    /// happens-before test spelled out (used pervasively by the history
+    /// checker in `lrc-hist`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks cover different numbers of processors.
+    pub fn happened_before(&self, other: &VectorClock) -> bool {
+        self.causal_cmp(other) == CausalOrd::Before
+    }
+
+    /// True if neither clock dominates the other: the events they stamp
+    /// are concurrent under happened-before-1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks cover different numbers of processors.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        self.causal_cmp(other) == CausalOrd::Concurrent
+    }
+
     /// Iterates over `(processor, interval index)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcId, u32)> + '_ {
         self.entries
@@ -287,6 +308,20 @@ mod tests {
         assert_eq!(zero.causal_cmp(&a), CausalOrd::Before);
         assert_eq!(a.causal_cmp(&zero), CausalOrd::After);
         assert_eq!(a.causal_cmp(&b), CausalOrd::Concurrent);
+    }
+
+    #[test]
+    fn hb_helpers_match_causal_cmp() {
+        let zero = VectorClock::new(2);
+        let mut a = zero.clone();
+        a.bump(p(0));
+        let mut b = zero.clone();
+        b.bump(p(1));
+        assert!(zero.happened_before(&a));
+        assert!(!a.happened_before(&zero));
+        assert!(!a.happened_before(&a), "strict: equal is not before");
+        assert!(a.concurrent_with(&b));
+        assert!(!zero.concurrent_with(&a));
     }
 
     #[test]

@@ -43,10 +43,12 @@
 #![warn(missing_docs)]
 
 mod apps;
+pub mod hist_programs;
 pub mod micro;
 mod rng;
 mod scale;
 
 pub use apps::AppKind;
+pub use hist_programs::{HistCmd, ProgramShape, ThreadOp, ThreadProgram};
 pub use rng::Pcg32;
 pub use scale::Scale;

@@ -10,6 +10,7 @@
 //! | [`eager`] | `lrc-eager` | the Munin-style eager RC baseline |
 //! | [`sim`] | `lrc-sim` | trace-driven simulator, SC oracle, sweeps |
 //! | [`dsm`] | `lrc-dsm` | threaded runtime DSM with locks/barriers, node runtime |
+//! | [`hist`] | `lrc-hist` | recorded-history conformance checking (SC witness search) |
 //! | [`net`] | `lrc-net` | wire protocol and pluggable transports |
 //! | [`workloads`] | `lrc-workloads` | SPLASH-like trace generators |
 //! | [`trace`] | `lrc-trace` | trace model, validation, race detection |
@@ -42,6 +43,7 @@
 pub use lrc_core as core;
 pub use lrc_dsm as dsm;
 pub use lrc_eager as eager;
+pub use lrc_hist as hist;
 pub use lrc_net as net;
 pub use lrc_pagemem as pagemem;
 pub use lrc_sim as sim;

@@ -1,0 +1,143 @@
+//! Threaded-runtime history conformance: seeded random data-race-free
+//! programs run on real threads through every protocol and ablation, and
+//! the recorded history must pass the full `lrc-hist` check — data-race
+//! freedom under the recorded happens-before edges, LRC read
+//! justification, and a sequentially consistent witness order.
+//!
+//! This is the threaded counterpart of `tests/random_programs.rs`: the
+//! simulator replays one global order and checks reads against it; here
+//! the interleaving is whatever the scheduler produced, and the witness
+//! search proves *some* legal order explains it. On failure the suite
+//! shrinks the program and prints the reproducing seed plus the minimized
+//! trace (see `hist_support::check_seed_threaded`).
+
+mod hist_support;
+
+use hist_support::{
+    check_seed_threaded, forced_flow_program, run_and_check, run_threaded, RunConfig,
+};
+use lrc::hist::CheckBudget;
+use lrc::sim::ProtocolKind;
+use lrc::workloads::{ProgramShape, ThreadProgram};
+
+/// The protocol × ablation rotation the 100-seed sweep cycles through:
+/// all four protocols, both page-size regimes, and every lazy ablation
+/// knob (gc, no-piggyback, full-page misses) alone and combined.
+fn config_rotation() -> Vec<RunConfig> {
+    let li = ProtocolKind::LazyInvalidate;
+    let lu = ProtocolKind::LazyUpdate;
+    vec![
+        RunConfig::stock(li, 256),
+        RunConfig::stock(lu, 256),
+        RunConfig::stock(ProtocolKind::EagerInvalidate, 256),
+        RunConfig::stock(ProtocolKind::EagerUpdate, 1024),
+        RunConfig {
+            gc: true,
+            ..RunConfig::stock(li, 1024)
+        },
+        RunConfig {
+            gc: true,
+            ..RunConfig::stock(lu, 512)
+        },
+        RunConfig {
+            no_piggyback: true,
+            ..RunConfig::stock(li, 512)
+        },
+        RunConfig {
+            full_pages: true,
+            ..RunConfig::stock(li, 256)
+        },
+        RunConfig {
+            full_pages: true,
+            ..RunConfig::stock(lu, 1024)
+        },
+        RunConfig {
+            gc: true,
+            no_piggyback: true,
+            full_pages: true,
+            ..RunConfig::stock(li, 1024)
+        },
+    ]
+}
+
+/// The acceptance sweep: 100 seeded random threaded programs, each run
+/// under the next cell of the protocol × ablation rotation (10 programs
+/// per cell). Every history must pass the full conformance check.
+#[test]
+fn hundred_random_programs_pass_across_the_config_rotation() {
+    let shape = ProgramShape::default();
+    let rotation = config_rotation();
+    for seed in 0..100u64 {
+        let cfg = &rotation[seed as usize % rotation.len()];
+        check_seed_threaded(seed, &shape, cfg);
+    }
+}
+
+/// Every protocol × both page-size regimes on shared seeds — the compact
+/// full cross (the rotation above spreads seeds; this nails every cell).
+#[test]
+fn every_protocol_and_page_size_passes_on_shared_seeds() {
+    let shape = ProgramShape::default();
+    for kind in ProtocolKind::ALL {
+        for page in [256usize, 1024] {
+            for seed in 200..205u64 {
+                check_seed_threaded(seed, &shape, &RunConfig::stock(kind, page));
+            }
+        }
+    }
+}
+
+/// Wider programs: more processors, more locks, more phases — deeper
+/// barrier nesting and more concurrent critical sections.
+#[test]
+fn wider_programs_with_more_processors_pass() {
+    let shape = ProgramShape {
+        n_procs: 4,
+        n_locks: 3,
+        phases: 3,
+        max_cmds: 6,
+    };
+    for (i, seed) in (300..308u64).enumerate() {
+        let kind = if i % 2 == 0 {
+            ProtocolKind::LazyInvalidate
+        } else {
+            ProtocolKind::LazyUpdate
+        };
+        check_seed_threaded(seed, &shape, &RunConfig::stock(kind, 512));
+    }
+}
+
+/// The recorder captures the complete run: every lowered operation of
+/// every processor appears in the history, and the checker's report
+/// reflects the event count.
+#[test]
+fn recorded_histories_are_complete() {
+    let prog = forced_flow_program(3, 2);
+    let cfg = RunConfig::stock(ProtocolKind::LazyInvalidate, 256);
+    let (hist, verdict) = run_and_check(&prog, &cfg);
+    let report = verdict.unwrap();
+    assert_eq!(hist.len(), prog.op_count(), "every operation recorded");
+    assert_eq!(report.events, prog.op_count());
+    for p in 0..prog.n_procs {
+        assert!(
+            !hist.log(lrc::vclock::ProcId::new(p as u16)).is_empty(),
+            "processor {p} recorded nothing"
+        );
+    }
+}
+
+/// Witness search on a real threaded run is near-linear for conforming
+/// histories: the recorded happens-before edges prune the search to
+/// (essentially) one schedule.
+#[test]
+fn witness_search_stays_near_linear_on_conforming_runs() {
+    let prog = ThreadProgram::generate(999, &ProgramShape::default());
+    let hist = run_threaded(&prog, &RunConfig::stock(ProtocolKind::LazyUpdate, 256));
+    let report = hist.check(&CheckBudget::default()).unwrap();
+    assert!(
+        report.states_explored <= 4 * report.events.max(1),
+        "{} states for {} events — the HB pruning regressed",
+        report.states_explored,
+        report.events
+    );
+}

@@ -29,6 +29,7 @@ fn params_for(trace: &Trace, page: usize, options: &SimOptions) -> EngineParams 
         piggyback_notices: options.piggyback_notices,
         full_page_misses: options.full_page_misses,
         gc_at_barriers: options.gc_at_barriers,
+        ..EngineParams::default()
     }
 }
 

@@ -5,11 +5,22 @@
 //! correctness invariant (lock-protected counters must not lose
 //! increments), so a protocol-level race shows up as a wrong value, not
 //! just a hang.
+//!
+//! Every blocking wait is bounded by [`DEADLINE`]: a lost wake-up fails
+//! the test with a stuck-waiter report (processor, lock/barrier, current
+//! holder or episode) instead of hanging CI until the harness timeout.
+
+use std::time::Duration;
 
 use lrc::dsm::DsmBuilder;
 use lrc::sim::ProtocolKind;
 use lrc::sync::{BarrierId, LockId};
 use lrc::vclock::ProcId;
+
+/// Generous for the slowest CI runner, but finite: a wait this long means
+/// a wake-up was lost, and the runtime panics with a diagnostic naming
+/// the stuck waiter.
+const DEADLINE: Duration = Duration::from_secs(60);
 
 /// Contended-lock stress: every processor increments every lock-guarded
 /// counter; no increment may be lost and no waiter may sleep through a
@@ -24,6 +35,7 @@ fn contended_lock_counters_lose_no_increments() {
         for repeat in 0..REPEATS {
             let dsm = DsmBuilder::new(kind, PROCS, 1 << 16)
                 .page_size(512)
+                .wait_timeout(DEADLINE)
                 .locks(LOCKS as usize)
                 .build()
                 .unwrap();
@@ -75,6 +87,7 @@ fn disjoint_and_rotating_multi_lock_contention() {
     for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::LazyUpdate] {
         let dsm = DsmBuilder::new(kind, PROCS, 1 << 16)
             .page_size(512)
+            .wait_timeout(DEADLINE)
             .locks(LOCKS as usize)
             .build()
             .unwrap();
@@ -140,6 +153,7 @@ fn repeated_barrier_episodes_complete() {
     for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::EagerInvalidate] {
         let dsm = DsmBuilder::new(kind, PROCS, 1 << 16)
             .page_size(512)
+            .wait_timeout(DEADLINE)
             .barriers(2)
             .build()
             .unwrap();
@@ -169,6 +183,7 @@ fn mixed_fast_and_slow_paths_stay_consistent() {
     const ROUNDS: u64 = 30;
     let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, PROCS, 1 << 18)
         .page_size(1024)
+        .wait_timeout(DEADLINE)
         .locks(2)
         .barriers(1)
         .build()
@@ -207,4 +222,40 @@ fn mixed_fast_and_slow_paths_stay_consistent() {
         "shared counter lost increments across runs"
     );
     reader.release(lock).unwrap();
+}
+
+/// The deadline machinery itself: a genuinely stuck waiter (the holder
+/// never releases) must fail within the bound, and the panic message must
+/// name the waiter, the lock, and the current holder — the stuck-waiter
+/// report this suite relies on instead of hanging.
+#[test]
+fn exceeded_deadline_reports_the_stuck_waiter() {
+    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 14)
+        .page_size(512)
+        .wait_timeout(Duration::from_millis(100))
+        .build()
+        .unwrap();
+    let lock = LockId::new(1);
+    let mut holder = dsm.handle(ProcId::new(0));
+    holder.acquire(lock).unwrap(); // never released
+    let waiter_dsm = dsm.clone();
+    let waiter = std::thread::spawn(move || {
+        let mut waiter = waiter_dsm.handle(ProcId::new(1));
+        waiter.acquire(lock)
+    });
+    let panic = waiter
+        .join()
+        .expect_err("the waiter must panic, not acquire or hang");
+    let message = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic>".to_string());
+    assert!(message.contains("deadline exceeded"), "{message}");
+    assert!(message.contains("p1"), "names the waiter: {message}");
+    assert!(message.contains("lk1"), "names the lock: {message}");
+    assert!(
+        message.contains("held by p0"),
+        "names the holder: {message}"
+    );
+    holder.release(lock).unwrap();
 }

@@ -108,6 +108,8 @@ proptest! {
     /// The headline property: all four protocols match sequential
     /// consistency on every properly-labeled program, at two page sizes
     /// (fine pages split regions; coarse pages force false sharing).
+    /// Failures print the complete reproducing trace (replay it with
+    /// `lrc::trace::codec::from_text`).
     #[test]
     fn every_protocol_matches_sequential_consistency(cmds in prop::collection::vec(cmd(), 1..60)) {
         let trace = build(&cmds);
@@ -115,7 +117,12 @@ proptest! {
         for kind in ProtocolKind::ALL {
             for page in [256usize, 2048] {
                 let result = run_trace(&trace, kind, page, &SimOptions::checked());
-                prop_assert!(result.is_ok(), "{kind}@{page}: {}", result.err().map(|e| e.to_string()).unwrap_or_default());
+                prop_assert!(
+                    result.is_ok(),
+                    "{kind}@{page}: {}\nreproducing trace (feed to codec::from_text):\n{}",
+                    result.err().map(|e| e.to_string()).unwrap_or_default(),
+                    codec::to_text(&trace),
+                );
             }
         }
     }
@@ -180,8 +187,10 @@ proptest! {
                         let result = run_trace(&trace, kind, 512, &options);
                         prop_assert!(
                             result.is_ok(),
-                            "{kind} gc={gc} piggyback={piggyback} full_pages={full_pages}: {}",
-                            result.err().map(|e| e.to_string()).unwrap_or_default()
+                            "{kind} gc={gc} piggyback={piggyback} full_pages={full_pages}: {}\n\
+                             reproducing trace (feed to codec::from_text):\n{}",
+                            result.err().map(|e| e.to_string()).unwrap_or_default(),
+                            codec::to_text(&trace),
                         );
                     }
                 }

@@ -74,6 +74,24 @@ impl Condvar {
         guard.0 = Some(inner);
     }
 
+    /// Like [`Condvar::wait`], but gives up after `timeout`. Mirrors
+    /// `parking_lot::Condvar::wait_for`: returns a result whose
+    /// [`WaitTimeoutResult::timed_out`] tells whether the deadline passed
+    /// (spurious wakeups and notifications both report `false`).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard already waiting");
+        let (inner, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -82,6 +100,17 @@ impl Condvar {
     /// Wake all waiters.
     pub fn notify_all(&self) {
         self.0.notify_all();
+    }
+}
+
+/// Outcome of a [`Condvar::wait_for`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
