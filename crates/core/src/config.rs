@@ -57,6 +57,16 @@ pub enum ProtocolMutation {
     /// barrier crossers merge clocks but never learn which pages changed,
     /// so stale copies stay valid.
     DropNotices,
+    /// Apply fetch plans built against an outdated store snapshot without
+    /// revalidating — the failure mode the versioned-snapshot slow paths
+    /// guard against. The mutation emulates the hazard deterministically:
+    /// at every miss and acquire-time update pull, the causally-latest
+    /// planned diff is treated as having vanished between plan and apply
+    /// (skipped), yet its page is finalized as if the plan had applied
+    /// completely (pending cleared, copy valid), and the apply-side
+    /// version check is skipped. Readers then observe pages the protocol
+    /// believes are current but are missing their newest modification.
+    StaleSnapshotApply,
 }
 
 impl fmt::Display for ProtocolMutation {
@@ -65,6 +75,7 @@ impl fmt::Display for ProtocolMutation {
             ProtocolMutation::Stock => f.write_str("stock"),
             ProtocolMutation::SkipTwinDiff => f.write_str("skip-twin-diff"),
             ProtocolMutation::DropNotices => f.write_str("drop-notices"),
+            ProtocolMutation::StaleSnapshotApply => f.write_str("stale-snapshot-apply"),
         }
     }
 }
@@ -115,6 +126,13 @@ pub struct LrcConfig {
     /// Deliberately-broken protocol variant for mutation testing the
     /// checker stack. Default [`ProtocolMutation::Stock`] (faithful).
     pub mutation: ProtocolMutation,
+    /// Measurement baseline: serialize every slow path (acquire, release,
+    /// barrier, miss resolution) on one engine-wide mutex, reproducing the
+    /// pre-split `protocol`-mutex architecture so benches can quantify the
+    /// fine-grained slow paths against it. Never enable outside
+    /// benchmarks; it changes only *contention*, not protocol behavior.
+    /// Default `false`.
+    pub serialize_slow_paths: bool,
 }
 
 impl LrcConfig {
@@ -132,6 +150,7 @@ impl LrcConfig {
             full_page_misses: false,
             gc_at_barriers: false,
             mutation: ProtocolMutation::Stock,
+            serialize_slow_paths: false,
         }
     }
 
@@ -181,6 +200,14 @@ impl LrcConfig {
     /// only; see [`ProtocolMutation`]).
     pub fn mutate(mut self, mutation: ProtocolMutation) -> Self {
         self.mutation = mutation;
+        self
+    }
+
+    /// Serializes every slow path on one engine-wide mutex — the pre-split
+    /// baseline, for benchmarking only (see
+    /// [`LrcConfig::serialize_slow_paths`]).
+    pub fn serialize_slow_paths(mut self) -> Self {
+        self.serialize_slow_paths = true;
         self
     }
 
@@ -311,6 +338,17 @@ mod tests {
         assert_eq!(ProtocolMutation::Stock.to_string(), "stock");
         assert_eq!(ProtocolMutation::SkipTwinDiff.to_string(), "skip-twin-diff");
         assert_eq!(ProtocolMutation::DropNotices.to_string(), "drop-notices");
+        assert_eq!(
+            ProtocolMutation::StaleSnapshotApply.to_string(),
+            "stale-snapshot-apply"
+        );
+    }
+
+    #[test]
+    fn serialized_baseline_defaults_off() {
+        let cfg = LrcConfig::new(2, 1 << 14);
+        assert!(!cfg.serialize_slow_paths);
+        assert!(cfg.serialize_slow_paths().serialize_slow_paths);
     }
 
     #[test]

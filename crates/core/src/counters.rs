@@ -19,6 +19,10 @@ pub(crate) struct SharedLazyCounters {
     pub barrier_episodes: AtomicU64,
     pub gc_rounds: AtomicU64,
     pub gc_validated_pages: AtomicU64,
+    pub slow_waits: AtomicU64,
+    pub slow_waits_avoided: AtomicU64,
+    pub miss_inflight_peak: AtomicU64,
+    pub snapshot_retries: AtomicU64,
 }
 
 /// Adds `n` to a counter field (statistics only — relaxed ordering).
@@ -43,6 +47,10 @@ impl SharedLazyCounters {
             barrier_episodes: get(&self.barrier_episodes),
             gc_rounds: get(&self.gc_rounds),
             gc_validated_pages: get(&self.gc_validated_pages),
+            slow_waits: get(&self.slow_waits),
+            slow_waits_avoided: get(&self.slow_waits_avoided),
+            miss_inflight_peak: get(&self.miss_inflight_peak),
+            snapshot_retries: get(&self.snapshot_retries),
         }
     }
 }
@@ -75,6 +83,23 @@ pub struct LazyCounters {
     pub gc_rounds: u64,
     /// Pages force-validated by garbage collection.
     pub gc_validated_pages: u64,
+    /// Slow-path entries (synchronization operations and misses) that had
+    /// to block behind another in-flight slow path: a same-lock
+    /// acquire/release, a same-page miss, or — under the
+    /// `serialize_slow_paths` baseline — *any* concurrent slow path.
+    pub slow_waits: u64,
+    /// Slow-path entries that ran while at least one other slow path was
+    /// in flight *without* blocking — exactly the serialization the
+    /// retired engine-wide protocol mutex used to impose. The split's win,
+    /// measurable even where wall-clock scaling is not (single-core CI).
+    pub slow_waits_avoided: u64,
+    /// High-water mark of misses resolving concurrently (counting any
+    /// same-page follower waiting on the resolver).
+    pub miss_inflight_peak: u64,
+    /// Miss/acquire fetch plans discarded because the interval store was
+    /// reorganized (garbage-collected) between the read snapshot the plan
+    /// was built against and the apply step's revalidation.
+    pub snapshot_retries: u64,
 }
 
 impl LazyCounters {

@@ -1,3 +1,4 @@
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, OnceLock};
 
 use lrc_hist::HistoryRecorder;
@@ -12,6 +13,7 @@ use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
 use crate::counters::{bump, SharedLazyCounters};
 use crate::pagestate::PageEntry;
+use crate::slowpath::{gate_lock, raise, settle_contention, FetchHook, FetchHookCell, InFlight};
 use crate::{
     ConfigError, EngineOp, EngineOpError, FetchPlan, IntervalStore, LazyCounters, LrcConfig,
     Policy, ProtocolMutation,
@@ -51,17 +53,49 @@ struct ProcShard {
 ///   behind its own mutex — the only lock an ordinary access to a valid
 ///   cached page takes;
 /// * **shared protocol state** — the [`IntervalStore`] behind a `RwLock`
-///   (read-mostly), and the lock table, barrier set, and post-GC owner map
-///   behind their own mutexes;
+///   (read-mostly, with a snapshot [`IntervalStore::version`]), and the
+///   lock table, barrier set, and post-GC owner map behind their own
+///   mutexes;
 /// * **statistics** — the fabric meter and [`LazyCounters`] are relaxed
 ///   atomics, aggregated on read.
 ///
-/// Slow paths (acquire, release, barrier, miss resolution) additionally
-/// serialize on a single `protocol` mutex, which is what makes their
-/// multi-structure updates atomic with respect to each other. Lock order:
-/// `protocol` → shared-structure locks → shard mutexes; a shard mutex may
-/// be taken while holding the store lock, never the reverse, and no path
-/// ever holds two shard mutexes at once.
+/// Slow paths do **not** share a global mutex; they serialize only on the
+/// object they act on, which is the whole point of the lazy protocol's
+/// slow paths being rare and independent:
+///
+/// * acquire and release of a lock hold that lock's **gate** (one mutex
+///   per lock), so transfers of the *same* lock are totally ordered —
+///   the order the lock table numbers its grants in — while unrelated
+///   locks change hands concurrently;
+/// * miss resolution holds the missed page's **gate** (one mutex per
+///   page, the in-flight-miss table): misses on distinct pages resolve
+///   concurrently, and a same-page follower waits on the resolver, not
+///   on the engine;
+/// * barrier arrivals serialize only on the barrier set's mutex; an
+///   episode's *completion* runs on the last arriver's thread while every
+///   other processor is parked by the runtime awaiting the episode, so it
+///   has the engine to itself and may hold the store's write lock across
+///   the whole completion (which also makes barrier-time GC atomic);
+/// * within a gated slow path, the store's write lock is held only for
+///   the brief bookkeeping steps (closing an interval, applying a fetch
+///   plan) — **never across a fetch**. Plans are built against a read
+///   snapshot of the store; the snapshot's [`IntervalStore::version`] is
+///   revalidated under the write lock before the plan applies, and a
+///   stale plan (the store was garbage-collected meanwhile) is rebuilt
+///   ([`LazyCounters::snapshot_retries`]).
+///
+/// Lock order: serialization mutex (baseline flag only) → lock gate /
+/// page gate → lock-table / barrier-set mutexes → store lock → gc-owner
+/// map → shard mutexes. A shard mutex may be taken while holding the
+/// store lock, never the reverse; no path holds two gates of the same
+/// kind or two shard mutexes at once; the gc-owner map is only ever taken
+/// while the store lock is held (both its writers and its readers), and
+/// never held across acquiring anything else.
+///
+/// Two assumptions bound the concurrency (both enforced by the `lrc-dsm`
+/// runtime and trivially true single-threaded): each processor is driven
+/// by one thread at a time, and a processor that arrived at a barrier
+/// issues nothing until the episode completes.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
 #[derive(Debug)]
@@ -77,15 +111,31 @@ pub struct LrcEngine {
     /// After garbage collection: the processor holding the authoritative
     /// copy of each page whose diff history was discarded.
     gc_owner: Mutex<Vec<Option<ProcId>>>,
-    /// Serializes the slow paths (synchronization operations and miss
-    /// resolution) so their compound updates stay atomic.
-    protocol: Mutex<()>,
+    /// Per-lock gates: acquire/release of one lock serialize here; distinct
+    /// locks proceed concurrently.
+    lock_gates: Vec<Mutex<()>>,
+    /// Per-page gates (the in-flight-miss table): a miss holds its page's
+    /// gate for the whole resolution, so same-page followers wait on the
+    /// resolver and distinct pages resolve concurrently.
+    page_gates: Vec<Mutex<()>>,
+    /// The pre-split measurement baseline ([`LrcConfig::serialize_slow_paths`]):
+    /// when present, every slow path locks this first, reproducing the
+    /// retired engine-wide `protocol` mutex.
+    serial_gate: Option<Mutex<()>>,
+    /// Slow paths currently in flight (gauge behind
+    /// [`LazyCounters::slow_waits_avoided`]).
+    slow_inflight: AtomicU64,
+    /// Misses currently in flight (gauge behind
+    /// [`LazyCounters::miss_inflight_peak`]).
+    miss_inflight: AtomicU64,
+    /// Test/bench instrumentation (see [`FetchHook`]).
+    fetch_hook: FetchHookCell,
     net: Fabric,
     counters: SharedLazyCounters,
     /// Optional history recorder (`lrc-hist`): when attached, every
     /// public operation logs itself — reads with the bytes they observed,
-    /// synchronization operations with their engine-assigned order. The
-    /// unattached fast path costs one atomic load.
+    /// synchronization operations with the engine-assigned grant/episode
+    /// order. The unattached fast path costs one atomic load.
     recorder: OnceLock<Arc<HistoryRecorder>>,
 }
 
@@ -116,7 +166,12 @@ impl LrcEngine {
             locks: Mutex::new(LockTable::new(cfg.n_locks, n)),
             barriers: Mutex::new(BarrierSet::new(cfg.n_barriers, n)),
             gc_owner: Mutex::new(vec![None; space.n_pages() as usize]),
-            protocol: Mutex::new(()),
+            lock_gates: (0..cfg.n_locks).map(|_| Mutex::new(())).collect(),
+            page_gates: (0..space.n_pages()).map(|_| Mutex::new(())).collect(),
+            serial_gate: cfg.serialize_slow_paths.then(|| Mutex::new(())),
+            slow_inflight: AtomicU64::new(0),
+            miss_inflight: AtomicU64::new(0),
+            fetch_hook: FetchHookCell::default(),
             net: Fabric::new(n),
             counters: SharedLazyCounters::default(),
             recorder: OnceLock::new(),
@@ -126,9 +181,12 @@ impl LrcEngine {
 
     /// Attaches a history recorder: from now on every read (with its
     /// observed bytes), write, acquire, release, and barrier crossing is
-    /// appended to the recorder's per-processor logs, with
-    /// synchronization order assigned under the engine's protocol lock.
-    /// Attach before driving the engine so the history starts complete.
+    /// appended to the recorder's per-processor logs. Synchronization
+    /// events carry engine-assigned orders — the lock table's per-lock
+    /// grant numbers and the barrier set's episodes — so the recorded
+    /// happens-before edges agree with the protocol without any global
+    /// serialization. Attach before driving the engine so the history
+    /// starts complete.
     ///
     /// # Panics
     ///
@@ -143,6 +201,21 @@ impl LrcEngine {
         assert!(
             self.recorder.set(recorder).is_ok(),
             "a history recorder is already attached"
+        );
+    }
+
+    /// Installs the miss-fetch instrumentation hook (see [`FetchHook`]).
+    /// Tests use a blocking hook to *prove* slow-path independence without
+    /// timing assumptions; benches use a sleeping hook to model real
+    /// network round-trip latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hook is already installed.
+    pub fn set_fetch_hook(&self, hook: FetchHook) {
+        assert!(
+            self.fetch_hook.set(hook),
+            "a fetch hook is already installed"
         );
     }
 
@@ -179,9 +252,9 @@ impl LrcEngine {
     /// The interval/diff store (shared read access, for inspection).
     ///
     /// **Do not call any engine method while holding the guard.** Slow
-    /// paths (acquire, release, barrier, misses — and therefore any read
-    /// or write that misses) take the store's write lock, and a
-    /// read-then-write on the same thread deadlocks; from other threads
+    /// paths take the store's write lock for interval closes and plan
+    /// application (and therefore any read or write that misses does), so
+    /// a read-then-write on the same thread deadlocks; from other threads
     /// it merely blocks them. Read what you need and drop the guard.
     pub fn store(&self) -> RwLockReadGuard<'_, IntervalStore> {
         self.store.read()
@@ -219,6 +292,99 @@ impl LrcEngine {
 
     fn shard(&self, p: ProcId) -> MutexGuard<'_, ProcShard> {
         self.shards[p.index()].lock()
+    }
+
+    // ---- slow-path bookkeeping ----
+
+    /// Marks one slow path in flight (decremented by the returned guard)
+    /// and reports whether any *other* slow path was in flight at entry —
+    /// the overlap the retired global protocol mutex would have serialized.
+    fn enter_slow_path(&self) -> (InFlight<'_>, bool) {
+        let (guard, others) = InFlight::enter(&self.slow_inflight);
+        (guard, others > 0)
+    }
+
+    /// Locks the serialized-baseline mutex, when configured.
+    fn serial_gate<'a>(&'a self, waited: &mut bool) -> Option<MutexGuard<'a, ()>> {
+        self.serial_gate.as_ref().map(|g| gate_lock(g, waited))
+    }
+
+    /// Settles the contention counters for one slow-path entry.
+    fn settle_slow_entry(&self, waited: bool, overlapped: bool) {
+        settle_contention(
+            waited,
+            overlapped,
+            &self.counters.slow_waits,
+            &self.counters.slow_waits_avoided,
+        );
+    }
+
+    /// Under [`ProtocolMutation::StaleSnapshotApply`]: removes the
+    /// causally-latest diff from `plan` — emulating a plan whose snapshot
+    /// predates that interval's availability being applied without
+    /// revalidation — and returns its page so the caller can finalize it
+    /// *as if* the plan had applied completely. Stock engines return
+    /// `None` and leave the plan alone.
+    fn stale_snapshot_drop(&self, store: &IntervalStore, plan: &mut FetchPlan) -> Option<PageId> {
+        if self.cfg.mutation != ProtocolMutation::StaleSnapshotApply {
+            return None;
+        }
+        let weight_of = |iv: IntervalId| {
+            let w = store
+                .stamp(iv)
+                .expect("planned interval recorded")
+                .clock()
+                .weight();
+            (w, iv.proc(), iv.seq())
+        };
+        let latest_free = plan
+            .from_free
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &(iv, _))| weight_of(iv))
+            .map(|(i, &(iv, g))| (weight_of(iv), i, g));
+        let latest_fetched = plan
+            .targets
+            .iter()
+            .enumerate()
+            .flat_map(|(ti, (_, diffs))| {
+                diffs
+                    .iter()
+                    .enumerate()
+                    .map(move |(di, &(iv, g))| (weight_of(iv), (ti, di), g))
+            })
+            .max_by_key(|&(w, _, _)| w);
+        match (latest_free, latest_fetched) {
+            (Some((wf, i, g)), Some((wt, _, _))) if wf >= wt => {
+                plan.from_free.remove(i);
+                Some(g)
+            }
+            (Some((_, i, g)), None) => {
+                plan.from_free.remove(i);
+                Some(g)
+            }
+            (_, Some((_, (ti, di), g))) => {
+                plan.targets[ti].1.remove(di);
+                if plan.targets[ti].1.is_empty() {
+                    plan.targets.remove(ti);
+                }
+                Some(g)
+            }
+            (None, None) => None,
+        }
+    }
+
+    /// Finalizes `page` at `p` as if a fetch plan had fully applied to it:
+    /// pending notices cleared, resident copy marked valid. Only the
+    /// [`ProtocolMutation::StaleSnapshotApply`] emulation calls this for a
+    /// page whose newest diff was *not* applied.
+    fn finalize_stale_page(&self, p: ProcId, page: PageId) {
+        let mut shard = self.shard(p);
+        let entry = &mut shard.pages[page.index()];
+        entry.pending.clear();
+        if entry.copy.is_some() {
+            entry.valid = true;
+        }
     }
 
     // ---- ordinary accesses ----
@@ -363,6 +529,9 @@ impl LrcEngine {
     /// interval performed at the grantor but not at `p`, and — under the
     /// update policy — pulls diffs to bring all cached pages up to date.
     ///
+    /// Serializes only on `lock`'s gate: acquires of unrelated locks, and
+    /// misses on any page, proceed concurrently.
+    ///
     /// # Errors
     ///
     /// Propagates [`LockError`] (held lock, unknown ids). The lock path is
@@ -370,13 +539,22 @@ impl LrcEngine {
     /// in particular a contended [`LockError::HeldByOther`] that a blocking
     /// runtime retries in a loop — has no side effects.
     pub fn acquire(&self, p: ProcId, lock: LockId) -> Result<(), LockError> {
-        let _protocol = self.protocol.lock();
+        let (_inflight, overlapped) = self.enter_slow_path();
+        let mut waited = false;
+        let _serial = self.serial_gate(&mut waited);
+        let _gate = self
+            .lock_gates
+            .get(lock.index())
+            .map(|g| gate_lock(g, &mut waited));
+        self.settle_slow_entry(waited, overlapped);
+
         let path = self.locks.lock().acquire(p, lock)?;
         bump(&self.counters.acquires, 1);
         if let Some(rec) = self.recorder() {
-            // Under the protocol lock: the recorded grant order is the
-            // order the lock table granted.
-            rec.acquire(p, lock);
+            // The grant number was assigned by the lock table under its
+            // own mutex, inside this lock's gate: the recorded order is
+            // the order the lock actually changed hands in.
+            rec.acquire(p, lock, path.grant_seq);
         }
         self.close_interval(p);
         let q = path.grantor;
@@ -395,9 +573,12 @@ impl LrcEngine {
             self.net.send(src, dst, MsgKind::LockForward, hop_payload);
         }
 
-        // Write notices the grantor has and the acquirer lacks.
+        // The grantor's knowledge is safe to read here: everything it
+        // closed is in the store before its clock shows it (close_interval
+        // publishes under the store's write lock before bumping), so the
+        // notice computation below never names an unrecorded interval.
         let know_q = Self::knowledge_of(&self.shard(q).clock, q);
-        let mut store = self.store.write();
+        let mut store = self.store.read();
         let p_clock = self.shard(p).clock.clone();
         let notices = store.notices_missing(&p_clock, &know_q);
         self.deliver_notices(p, &notices);
@@ -405,27 +586,64 @@ impl LrcEngine {
 
         // Update policy: bring every cached page up to date now. Diffs the
         // grantor holds ride the grant; the rest cost 2 messages per other
-        // concurrent last modifier (Table 1's `2h`).
+        // concurrent last modifier (Table 1's `2h`). The plan is built
+        // against the read snapshot, the round trips are charged with no
+        // store lock held, and the write lock is taken only to apply —
+        // revalidating the snapshot version first.
         let mut grant_payload =
             LOCK_ID_BYTES + vc_bytes(self.cfg.n_procs) + Self::notice_bytes(&notices);
         if self.cfg.policy == Policy::Update {
-            let needed = self.needed_for_cached_pages(p);
-            let plan = FetchPlan::build(&store, p, Some(q), &needed);
-            grant_payload += self.diff_payload(&store, &plan.from_free);
-            for (target, diffs) in &plan.targets {
-                self.fetch_round_trip(
-                    &store,
-                    p,
-                    *target,
-                    diffs,
-                    MsgKind::AcquireDiffRequest,
-                    MsgKind::AcquireDiffReply,
-                );
+            loop {
+                let needed = self.needed_for_cached_pages(p);
+                let mut plan = FetchPlan::build(&store, p, Some(q), &needed);
+                let stale_page = self.stale_snapshot_drop(&store, &mut plan);
+                let version = store.version();
+                let free_payload = self.diff_payload(&store, &plan.from_free);
+                let fetches: Vec<(ProcId, u64, u64)> = plan
+                    .targets
+                    .iter()
+                    .map(|(target, diffs)| {
+                        (
+                            *target,
+                            diffs.len() as u64 * DIFF_REQUEST_ENTRY_BYTES,
+                            self.diff_payload(&store, diffs),
+                        )
+                    })
+                    .collect();
+                drop(store);
+                for (target, request, reply) in fetches {
+                    self.net.round_trip(
+                        p,
+                        target,
+                        MsgKind::AcquireDiffRequest,
+                        request,
+                        MsgKind::AcquireDiffReply,
+                        reply,
+                    );
+                }
+                let mut wstore = self.store.write();
+                if wstore.version() != version
+                    && self.cfg.mutation != ProtocolMutation::StaleSnapshotApply
+                {
+                    // The store was reorganized between snapshot and
+                    // apply: the plan may name discarded diffs. Rebuild.
+                    bump(&self.counters.snapshot_retries, 1);
+                    drop(wstore);
+                    store = self.store.read();
+                    continue;
+                }
+                let touched = self.apply_plan(&mut wstore, p, &plan);
+                bump(&self.counters.updates, touched as u64);
+                drop(wstore);
+                if let Some(g) = stale_page {
+                    self.finalize_stale_page(p, g);
+                }
+                grant_payload += free_payload;
+                break;
             }
-            let touched = self.apply_plan(&mut store, p, &plan);
-            bump(&self.counters.updates, touched as u64);
+        } else {
+            drop(store);
         }
-        drop(store);
 
         if self.cfg.piggyback_notices {
             if let Some((src, dst)) = path.grant {
@@ -445,18 +663,29 @@ impl LrcEngine {
 
     /// Releases `lock`. Purely local under LRC: the interval closes (diffs
     /// are made for dirtied pages) and the lock table records `p` as the
-    /// last releaser. **No messages are sent** (§4.2).
+    /// last releaser. **No messages are sent** (§4.2). Serializes only on
+    /// `lock`'s gate.
     ///
     /// # Errors
     ///
     /// Propagates [`LockError::NotHolder`] and range errors; a failed
     /// release leaves interval state untouched.
     pub fn release(&self, p: ProcId, lock: LockId) -> Result<(), LockError> {
-        let _protocol = self.protocol.lock();
-        self.locks.lock().release(p, lock)?;
+        let (_inflight, overlapped) = self.enter_slow_path();
+        let mut waited = false;
+        let _serial = self.serial_gate(&mut waited);
+        let _gate = self
+            .lock_gates
+            .get(lock.index())
+            .map(|g| gate_lock(g, &mut waited));
+        self.settle_slow_entry(waited, overlapped);
+
+        let grant = self.locks.lock().release(p, lock)?;
         if let Some(rec) = self.recorder() {
-            rec.release(p, lock);
+            rec.release(p, lock, grant);
         }
+        // Still inside the gate: the next acquirer of this lock cannot
+        // read the releaser's knowledge until the interval has closed.
         self.close_interval(p);
         bump(&self.counters.releases, 1);
         Ok(())
@@ -469,11 +698,19 @@ impl LrcEngine {
     /// information piggybacked (Table 1, LI row). Under the update policy
     /// each processor then pulls diffs for its cached pages (`2u`).
     ///
+    /// Arrivals serialize only on the barrier set's mutex; the completion
+    /// runs on the last arriver's thread while all other processors are
+    /// parked awaiting the episode.
+    ///
     /// # Errors
     ///
     /// Propagates [`BarrierError`] (double arrival, range errors).
     pub fn barrier(&self, p: ProcId, barrier: BarrierId) -> Result<BarrierArrival, BarrierError> {
-        let _protocol = self.protocol.lock();
+        let (_inflight, overlapped) = self.enter_slow_path();
+        let mut waited = false;
+        let _serial = self.serial_gate(&mut waited);
+        self.settle_slow_entry(waited, overlapped);
+
         let master = {
             let barriers = self.barriers.lock();
             barriers.check_arrival(p, barrier)?;
@@ -491,7 +728,7 @@ impl LrcEngine {
         }
         let outcome = self.barriers.lock().arrive(p, barrier)?;
         if let Some(rec) = self.recorder() {
-            rec.barrier(p, barrier);
+            rec.barrier(p, barrier, outcome.episode());
         }
         if let BarrierArrival::Complete { .. } = outcome {
             self.complete_barrier(master);
@@ -503,7 +740,10 @@ impl LrcEngine {
 
     /// Closes `p`'s open interval: diffs every dirtied page against its
     /// twin, records the interval (if any page actually changed), and opens
-    /// the next interval.
+    /// the next interval. The interval is published to the store *before*
+    /// the clock bump (both under the store's write lock plus `p`'s shard
+    /// lock), so any processor that observes the new clock value finds the
+    /// interval recorded.
     fn close_interval(&self, p: ProcId) {
         let mut store = self.store.write();
         let mut shard = self.shard(p);
@@ -624,7 +864,10 @@ impl LrcEngine {
         total
     }
 
-    /// One request/reply exchange fetching `diffs` from `target`.
+    /// One request/reply exchange fetching `diffs` from `target` (used by
+    /// the barrier paths, which run exclusively and may hold the store
+    /// lock across the charge; the acquire and miss paths precompute
+    /// payloads from their read snapshot and charge lock-free instead).
     fn fetch_round_trip(
         &self,
         store: &IntervalStore,
@@ -701,117 +944,195 @@ impl LrcEngine {
     /// Resolves an access miss on `page` at `p` (§4.3.2/§4.3.3): pulls the
     /// needed diffs from the concurrent last modifiers (2m messages), plus
     /// a base copy if the page was never resident.
+    ///
+    /// Holds `page`'s gate for the whole resolution (same-page followers
+    /// wait on this resolver), but no store lock across the fetch: the
+    /// plan and its payload sizes come from a read snapshot, the round
+    /// trips are charged lock-free, and the write lock is taken only to
+    /// apply — after revalidating the snapshot's store version.
     fn resolve_miss(&self, p: ProcId, page: PageId) {
-        let _protocol = self.protocol.lock();
-        let (cold, needed) = {
+        let (_inflight, overlapped) = self.enter_slow_path();
+        let (_miss_inflight, miss_others) = InFlight::enter(&self.miss_inflight);
+        raise(&self.counters.miss_inflight_peak, miss_others + 1);
+        let mut waited = false;
+        let _serial = self.serial_gate(&mut waited);
+        let _gate = gate_lock(&self.page_gates[page.index()], &mut waited);
+        self.settle_slow_entry(waited, overlapped);
+
+        {
             let shard = self.shard(p);
-            let entry = &shard.pages[page.index()];
-            if entry.valid {
-                // Resolved while this processor waited for the slow path.
+            if shard.pages[page.index()].valid {
+                // Resolved while this processor waited for the gate (only
+                // possible through this processor's own earlier call).
                 return;
             }
-            let needed: Vec<(IntervalId, PageId)> =
-                entry.pending.iter().map(|&iv| (iv, page)).collect();
-            (entry.copy.is_none(), needed)
-        };
-        if cold {
-            bump(&self.counters.cold_misses, 1);
-        } else {
-            bump(&self.counters.warm_misses, 1);
         }
-        let gc_owner = cold.then(|| self.gc_owner.lock()[page.index()]).flatten();
-
-        let mut store = self.store.write();
-        let plan = FetchPlan::build(&store, p, None, &needed);
-
-        if cold {
-            // "A copy of the page may have to be retrieved" (§4.3.3): the
-            // base ships from the first diff supplier when there is one,
-            // from the post-GC owner if the history was collected, and
-            // from the page's home (the initial contents) otherwise.
-            let supplier = plan
-                .targets
-                .first()
-                .map(|(t, _)| *t)
-                .or(gc_owner)
-                .unwrap_or_else(|| self.page_home(page));
-            let base = if supplier == p {
-                // Only possible for the untouched-home case: the initial
-                // contents are local.
-                PageBuf::zeroed(self.space.page_size())
-            } else {
-                let base = {
-                    let supplier_shard = self.shard(supplier);
-                    let entry = &supplier_shard.pages[page.index()];
-                    // Clone the supplier's *committed* contents without
-                    // disturbing its state. A dirty page's live copy holds
-                    // uncommitted open-interval writes that must not leak
-                    // to the faulting processor before their release — the
-                    // twin is the last committed contents (it is kept in
-                    // sync with every applied diff). A never-touched home
-                    // supplies the initial zero page.
-                    match (&entry.twin, &entry.copy) {
-                        (Some(twin), _) => twin.clone(),
-                        (None, Some(copy)) => copy.clone(),
-                        (None, None) => PageBuf::zeroed(self.space.page_size()),
-                    }
-                };
-                // The base rides the first diff reply when the supplier is
-                // also a fetch target; otherwise it is its own round trip.
-                if plan.targets.first().is_none_or(|(t, _)| *t != supplier) {
-                    self.net.round_trip(
-                        p,
-                        supplier,
-                        MsgKind::MissRequest,
-                        PAGE_ID_BYTES,
-                        MsgKind::MissReply,
-                        self.space.page_size().bytes() as u64,
-                    );
-                }
-                base
+        let mut first_attempt = true;
+        loop {
+            // Snapshot phase: pending list, plan, and payload sizes all
+            // read under ONE store read guard. The pending list must not
+            // be read before the guard is taken: garbage collection
+            // clears pendings and the interval history together under the
+            // store's write lock, so a pre-guard pending snapshot could
+            // name intervals the guarded store no longer records and
+            // panic `FetchPlan::build` instead of reaching the version
+            // revalidation below.
+            let store = self.store.read();
+            let (cold, needed) = {
+                let shard = self.shard(p);
+                let entry = &shard.pages[page.index()];
+                let needed: Vec<(IntervalId, PageId)> =
+                    entry.pending.iter().map(|&iv| (iv, page)).collect();
+                (entry.copy.is_none(), needed)
             };
-            self.shard(p).pages[page.index()].copy = Some(base);
-        }
-        debug_assert!(
-            cold || !plan.is_empty(),
-            "warm miss without pending diffs cannot occur"
-        );
+            if first_attempt {
+                if cold {
+                    bump(&self.counters.cold_misses, 1);
+                } else {
+                    bump(&self.counters.warm_misses, 1);
+                }
+            }
+            let gc_owner = cold.then(|| self.gc_owner.lock()[page.index()]).flatten();
 
-        for (i, (target, diffs)) in plan.targets.iter().enumerate() {
-            if cold && i == 0 {
-                // The first supplier's reply also carries the base page.
-                let request_payload = diffs.len() as u64 * DIFF_REQUEST_ENTRY_BYTES + PAGE_ID_BYTES;
-                let reply_payload =
-                    self.diff_payload(&store, diffs) + self.space.page_size().bytes() as u64;
+            let mut plan = FetchPlan::build(&store, p, None, &needed);
+            let stale_dropped = self.stale_snapshot_drop(&store, &mut plan);
+            let version = store.version();
+            debug_assert!(
+                !first_attempt || stale_dropped.is_some() || cold || !plan.is_empty(),
+                "warm miss without pending diffs cannot occur"
+            );
+
+            // Cold miss: "a copy of the page may have to be retrieved"
+            // (§4.3.3). The base ships from the first diff supplier when
+            // there is one, from the post-GC owner if the history was
+            // collected, and from the page's home (the initial contents)
+            // otherwise.
+            let mut base: Option<PageBuf> = None;
+            let mut base_trip: Option<ProcId> = None;
+            if cold {
+                let supplier = plan
+                    .targets
+                    .first()
+                    .map(|(t, _)| *t)
+                    .or(gc_owner)
+                    .unwrap_or_else(|| self.page_home(page));
+                base = Some(if supplier == p {
+                    // Only possible for the untouched-home case: the
+                    // initial contents are local.
+                    PageBuf::zeroed(self.space.page_size())
+                } else {
+                    let buf = {
+                        let supplier_shard = self.shard(supplier);
+                        let entry = &supplier_shard.pages[page.index()];
+                        // Clone the supplier's *committed* contents without
+                        // disturbing its state. A dirty page's live copy
+                        // holds uncommitted open-interval writes that must
+                        // not leak to the faulting processor before their
+                        // release — the twin is the last committed contents
+                        // (it is kept in sync with every applied diff). A
+                        // never-touched home supplies the initial zero
+                        // page.
+                        match (&entry.twin, &entry.copy) {
+                            (Some(twin), _) => twin.clone(),
+                            (None, Some(copy)) => copy.clone(),
+                            (None, None) => PageBuf::zeroed(self.space.page_size()),
+                        }
+                    };
+                    // The base rides the first diff reply when the supplier
+                    // is also a fetch target; otherwise it is its own round
+                    // trip.
+                    if plan.targets.first().is_none_or(|(t, _)| *t != supplier) {
+                        base_trip = Some(supplier);
+                    }
+                    buf
+                });
+            }
+            let page_bytes = self.space.page_size().bytes() as u64;
+            let trips: Vec<(ProcId, u64, u64)> = plan
+                .targets
+                .iter()
+                .enumerate()
+                .map(|(i, (target, diffs))| {
+                    if cold && i == 0 {
+                        // The first supplier's reply also carries the base.
+                        (
+                            *target,
+                            diffs.len() as u64 * DIFF_REQUEST_ENTRY_BYTES + PAGE_ID_BYTES,
+                            self.diff_payload(&store, diffs) + page_bytes,
+                        )
+                    } else {
+                        let reply = if self.cfg.full_page_misses {
+                            // Ablation of §4.3.3: whole pages, not diffs.
+                            // All of a miss's diffs name the missed page.
+                            page_bytes
+                        } else {
+                            self.diff_payload(&store, diffs)
+                        };
+                        (
+                            *target,
+                            diffs.len() as u64 * DIFF_REQUEST_ENTRY_BYTES,
+                            reply,
+                        )
+                    }
+                })
+                .collect();
+            drop(store);
+
+            // Fetch phase: round trips with no store lock held. A stalled
+            // fetch here blocks only this page's gate.
+            if let Some(supplier) = base_trip {
                 self.net.round_trip(
                     p,
-                    *target,
+                    supplier,
                     MsgKind::MissRequest,
-                    request_payload,
+                    PAGE_ID_BYTES,
                     MsgKind::MissReply,
-                    reply_payload,
-                );
-            } else {
-                self.fetch_round_trip(
-                    &store,
-                    p,
-                    *target,
-                    diffs,
-                    MsgKind::MissRequest,
-                    MsgKind::MissReply,
+                    page_bytes,
                 );
             }
+            for (target, request, reply) in trips {
+                self.net.round_trip(
+                    p,
+                    target,
+                    MsgKind::MissRequest,
+                    request,
+                    MsgKind::MissReply,
+                    reply,
+                );
+            }
+            if let Some(hook) = self.fetch_hook.get() {
+                hook(p, page);
+            }
+
+            // Apply phase: revalidate the snapshot, then apply under the
+            // write lock.
+            let mut wstore = self.store.write();
+            if wstore.version() != version
+                && self.cfg.mutation != ProtocolMutation::StaleSnapshotApply
+            {
+                bump(&self.counters.snapshot_retries, 1);
+                drop(wstore);
+                first_attempt = false;
+                continue;
+            }
+            if let Some(buf) = base {
+                self.shard(p).pages[page.index()].copy = Some(buf);
+            }
+            self.apply_plan(&mut wstore, p, &plan);
+            drop(wstore);
+            let mut shard = self.shard(p);
+            let entry = &mut shard.pages[page.index()];
+            entry.pending.clear();
+            entry.valid = true;
+            return;
         }
-        self.apply_plan(&mut store, p, &plan);
-        let mut shard = self.shard(p);
-        let entry = &mut shard.pages[page.index()];
-        entry.pending.clear();
-        entry.valid = true;
     }
 
     /// Completes a barrier episode at `master`: merge all knowledge, send
     /// exit messages with the notices each processor lacks, and apply the
-    /// policy.
+    /// policy. Runs on the last arriver's thread; every other processor is
+    /// parked by the runtime awaiting the episode, so the completion holds
+    /// the store's write lock across the whole compound update.
     fn complete_barrier(&self, master: ProcId) {
         let n = self.cfg.n_procs;
         let mut merged = VectorClock::new(n);
@@ -861,8 +1182,10 @@ impl LrcEngine {
     /// Barrier-time garbage collection (TreadMarks-style): every processor
     /// brings its resident pages fully up to date (charged as barrier
     /// traffic), pages never cached anywhere keep only an owner pointer,
-    /// and the entire interval/diff history is discarded. Safe exactly at
-    /// barrier completion, when every interval has performed everywhere.
+    /// and the entire interval/diff history is discarded — bumping the
+    /// store's snapshot version so any in-flight plan would revalidate.
+    /// Safe exactly at barrier completion, when every interval has
+    /// performed everywhere.
     fn collect_garbage(&self, store: &mut IntervalStore) {
         let n = self.cfg.n_procs;
         // Validate every resident copy (the update policy already did).

@@ -65,6 +65,7 @@ mod engine;
 mod pagestate;
 mod plan;
 mod remote;
+pub mod slowpath;
 mod store;
 
 pub use config::{ConfigError, LrcConfig, Policy, ProtocolMutation, MAX_PROCS};
@@ -72,4 +73,5 @@ pub use counters::LazyCounters;
 pub use engine::LrcEngine;
 pub use plan::FetchPlan;
 pub use remote::{EngineOp, EngineOpError};
+pub use slowpath::FetchHook;
 pub use store::{IntervalStore, WriteNotice};

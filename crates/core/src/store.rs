@@ -39,6 +39,15 @@ pub struct IntervalStore {
     diffs: HashMap<(IntervalId, PageId), Diff>,
     /// Which processors hold each diff object (bitmask by proc index).
     holders: HashMap<(IntervalId, PageId), u64>,
+    /// Louvre-style lightweight version: bumped by every *destructive*
+    /// reorganization (today: [`IntervalStore::clear`], the barrier-time
+    /// garbage collection). Additive mutations — closing intervals, adding
+    /// holders — leave it unchanged, because a fetch plan built against an
+    /// older snapshot stays applicable when the store only grew. Slow
+    /// paths build plans under the read lock, note the version, fetch with
+    /// no store lock held at all, and revalidate the version before
+    /// applying under the write lock.
+    version: u64,
 }
 
 impl IntervalStore {
@@ -48,7 +57,17 @@ impl IntervalStore {
             records: vec![Vec::new(); n_procs],
             diffs: HashMap::new(),
             holders: HashMap::new(),
+            version: 0,
         }
+    }
+
+    /// The store's snapshot version: unchanged by additive mutations,
+    /// bumped by destructive reorganizations (garbage collection). A fetch
+    /// plan built while the version was `v` may be applied as long as the
+    /// version still reads `v`; otherwise the plan may reference discarded
+    /// diffs and must be rebuilt.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Records a closed interval with its modified pages and their diffs.
@@ -219,6 +238,8 @@ impl IntervalStore {
         }
         self.diffs.clear();
         self.holders.clear();
+        // Outstanding read snapshots now dangle: invalidate them.
+        self.version += 1;
     }
 }
 
@@ -313,6 +334,20 @@ mod tests {
         // Wrong page for a real interval: bookkeeping bug, must fail loudly
         // in debug builds (and stay a no-op in release builds).
         s.add_holder(p(1), IntervalId::new(p(0), 1), PageId::new(7));
+    }
+
+    #[test]
+    fn version_moves_only_on_destructive_reorganization() {
+        let mut s = IntervalStore::new(2);
+        assert_eq!(s.version(), 0);
+        let g = PageId::new(0);
+        s.close_interval(stamp(0, 1, 2), vec![(g, diff_of(&[1]))]);
+        s.add_holder(p(1), IntervalId::new(p(0), 1), g);
+        assert_eq!(s.version(), 0, "additive mutations keep snapshots valid");
+        s.clear();
+        assert_eq!(s.version(), 1, "garbage collection invalidates snapshots");
+        s.clear();
+        assert_eq!(s.version(), 2);
     }
 
     #[test]

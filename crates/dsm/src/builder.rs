@@ -90,6 +90,14 @@ impl DsmBuilder {
         self
     }
 
+    /// Serializes every engine slow path on one engine-wide mutex — the
+    /// pre-split measurement baseline (see
+    /// [`lrc_core::LrcConfig::serialize_slow_paths`]). Benchmarks only.
+    pub fn serialize_slow_paths(mut self) -> Self {
+        self.params.serialize_slow_paths = true;
+        self
+    }
+
     /// Bounds every blocking wait (lock hand-offs, barrier episodes) by
     /// `timeout`. A wait that exceeds the deadline panics with a
     /// stuck-waiter report — what a test suite wants from a lost wake-up

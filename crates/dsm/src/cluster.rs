@@ -152,6 +152,15 @@ impl Dsm {
         self.cluster.engine.attach_recorder(recorder);
     }
 
+    /// The shared protocol engine — for inspection (counters, fabric
+    /// stats, fetch hooks) by tests and benches. The engine is internally
+    /// synchronized; calling its methods directly bypasses only the
+    /// runtime's *blocking* (lock wait queues, barrier parking), never its
+    /// correctness.
+    pub fn engine(&self) -> &AnyEngine {
+        &self.cluster.engine
+    }
+
     /// Number of processors.
     pub fn n_procs(&self) -> usize {
         self.cluster.n_procs

@@ -27,6 +27,11 @@ pub struct EagerConfig {
     pub n_barriers: usize,
     /// Data-movement policy: update (EU) or invalidate (EI). Default EI.
     pub policy: Policy,
+    /// Measurement baseline: serialize every slow path on one engine-wide
+    /// mutex, reproducing the pre-split `protocol`-mutex architecture (see
+    /// [`lrc_core::LrcConfig::serialize_slow_paths`]). Benchmarks only.
+    /// Default `false`.
+    pub serialize_slow_paths: bool,
 }
 
 impl EagerConfig {
@@ -40,6 +45,7 @@ impl EagerConfig {
             n_locks: 16,
             n_barriers: 4,
             policy: Policy::Invalidate,
+            serialize_slow_paths: false,
         }
     }
 
@@ -64,6 +70,14 @@ impl EagerConfig {
     /// Sets the number of barriers.
     pub fn barriers(mut self, n: usize) -> Self {
         self.n_barriers = n;
+        self
+    }
+
+    /// Serializes every slow path on one engine-wide mutex — the pre-split
+    /// baseline, for benchmarking only (see
+    /// [`EagerConfig::serialize_slow_paths`]).
+    pub fn serialize_slow_paths(mut self) -> Self {
+        self.serialize_slow_paths = true;
         self
     }
 

@@ -17,6 +17,9 @@ pub(crate) struct SharedEagerCounters {
     pub acquires: AtomicU64,
     pub releases: AtomicU64,
     pub barrier_episodes: AtomicU64,
+    pub slow_waits: AtomicU64,
+    pub slow_waits_avoided: AtomicU64,
+    pub miss_inflight_peak: AtomicU64,
 }
 
 /// Adds `n` to a counter field (statistics only — relaxed ordering).
@@ -40,6 +43,9 @@ impl SharedEagerCounters {
             acquires: get(&self.acquires),
             releases: get(&self.releases),
             barrier_episodes: get(&self.barrier_episodes),
+            slow_waits: get(&self.slow_waits),
+            slow_waits_avoided: get(&self.slow_waits_avoided),
+            miss_inflight_peak: get(&self.miss_inflight_peak),
         }
     }
 }
@@ -70,6 +76,16 @@ pub struct EagerCounters {
     pub releases: u64,
     /// Barrier episodes completed.
     pub barrier_episodes: u64,
+    /// Slow-path entries that blocked behind another in-flight slow path
+    /// (same lock, overlapping flushed/missed pages, or — under the
+    /// `serialize_slow_paths` baseline — any concurrent slow path).
+    pub slow_waits: u64,
+    /// Slow-path entries that overlapped another in-flight slow path
+    /// without blocking — the serialization the retired engine-wide
+    /// protocol mutex would have imposed.
+    pub slow_waits_avoided: u64,
+    /// High-water mark of directory misses resolving concurrently.
+    pub miss_inflight_peak: u64,
 }
 
 impl EagerCounters {

@@ -1,7 +1,9 @@
 use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, OnceLock};
 
-use lrc_core::{ConfigError, EngineOp, EngineOpError, Policy};
+use lrc_core::slowpath::{gate_lock, raise, settle_contention, FetchHookCell, InFlight};
+use lrc_core::{ConfigError, EngineOp, EngineOpError, FetchHook, Policy};
 use lrc_hist::HistoryRecorder;
 use lrc_pagemem::{AddrSpace, Diff, PageBuf, PageId};
 use lrc_simnet::{
@@ -58,11 +60,43 @@ struct EpochMod {
 /// message to an internal [`Fabric`], so lazy and eager runs are directly
 /// comparable. Also like the lazy engine it is internally synchronized —
 /// per-processor shards behind their own mutexes, the directory and
-/// synchronization tables behind fine-grained locks, a `protocol` mutex
-/// serializing the slow paths, and atomic statistics — so every method
-/// takes `&self` and a threaded runtime can drive processors concurrently.
-/// Lock order: `protocol` → directory/table locks → shard mutexes; no path
-/// holds two shard mutexes at once.
+/// synchronization tables behind fine-grained locks, and atomic statistics
+/// — so every method takes `&self` and a threaded runtime can drive
+/// processors concurrently.
+///
+/// # Concurrency
+///
+/// Slow paths carry no engine-wide mutex; they serialize on the objects
+/// they touch:
+///
+/// * acquire and release of a lock hold that lock's **gate** (one mutex
+///   per lock) — eager acquires perform no consistency actions at all, so
+///   unrelated acquires are fully concurrent;
+/// * a release's (or barrier arrival's) flush holds the **page gates** of
+///   every page it flushes, acquired in ascending page order — the
+///   deadlock-free ordering shared by every multi-gate path — so flushes
+///   of disjoint page sets overlap, while same-page flush/flush and
+///   flush/miss pairs serialize. The invalidation-writeback dance for a
+///   page is therefore atomic: a concurrent writer either flushes before
+///   the invalidator takes the page's gate or contributes its epoch's
+///   writes as a writeback (its twin is consumed and the page leaves its
+///   dirty set under the destination's shard lock);
+/// * directory miss resolution holds the missed page's **gate**: the
+///   directory decision, the content clone, the message charges (with no
+///   directory lock held), and the copyset update cannot interleave with
+///   a flush of the same page;
+/// * an EI barrier episode's *completion* runs on the last arriver's
+///   thread while every other processor is parked by the runtime awaiting
+///   the episode, so it has the engine to itself.
+///
+/// Lock order: serialization mutex (baseline flag only) → lock gate →
+/// page gates (ascending) → directory/table mutexes → shard mutexes. The
+/// directory mutex may be held while taking a shard mutex, never the
+/// reverse; no path holds two shard mutexes at once.
+///
+/// Like the lazy engine, concurrency assumes each processor is driven by
+/// one thread at a time and that barrier arrivers issue nothing until
+/// their episode completes (the `lrc-dsm` runtime enforces both).
 ///
 /// See the [crate docs](crate) for an example.
 #[derive(Debug)]
@@ -75,9 +109,24 @@ pub struct EagerEngine {
     barriers: Mutex<BarrierSet>,
     /// EI: modifications buffered per barrier episode (keyed by barrier).
     epoch_mods: Mutex<HashMap<u32, Vec<EpochMod>>>,
-    /// Serializes the slow paths (synchronization operations and directory
-    /// misses).
-    protocol: Mutex<()>,
+    /// Per-lock gates: acquire/release of one lock serialize here.
+    lock_gates: Vec<Mutex<()>>,
+    /// Per-page gates: flushes and misses touching one page serialize
+    /// here; disjoint pages proceed concurrently.
+    page_gates: Vec<Mutex<()>>,
+    /// The pre-split measurement baseline
+    /// ([`EagerConfig::serialize_slow_paths`]): when present, every slow
+    /// path locks this first, reproducing the retired engine-wide
+    /// `protocol` mutex.
+    serial_gate: Option<Mutex<()>>,
+    /// Slow paths currently in flight (gauge behind
+    /// [`EagerCounters::slow_waits_avoided`]).
+    slow_inflight: AtomicU64,
+    /// Misses currently in flight (gauge behind
+    /// [`EagerCounters::miss_inflight_peak`]).
+    miss_inflight: AtomicU64,
+    /// Test/bench instrumentation (see [`lrc_core::FetchHook`]).
+    fetch_hook: FetchHookCell,
     net: Fabric,
     counters: SharedEagerCounters,
     /// Optional history recorder (`lrc-hist`); see
@@ -119,7 +168,12 @@ impl EagerEngine {
             locks: Mutex::new(LockTable::new(cfg.n_locks, n)),
             barriers: Mutex::new(BarrierSet::new(cfg.n_barriers, n)),
             epoch_mods: Mutex::new(HashMap::new()),
-            protocol: Mutex::new(()),
+            lock_gates: (0..cfg.n_locks).map(|_| Mutex::new(())).collect(),
+            page_gates: (0..space.n_pages()).map(|_| Mutex::new(())).collect(),
+            serial_gate: cfg.serialize_slow_paths.then(|| Mutex::new(())),
+            slow_inflight: AtomicU64::new(0),
+            miss_inflight: AtomicU64::new(0),
+            fetch_hook: FetchHookCell::default(),
             net: Fabric::new(n),
             counters: SharedEagerCounters::default(),
             recorder: OnceLock::new(),
@@ -129,7 +183,8 @@ impl EagerEngine {
 
     /// Attaches a history recorder, exactly like
     /// [`lrc_core::LrcEngine::attach_recorder`]: both engine families
-    /// feed the same conformance checker.
+    /// feed the same conformance checker, with synchronization orders
+    /// assigned by the lock table (grants) and barrier set (episodes).
     ///
     /// # Panics
     ///
@@ -144,6 +199,20 @@ impl EagerEngine {
         assert!(
             self.recorder.set(recorder).is_ok(),
             "a history recorder is already attached"
+        );
+    }
+
+    /// Installs the miss-fetch instrumentation hook, exactly like
+    /// [`lrc_core::LrcEngine::set_fetch_hook`]: invoked once per directory
+    /// miss after the messages are charged, with no directory lock held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hook is already installed.
+    pub fn set_fetch_hook(&self, hook: FetchHook) {
+        assert!(
+            self.fetch_hook.set(hook),
+            "a fetch hook is already installed"
         );
     }
 
@@ -208,6 +277,48 @@ impl EagerEngine {
 
     fn shard(&self, p: ProcId) -> MutexGuard<'_, EagerShard> {
         self.shards[p.index()].lock()
+    }
+
+    // ---- slow-path bookkeeping ----
+
+    /// Marks one slow path in flight (decremented by the returned guard)
+    /// and reports whether any *other* slow path was in flight at entry.
+    fn enter_slow_path(&self) -> (InFlight<'_>, bool) {
+        let (guard, others) = InFlight::enter(&self.slow_inflight);
+        (guard, others > 0)
+    }
+
+    /// Locks the serialized-baseline mutex, when configured.
+    fn serial_gate<'a>(&'a self, waited: &mut bool) -> Option<MutexGuard<'a, ()>> {
+        self.serial_gate.as_ref().map(|g| gate_lock(g, waited))
+    }
+
+    /// Settles the contention counters for one slow-path entry.
+    fn settle_slow_entry(&self, waited: bool, overlapped: bool) {
+        settle_contention(
+            waited,
+            overlapped,
+            &self.counters.slow_waits,
+            &self.counters.slow_waits_avoided,
+        );
+    }
+
+    /// The pages `p` has dirtied this epoch, ascending and deduplicated —
+    /// the gate-acquisition order for a flush.
+    fn dirty_pages_sorted(&self, p: ProcId) -> Vec<PageId> {
+        let mut pages = self.shard(p).dirty.clone();
+        pages.sort();
+        pages.dedup();
+        pages
+    }
+
+    /// Acquires the page gates for `pages` (which must be ascending),
+    /// noting contention in `waited`.
+    fn page_gates<'a>(&'a self, pages: &[PageId], waited: &mut bool) -> Vec<MutexGuard<'a, ()>> {
+        pages
+            .iter()
+            .map(|g| gate_lock(&self.page_gates[g.index()], waited))
+            .collect()
     }
 
     // ---- ordinary accesses ----
@@ -348,19 +459,29 @@ impl EagerEngine {
     // ---- special accesses ----
 
     /// Acquires `lock`: find-and-transfer messages only. Eager RC performs
-    /// **no consistency actions at acquires** (§3).
+    /// **no consistency actions at acquires** (§3), so acquires of
+    /// unrelated locks are fully concurrent (they serialize only on this
+    /// lock's gate).
     ///
     /// # Errors
     ///
     /// Propagates [`LockError`].
     pub fn acquire(&self, p: ProcId, lock: LockId) -> Result<(), LockError> {
-        let _protocol = self.protocol.lock();
+        let (_inflight, overlapped) = self.enter_slow_path();
+        let mut waited = false;
+        let _serial = self.serial_gate(&mut waited);
+        let _gate = self
+            .lock_gates
+            .get(lock.index())
+            .map(|g| gate_lock(g, &mut waited));
+        self.settle_slow_entry(waited, overlapped);
+
         let path = self.locks.lock().acquire(p, lock)?;
         bump(&self.counters.acquires, 1);
         if let Some(rec) = self.recorder() {
-            // Under the protocol lock: the recorded grant order is the
-            // order the lock table granted.
-            rec.acquire(p, lock);
+            // Grant numbers come from the lock table, assigned inside this
+            // lock's gate: the recorded order is the hand-over order.
+            rec.acquire(p, lock, path.grant_seq);
         }
         if let Some((src, dst)) = path.request {
             self.net.send(src, dst, MsgKind::LockRequest, LOCK_ID_BYTES);
@@ -376,66 +497,94 @@ impl EagerEngine {
 
     /// Releases `lock`, first propagating every modification of the epoch
     /// to all other cachers (updates under EU, invalidations under EI) and
-    /// blocking for their acknowledgments — Table 1's `2c`.
+    /// blocking for their acknowledgments — Table 1's `2c`. The flush
+    /// holds the gates of the flushed pages (ascending), so releases
+    /// touching disjoint pages overlap.
     ///
     /// # Errors
     ///
     /// Propagates [`LockError::NotHolder`] and range errors.
     pub fn release(&self, p: ProcId, lock: LockId) -> Result<(), LockError> {
-        let _protocol = self.protocol.lock();
+        let (_inflight, overlapped) = self.enter_slow_path();
+        let mut waited = false;
+        let _serial = self.serial_gate(&mut waited);
+        let _gate = self
+            .lock_gates
+            .get(lock.index())
+            .map(|g| gate_lock(g, &mut waited));
         // Validate before flushing so an illegal release has no effect.
         {
             let mut locks = self.locks.lock();
             if locks.holder(lock) != Some(p) {
+                self.settle_slow_entry(waited, overlapped);
                 locks.release(p, lock)?;
                 unreachable!("release of unheld lock must error");
             }
         }
+        let pages = self.dirty_pages_sorted(p);
+        let _page_gates = self.page_gates(&pages, &mut waited);
+        self.settle_slow_entry(waited, overlapped);
         self.flush_at_release(p);
-        self.locks
+        let grant = self
+            .locks
             .lock()
             .release(p, lock)
             .expect("holder validated above");
         if let Some(rec) = self.recorder() {
-            rec.release(p, lock);
+            rec.release(p, lock, grant);
         }
         bump(&self.counters.releases, 1);
         Ok(())
     }
 
-    /// Arrives at `barrier`, flushing like a release. EU pushes update
-    /// messages immediately (`2u`); EI piggybacks its invalidations on the
-    /// barrier traffic and pays only `2v` to resolve multiple concurrent
-    /// invalidators of one page (Table 1).
+    /// Arrives at `barrier`, flushing like a release (under the flushed
+    /// pages' gates). EU pushes update messages immediately (`2u`); EI
+    /// piggybacks its invalidations on the barrier traffic and pays only
+    /// `2v` to resolve multiple concurrent invalidators of one page
+    /// (Table 1).
     ///
     /// # Errors
     ///
     /// Propagates [`BarrierError`].
     pub fn barrier(&self, p: ProcId, barrier: BarrierId) -> Result<BarrierArrival, BarrierError> {
-        let _protocol = self.protocol.lock();
+        let (_inflight, overlapped) = self.enter_slow_path();
+        let mut waited = false;
+        let _serial = self.serial_gate(&mut waited);
         // Validate the arrival before performing any flush side effects.
-        let master = {
+        let checked = {
             let barriers = self.barriers.lock();
-            barriers.check_arrival(p, barrier)?;
-            barriers.master(barrier)
+            barriers
+                .check_arrival(p, barrier)
+                .map(|()| barriers.master(barrier))
         };
-        let diffs = self.take_epoch_diffs(p);
-        let mut piggyback_pages = 0usize;
-        match self.cfg.policy {
-            Policy::Update => {
-                self.push_updates(p, &diffs, MsgKind::BarrierUpdate, MsgKind::BarrierUpdateAck)
+        let master = match checked {
+            Ok(master) => master,
+            Err(e) => {
+                self.settle_slow_entry(waited, overlapped);
+                return Err(e);
             }
-            Policy::Invalidate => {
-                piggyback_pages = diffs.len();
-                let mut epoch_mods = self.epoch_mods.lock();
-                let buffer = epoch_mods.entry(barrier.raw()).or_default();
-                for (page, diff) in diffs {
-                    buffer.push(EpochMod {
-                        writer: p,
-                        page,
-                        diff,
-                    });
-                }
+        };
+        let diffs = {
+            let pages = self.dirty_pages_sorted(p);
+            let _page_gates = self.page_gates(&pages, &mut waited);
+            self.settle_slow_entry(waited, overlapped);
+            let diffs = self.take_epoch_diffs(p);
+            if self.cfg.policy == Policy::Update {
+                self.push_updates(p, &diffs, MsgKind::BarrierUpdate, MsgKind::BarrierUpdateAck);
+            }
+            diffs
+        };
+        let mut piggyback_pages = 0usize;
+        if self.cfg.policy == Policy::Invalidate {
+            piggyback_pages = diffs.len();
+            let mut epoch_mods = self.epoch_mods.lock();
+            let buffer = epoch_mods.entry(barrier.raw()).or_default();
+            for (page, diff) in diffs {
+                buffer.push(EpochMod {
+                    writer: p,
+                    page,
+                    diff,
+                });
             }
         }
         if p != master {
@@ -444,7 +593,7 @@ impl EagerEngine {
         }
         let outcome = self.barriers.lock().arrive(p, barrier)?;
         if let Some(rec) = self.recorder() {
-            rec.barrier(p, barrier);
+            rec.barrier(p, barrier, outcome.episode());
         }
         if let BarrierArrival::Complete { .. } = outcome {
             self.complete_barrier(barrier, master);
@@ -455,7 +604,8 @@ impl EagerEngine {
     // ---- internals ----
 
     /// Ends `p`'s current epoch: diffs all dirty pages against their twins
-    /// and transfers ownership to `p`.
+    /// and transfers ownership to `p`. Callers hold the dirty pages'
+    /// gates.
     fn take_epoch_diffs(&self, p: ProcId) -> Vec<(PageId, Diff)> {
         let mut out = Vec::new();
         {
@@ -464,7 +614,13 @@ impl EagerEngine {
             out.reserve(dirtied.len());
             for g in dirtied {
                 let entry = &mut shard.pages[g.index()];
-                let twin = entry.twin.take().expect("dirty page has a twin");
+                // Defensive: a twin consumed by a concurrent invalidator's
+                // writeback leaves the dirty list together with it (under
+                // this shard's lock), but skipping an already-written-back
+                // page is the right recovery either way.
+                let Some(twin) = entry.twin.take() else {
+                    continue;
+                };
                 let copy = entry.copy.as_ref().expect("dirty page has a copy");
                 let diff = Diff::between(&twin, copy);
                 if !diff.is_empty() {
@@ -484,6 +640,7 @@ impl EagerEngine {
 
     /// Release-time propagation: updates (EU) or invalidations (EI) to all
     /// other cachers, one merged message per destination, plus acks.
+    /// Callers hold the dirty pages' gates.
     fn flush_at_release(&self, p: ProcId) {
         let diffs = self.take_epoch_diffs(p);
         if diffs.is_empty() {
@@ -617,7 +774,9 @@ impl EagerEngine {
 
     /// EI barrier completion: resolve multiple invalidators per page (the
     /// `2v` term), invalidate all other cachers (piggybacked, free), and
-    /// send exit messages carrying the aggregated notices.
+    /// send exit messages carrying the aggregated notices. Runs on the
+    /// last arriver's thread with every other processor parked by the
+    /// runtime, so it needs no gates of its own.
     fn complete_barrier(&self, barrier: BarrierId, master: ProcId) {
         let mods = self
             .epoch_mods
@@ -700,32 +859,62 @@ impl EagerEngine {
     }
 
     /// Directory miss: two messages when the home has a valid copy, three
-    /// when the request is forwarded to the owner (§3).
+    /// when the request is forwarded to the owner (§3). Holds the page's
+    /// gate for the whole resolution (a same-page flush or miss waits on
+    /// it), but no directory lock across the message charges.
     fn resolve_miss(&self, p: ProcId, page: PageId) {
-        let _protocol = self.protocol.lock();
+        let (_inflight, overlapped) = self.enter_slow_path();
+        let (_miss_inflight, miss_others) = InFlight::enter(&self.miss_inflight);
+        raise(&self.counters.miss_inflight_peak, miss_others + 1);
+        let mut waited = false;
+        let _serial = self.serial_gate(&mut waited);
+        let _gate = gate_lock(&self.page_gates[page.index()], &mut waited);
+        self.settle_slow_entry(waited, overlapped);
+
         {
             let shard = self.shard(p);
             if shard.pages[page.index()].valid {
-                // Resolved while this processor waited for the slow path.
+                // Resolved while this processor waited for the gate (only
+                // possible through this processor's own earlier call).
                 return;
             }
         }
         let gi = page.index();
         let home = ProcId::new((gi % self.cfg.n_procs) as u16);
         let pbit = 1u64 << p.index();
-        let mut dir = self.dir.lock();
-        if dir[gi].copyset & pbit != 0 {
-            // Initial home copy: materialize the zero page locally.
-            let mut shard = self.shard(p);
-            let entry = &mut shard.pages[gi];
-            entry
-                .copy
-                .get_or_insert_with(|| PageBuf::zeroed(self.space.page_size()));
-            entry.valid = true;
-            return;
+
+        // Directory decision under the directory mutex; the page's gate
+        // keeps the entry stable after the mutex drops (flushes touch a
+        // page's entry only under its gate).
+        enum Decision {
+            InitialHomeCopy,
+            Fetch { home_has: bool, source: ProcId },
         }
-        let home_has = dir[gi].copyset & (1u64 << home.index()) != 0;
-        let source = if home_has { home } else { dir[gi].owner };
+        let decision = {
+            let dir = self.dir.lock();
+            if dir[gi].copyset & pbit != 0 {
+                Decision::InitialHomeCopy
+            } else {
+                let home_has = dir[gi].copyset & (1u64 << home.index()) != 0;
+                Decision::Fetch {
+                    home_has,
+                    source: if home_has { home } else { dir[gi].owner },
+                }
+            }
+        };
+        let (home_has, source) = match decision {
+            Decision::InitialHomeCopy => {
+                // Initial home copy: materialize the zero page locally.
+                let mut shard = self.shard(p);
+                let entry = &mut shard.pages[gi];
+                entry
+                    .copy
+                    .get_or_insert_with(|| PageBuf::zeroed(self.space.page_size()));
+                entry.valid = true;
+                return;
+            }
+            Decision::Fetch { home_has, source } => (home_has, source),
+        };
         debug_assert_ne!(source, p, "a missing processor cannot be the source");
 
         // Materialize the source copy (the home's initial copy is zeros).
@@ -742,6 +931,7 @@ impl EagerEngine {
                 (None, None) => PageBuf::zeroed(self.space.page_size()),
             }
         };
+        // Fetch phase: message charges with no directory lock held.
         let page_bytes = self.space.page_size().bytes() as u64;
         if home_has {
             if p != home {
@@ -776,11 +966,14 @@ impl EagerEngine {
             );
             bump(&self.counters.misses_2hop, 1);
         }
+        if let Some(hook) = self.fetch_hook.get() {
+            hook(p, page);
+        }
         {
             let mut shard = self.shard(p);
             shard.pages[gi].copy = Some(content);
             shard.pages[gi].valid = true;
         }
-        dir[gi].copyset |= pbit;
+        self.dir.lock()[gi].copyset |= pbit;
     }
 }

@@ -7,9 +7,9 @@ use lrc_vclock::ProcId;
 ///
 /// Ordinary accesses carry their bytes: a read records the value it
 /// *observed*, which is what the checker must explain. Synchronization
-/// events carry the order the engine assigned them while holding its
-/// protocol lock — the `grant` sequence of a lock and the `episode` of a
-/// barrier are the recorded happens-before edges.
+/// events carry the order the engine assigned them — the `grant` sequence
+/// of a lock (numbered by the lock table) and the `episode` of a barrier
+/// (numbered by the barrier set) are the recorded happens-before edges.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum HistEvent {
     /// A read of `value.len()` bytes at `addr` that observed `value`.

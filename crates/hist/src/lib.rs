@@ -11,10 +11,11 @@
 //! 1. A low-overhead [`HistoryRecorder`] collects one append-only log per
 //!    processor: every read (with the bytes it observed), every write,
 //!    and every synchronization operation. The *engine* assigns the
-//!    synchronization edges while it holds its protocol lock — lock grants
-//!    get a per-lock grant order, barrier arrivals a per-barrier episode —
-//!    so the recorded happens-before relation is exactly the one the
-//!    protocol acted on.
+//!    synchronization edges — the lock table numbers every grant in its
+//!    lock's total grant order, the barrier set numbers every episode —
+//!    under each object's own serialization (there is no global protocol
+//!    lock), so the recorded happens-before relation is exactly the one
+//!    the protocol acted on.
 //! 2. [`History::check`] verifies the run:
 //!    * the history is **data-race-free** (conflicting accesses are
 //!      ordered by the recorded happens-before relation, compared with
@@ -43,13 +44,14 @@
 //!
 //! let rec = HistoryRecorder::new(2);
 //! let (p0, p1, l) = (ProcId::new(0), ProcId::new(1), LockId::new(0));
-//! // p0 publishes 7 under a lock; p1 acquires later and reads it.
-//! rec.acquire(p0, l);
+//! // p0 publishes 7 under a lock; p1 acquires later (grant 2) and reads
+//! // it. The grant numbers come from the engine's lock table.
+//! rec.acquire(p0, l, 1);
 //! rec.write(p0, 64, &7u64.to_le_bytes());
-//! rec.release(p0, l);
-//! rec.acquire(p1, l);
+//! rec.release(p0, l, 1);
+//! rec.acquire(p1, l, 2);
 //! rec.read(p1, 64, &7u64.to_le_bytes());
-//! rec.release(p1, l);
+//! rec.release(p1, l, 2);
 //! let report = rec.finish().check(&CheckBudget::default()).unwrap();
 //! assert_eq!(report.events, 6);
 //! ```

@@ -12,19 +12,21 @@ use crate::{HistEvent, History};
 /// The engines call the hooks below from their public entry points: reads
 /// and writes from the fast path (each processor appends only to its own
 /// log, so the per-log mutex is uncontended), synchronization operations
-/// from the slow path *while the engine holds its protocol lock* — which
-/// is what makes the assigned grant and episode orders agree with the
-/// order the protocol actually processed them in. Attach one recorder to
-/// one engine via `attach_recorder` (`lrc-core`, `lrc-eager`, or
-/// `Dsm::attach_recorder` in `lrc-dsm`), run the program, then take the
-/// [`History`] with [`HistoryRecorder::finish`].
+/// from the slow path. The recorder assigns no ordering of its own: the
+/// *engine* supplies each acquire's position in its lock's total grant
+/// order (assigned by the lock table under that lock's serialization) and
+/// each barrier crossing's episode (assigned by the barrier set). That is
+/// the sync-order contract that lets engines run slow paths for different
+/// locks and pages concurrently — there is no global protocol lock for the
+/// recorder to shelter under, and none is needed: per-lock grant numbers
+/// and per-barrier episodes are exactly the happens-before edges the
+/// checker consumes. Attach one recorder to one engine via
+/// `attach_recorder` (`lrc-core`, `lrc-eager`, or `Dsm::attach_recorder`
+/// in `lrc-dsm`), run the program, then take the [`History`] with
+/// [`HistoryRecorder::finish`].
 pub struct HistoryRecorder {
     n_procs: usize,
     logs: Vec<Mutex<Vec<HistEvent>>>,
-    /// Grants handed out so far, per lock (grown on demand).
-    grants: Mutex<Vec<u64>>,
-    /// Arrivals seen so far, per barrier (grown on demand).
-    arrivals: Mutex<Vec<u64>>,
 }
 
 impl HistoryRecorder {
@@ -33,8 +35,6 @@ impl HistoryRecorder {
         Arc::new(HistoryRecorder {
             n_procs,
             logs: (0..n_procs).map(|_| Mutex::new(Vec::new())).collect(),
-            grants: Mutex::new(Vec::new()),
-            arrivals: Mutex::new(Vec::new()),
         })
     }
 
@@ -77,57 +77,40 @@ impl HistoryRecorder {
         );
     }
 
-    /// Records a *successful* lock acquire and assigns it the next grant
-    /// in `lock`'s total grant order. Call while the engine's protocol
-    /// lock serializes synchronization operations.
+    /// Records a *successful* lock acquire. `grant` is the engine-assigned
+    /// position of this acquire in `lock`'s total grant order (1 for the
+    /// lock's first grant) — take it from the lock table's acquire result,
+    /// which assigns it under the same serialization that hands the lock
+    /// over, so no additional locking is required of the caller.
     ///
     /// # Panics
     ///
     /// Panics if `p` is out of range.
-    pub fn acquire(&self, p: ProcId, lock: LockId) {
-        let grant = {
-            let mut grants = self.grants.lock();
-            if grants.len() <= lock.index() {
-                grants.resize(lock.index() + 1, 0);
-            }
-            grants[lock.index()] += 1;
-            grants[lock.index()]
-        };
+    pub fn acquire(&self, p: ProcId, lock: LockId, grant: u64) {
         self.push(p, HistEvent::Acquire { lock, grant });
     }
 
-    /// Records a lock release. The release closes the lock's most recent
-    /// grant — the holder is exclusive, so no grant can intervene between
-    /// a processor's acquire and its release.
+    /// Records a lock release closing the engine-assigned `grant` — the
+    /// number the matching acquire was given (the holder is exclusive, so
+    /// no grant can intervene between a processor's acquire and its
+    /// release; the lock table's release reports it).
     ///
     /// # Panics
     ///
     /// Panics if `p` is out of range.
-    pub fn release(&self, p: ProcId, lock: LockId) {
-        let grant = {
-            let grants = self.grants.lock();
-            grants.get(lock.index()).copied().unwrap_or(0)
-        };
+    pub fn release(&self, p: ProcId, lock: LockId, grant: u64) {
         self.push(p, HistEvent::Release { lock, grant });
     }
 
-    /// Records a barrier arrival and assigns its episode (arrival count
-    /// divided by the processor count — every episode needs all
-    /// processors). Call under the engine's protocol lock.
+    /// Records a barrier arrival in the engine-assigned `episode` (0 for
+    /// the barrier's first episode) — take it from the barrier set's
+    /// arrival outcome, which assigns it under the set's own
+    /// serialization.
     ///
     /// # Panics
     ///
     /// Panics if `p` is out of range.
-    pub fn barrier(&self, p: ProcId, barrier: BarrierId) {
-        let episode = {
-            let mut arrivals = self.arrivals.lock();
-            if arrivals.len() <= barrier.index() {
-                arrivals.resize(barrier.index() + 1, 0);
-            }
-            let episode = arrivals[barrier.index()] / self.n_procs as u64;
-            arrivals[barrier.index()] += 1;
-            episode
-        };
+    pub fn barrier(&self, p: ProcId, barrier: BarrierId, episode: u64) {
         self.push(p, HistEvent::Barrier { barrier, episode });
     }
 
@@ -160,12 +143,12 @@ mod tests {
     }
 
     #[test]
-    fn grants_count_per_lock_and_releases_match() {
+    fn engine_assigned_grants_and_releases_round_trip() {
         let rec = HistoryRecorder::new(2);
-        rec.acquire(p(0), LockId::new(0));
-        rec.release(p(0), LockId::new(0));
-        rec.acquire(p(1), LockId::new(0));
-        rec.acquire(p(0), LockId::new(3)); // independent order per lock
+        rec.acquire(p(0), LockId::new(0), 1);
+        rec.release(p(0), LockId::new(0), 1);
+        rec.acquire(p(1), LockId::new(0), 2);
+        rec.acquire(p(0), LockId::new(3), 1); // independent order per lock
         let h = rec.finish();
         assert_eq!(
             h.log(p(0))[0],
@@ -198,13 +181,13 @@ mod tests {
     }
 
     #[test]
-    fn episodes_advance_every_n_arrivals() {
+    fn engine_assigned_episodes_are_recorded_verbatim() {
         let rec = HistoryRecorder::new(2);
         let b = BarrierId::new(0);
-        rec.barrier(p(0), b);
-        rec.barrier(p(1), b);
-        rec.barrier(p(1), b);
-        rec.barrier(p(0), b);
+        rec.barrier(p(0), b, 0);
+        rec.barrier(p(1), b, 0);
+        rec.barrier(p(1), b, 1);
+        rec.barrier(p(0), b, 1);
         let h = rec.finish();
         let episodes: Vec<u64> = h
             .log(p(0))

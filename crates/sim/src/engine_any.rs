@@ -47,6 +47,10 @@ pub struct EngineParams {
     /// a non-stock mutation for the eager kinds rather than silently
     /// building a faithful engine.
     pub mutation: ProtocolMutation,
+    /// Serialize every slow path on one engine-wide mutex — the pre-split
+    /// measurement baseline (see
+    /// [`lrc_core::LrcConfig::serialize_slow_paths`]). Benchmarks only.
+    pub serialize_slow_paths: bool,
 }
 
 impl Default for EngineParams {
@@ -65,6 +69,7 @@ impl Default for EngineParams {
             full_page_misses: false,
             gc_at_barriers: false,
             mutation: ProtocolMutation::Stock,
+            serialize_slow_paths: false,
         }
     }
 }
@@ -91,6 +96,9 @@ impl AnyEngine {
             if params.gc_at_barriers {
                 cfg = cfg.gc_at_barriers();
             }
+            if params.serialize_slow_paths {
+                cfg = cfg.serialize_slow_paths();
+            }
             cfg = cfg.mutate(params.mutation);
             Ok(AnyEngine::Lazy(LrcEngine::new(cfg)?))
         } else {
@@ -99,11 +107,14 @@ impl AnyEngine {
                 // mutation test vacuously green.
                 return Err(ConfigError::UnsupportedMutation(params.mutation));
             }
-            let cfg = EagerConfig::new(params.n_procs, params.mem_bytes)
+            let mut cfg = EagerConfig::new(params.n_procs, params.mem_bytes)
                 .page_size(params.page_bytes)
                 .policy(kind.policy())
                 .locks(params.n_locks)
                 .barriers(params.n_barriers);
+            if params.serialize_slow_paths {
+                cfg = cfg.serialize_slow_paths();
+            }
             Ok(AnyEngine::Eager(EagerEngine::new(cfg)?))
         }
     }
@@ -212,6 +223,19 @@ impl AnyEngine {
         match self {
             AnyEngine::Lazy(e) => e.lock_holder(lock),
             AnyEngine::Eager(e) => e.lock_holder(lock),
+        }
+    }
+
+    /// Installs the miss-fetch instrumentation hook on either engine
+    /// family (see [`lrc_core::LrcEngine::set_fetch_hook`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hook is already installed.
+    pub fn set_fetch_hook(&self, hook: lrc_core::FetchHook) {
+        match self {
+            AnyEngine::Lazy(e) => e.set_fetch_hook(hook),
+            AnyEngine::Eager(e) => e.set_fetch_hook(hook),
         }
     }
 

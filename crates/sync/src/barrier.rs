@@ -74,6 +74,11 @@ pub enum BarrierArrival {
     Waiting {
         /// Number of processors that have arrived so far this episode.
         arrived: usize,
+        /// The (not yet complete) episode this arrival belongs to — the
+        /// same index the closing arrival will report in
+        /// [`BarrierArrival::Complete`]. Set-assigned, so observers of the
+        /// episode order (the history recorder) need no engine-wide lock.
+        episode: u64,
     },
     /// This arrival completed the episode: every processor is present and
     /// the master releases them all. The episode counter has advanced.
@@ -81,6 +86,16 @@ pub enum BarrierArrival {
         /// The completed episode's index (0 for the first episode).
         episode: u64,
     },
+}
+
+impl BarrierArrival {
+    /// The episode this arrival belongs to, whichever variant it is.
+    pub fn episode(&self) -> u64 {
+        match self {
+            BarrierArrival::Waiting { episode, .. } => *episode,
+            BarrierArrival::Complete { episode } => *episode,
+        }
+    }
 }
 
 /// A set of centralized barriers.
@@ -101,7 +116,7 @@ pub enum BarrierArrival {
 /// let b = BarrierId::new(0);
 /// assert_eq!(
 ///     barriers.arrive(ProcId::new(0), b)?,
-///     BarrierArrival::Waiting { arrived: 1 }
+///     BarrierArrival::Waiting { arrived: 1, episode: 0 }
 /// );
 /// assert_eq!(
 ///     barriers.arrive(ProcId::new(1), b)?,
@@ -208,6 +223,7 @@ impl BarrierSet {
         } else {
             Ok(BarrierArrival::Waiting {
                 arrived: self.count[barrier.index()],
+                episode: self.episode[barrier.index()],
             })
         }
     }
@@ -227,11 +243,17 @@ mod tests {
         let id = BarrierId::new(0);
         assert_eq!(
             b.arrive(p(1), id).unwrap(),
-            BarrierArrival::Waiting { arrived: 1 }
+            BarrierArrival::Waiting {
+                arrived: 1,
+                episode: 0
+            }
         );
         assert_eq!(
             b.arrive(p(0), id).unwrap(),
-            BarrierArrival::Waiting { arrived: 2 }
+            BarrierArrival::Waiting {
+                arrived: 2,
+                episode: 0
+            }
         );
         assert_eq!(
             b.arrive(p(2), id).unwrap(),

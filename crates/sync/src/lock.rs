@@ -106,6 +106,12 @@ pub struct AcquirePath {
     /// if the lock has never been released. Consistency information flows
     /// from this processor.
     pub grantor: ProcId,
+    /// Position of this acquire in the lock's total grant order (1 for the
+    /// lock's first-ever grant). Assigned by the table under its own
+    /// serialization, so observers of the grant sequence — notably the
+    /// history recorder — need no engine-wide lock to agree with the order
+    /// the lock actually changed hands in.
+    pub grant_seq: u64,
     /// Requester → home.
     pub request: Option<(ProcId, ProcId)>,
     /// Home → grantor.
@@ -152,6 +158,9 @@ pub struct LockTable {
     n_procs: usize,
     holder: Vec<Option<ProcId>>,
     grantor: Vec<ProcId>,
+    /// Grants handed out so far, per lock. The current holder's grant is
+    /// `grant_seq[lock]`; a release closes exactly that grant.
+    grant_seq: Vec<u64>,
 }
 
 impl LockTable {
@@ -169,6 +178,7 @@ impl LockTable {
             n_procs,
             holder: vec![None; n_locks],
             grantor,
+            grant_seq: vec![0; n_locks],
         }
     }
 
@@ -226,6 +236,8 @@ impl LockTable {
         let home = self.home(lock);
         let grantor = self.grantor[lock.index()];
         self.holder[lock.index()] = Some(p);
+        self.grant_seq[lock.index()] += 1;
+        let grant_no = self.grant_seq[lock.index()];
 
         // Hops are messages only between distinct processors. Four shapes:
         //   p == grantor            -> free local re-acquire
@@ -235,6 +247,7 @@ impl LockTable {
         let path = if p == grantor {
             AcquirePath {
                 grantor,
+                grant_seq: grant_no,
                 request: None,
                 forward: None,
                 grant: None,
@@ -242,6 +255,7 @@ impl LockTable {
         } else if p == home {
             AcquirePath {
                 grantor,
+                grant_seq: grant_no,
                 request: None,
                 forward: Some((home, grantor)),
                 grant: Some((grantor, p)),
@@ -249,6 +263,7 @@ impl LockTable {
         } else if grantor == home {
             AcquirePath {
                 grantor,
+                grant_seq: grant_no,
                 request: Some((p, home)),
                 forward: None,
                 grant: Some((grantor, p)),
@@ -256,6 +271,7 @@ impl LockTable {
         } else {
             AcquirePath {
                 grantor,
+                grant_seq: grant_no,
                 request: Some((p, home)),
                 forward: Some((home, grantor)),
                 grant: Some((grantor, p)),
@@ -264,7 +280,9 @@ impl LockTable {
         Ok(path)
     }
 
-    /// Releases `lock`; `p` becomes its grantor (last releaser).
+    /// Releases `lock`; `p` becomes its grantor (last releaser). Returns
+    /// the grant number this release closes — the one assigned to `p`'s
+    /// matching acquire (holders are exclusive, so no grant can intervene).
     ///
     /// The release itself sends no messages in any of the four protocols —
     /// eager protocols send *consistency* traffic at release, which the
@@ -277,13 +295,13 @@ impl LockTable {
     ///
     /// [`LockError::NotHolder`] if `p` does not hold the lock, plus the
     /// range errors of [`LockTable::acquire`].
-    pub fn release(&mut self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+    pub fn release(&mut self, p: ProcId, lock: LockId) -> Result<u64, LockError> {
         self.check(p, lock)?;
         match self.holder[lock.index()] {
             Some(h) if h == p => {
                 self.holder[lock.index()] = None;
                 self.grantor[lock.index()] = p;
-                Ok(())
+                Ok(self.grant_seq[lock.index()])
             }
             other => Err(LockError::NotHolder {
                 lock,
@@ -429,6 +447,20 @@ mod tests {
             holder: p(1),
         };
         assert_eq!(e.to_string(), "lk2 is held by p1");
+    }
+
+    #[test]
+    fn grant_numbers_sequence_per_lock_and_close_on_release() {
+        let mut t = LockTable::new(2, 4);
+        let (a, b) = (LockId::new(0), LockId::new(1));
+        assert_eq!(t.acquire(p(1), a).unwrap().grant_seq, 1);
+        assert_eq!(t.release(p(1), a).unwrap(), 1);
+        assert_eq!(t.acquire(p(2), a).unwrap().grant_seq, 2);
+        // Independent sequence per lock; a failed acquire burns no grant.
+        assert_eq!(t.acquire(p(3), b).unwrap().grant_seq, 1);
+        assert!(t.acquire(p(0), a).is_err());
+        assert_eq!(t.release(p(2), a).unwrap(), 2);
+        assert_eq!(t.acquire(p(0), a).unwrap().grant_seq, 3);
     }
 
     #[test]

@@ -67,6 +67,32 @@ fn drop_notices_is_rejected() {
     }
 }
 
+/// Applying fetch plans built against an outdated store snapshot without
+/// revalidating (the failure mode the versioned-snapshot slow paths
+/// guard against: pages finalized as current while missing their newest
+/// diff) is rejected under both lazy policies and both page-size regimes,
+/// every time — checker-guided stress for exactly the hazard the
+/// protocol-mutex split introduced.
+#[test]
+fn stale_snapshot_apply_is_rejected() {
+    let prog = forced_flow_program(3, 3);
+    for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::LazyUpdate] {
+        for page in [256usize, 1024] {
+            let cfg = broken(kind, page, ProtocolMutation::StaleSnapshotApply);
+            let (_, verdict) = run_and_check(&prog, &cfg);
+            let err = verdict.expect_err("stale-snapshot-apply must be rejected");
+            assert!(
+                matches!(
+                    err,
+                    HistError::Unjustified { .. } | HistError::NoWitness { .. }
+                ),
+                "{}: unexpected rejection {err}",
+                cfg.label()
+            );
+        }
+    }
+}
+
 /// The same forced-flow program passes under every *stock* protocol —
 /// the rejections above are the mutations' fault, not the program's.
 #[test]
@@ -96,6 +122,7 @@ fn seeded_programs_catch_each_mutation() {
     for mutation in [
         ProtocolMutation::SkipTwinDiff,
         ProtocolMutation::DropNotices,
+        ProtocolMutation::StaleSnapshotApply,
     ] {
         let cfg = broken(ProtocolKind::LazyInvalidate, 256, mutation);
         let rejected = (0..6u64)

@@ -32,6 +32,16 @@ impl<T: ?Sized> Mutex<T> {
         MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
     }
 
+    /// Take the lock only if it is free right now: `Some(guard)` on
+    /// success, `None` if another thread holds it (never blocks).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(MutexGuard(Some(guard))),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
@@ -205,6 +215,16 @@ mod tests {
         for t in threads {
             assert_eq!(t.join().unwrap(), 0);
         }
+    }
+
+    #[test]
+    fn try_lock_reports_contention() {
+        let m = Mutex::new(1u32);
+        let held = m.lock();
+        assert!(m.try_lock().is_none(), "held mutex must not be re-entered");
+        drop(held);
+        let guard = m.try_lock().expect("free mutex is taken immediately");
+        assert_eq!(*guard, 1);
     }
 
     #[test]
