@@ -67,6 +67,23 @@ pub enum ProtocolMutation {
     /// version check is skipped. Readers then observe pages the protocol
     /// believes are current but are missing their newest modification.
     StaleSnapshotApply,
+    /// Apply fetched diffs in *reverse* happened-before order: when a miss
+    /// or update pull brings in more than one diff for a page, the oldest
+    /// modification lands last and clobbers the newest. Single-diff pulls
+    /// are unaffected, so the engine works until a page accumulates a
+    /// chain of modifications.
+    WrongDiffOrder,
+    /// The barrier master computes each processor's exit notices against
+    /// that processor's *own* clock instead of the episode's merged
+    /// knowledge: no processor is told about the intervals its peers
+    /// closed before arriving, so post-barrier reads see stale pages.
+    /// Clocks still merge — only the page-level knowledge is lost.
+    DroppedClockMerge,
+    /// A lock grantor under-reports its own latest closed interval by one
+    /// when computing the knowledge it piggybacks on the grant: the
+    /// acquirer never receives the write notice for the grantor's most
+    /// recent critical section and keeps reading its stale copy.
+    StaleGrantKnowledge,
 }
 
 impl fmt::Display for ProtocolMutation {
@@ -76,6 +93,9 @@ impl fmt::Display for ProtocolMutation {
             ProtocolMutation::SkipTwinDiff => f.write_str("skip-twin-diff"),
             ProtocolMutation::DropNotices => f.write_str("drop-notices"),
             ProtocolMutation::StaleSnapshotApply => f.write_str("stale-snapshot-apply"),
+            ProtocolMutation::WrongDiffOrder => f.write_str("wrong-diff-order"),
+            ProtocolMutation::DroppedClockMerge => f.write_str("dropped-clock-merge"),
+            ProtocolMutation::StaleGrantKnowledge => f.write_str("stale-grant-knowledge"),
         }
     }
 }
@@ -341,6 +361,18 @@ mod tests {
         assert_eq!(
             ProtocolMutation::StaleSnapshotApply.to_string(),
             "stale-snapshot-apply"
+        );
+        assert_eq!(
+            ProtocolMutation::WrongDiffOrder.to_string(),
+            "wrong-diff-order"
+        );
+        assert_eq!(
+            ProtocolMutation::DroppedClockMerge.to_string(),
+            "dropped-clock-merge"
+        );
+        assert_eq!(
+            ProtocolMutation::StaleGrantKnowledge.to_string(),
+            "stale-grant-knowledge"
         );
     }
 

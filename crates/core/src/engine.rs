@@ -31,6 +31,22 @@ struct ProcShard {
     dirty: Vec<PageId>,
     /// The processor's page table.
     pages: Vec<PageEntry>,
+    /// True after [`LrcEngine::declare_dead`], until a rejoin. A dead
+    /// processor's clock is frozen (valid knowledge — everything it closed
+    /// was flushed first) but its frames are reset and every public
+    /// operation on it asserts.
+    dead: bool,
+}
+
+/// What [`LrcEngine::declare_dead`] did on the survivors' behalf.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DeathReport {
+    /// Locks the dead processor held, force-released in this order (each
+    /// recorded as an ordinary release, so the history stays checkable).
+    pub released: Vec<LockId>,
+    /// Barrier episodes completed because the dead processor was the last
+    /// arrival missing: `(barrier, episode)`.
+    pub completed_episodes: Vec<(BarrierId, u64)>,
 }
 
 /// The lazy release consistency engine: `n` processors, their page copies,
@@ -156,6 +172,7 @@ impl LrcEngine {
                     clock,
                     dirty: Vec::new(),
                     pages: (0..space.n_pages()).map(|_| PageEntry::default()).collect(),
+                    dead: false,
                 })
             })
             .collect();
@@ -402,6 +419,7 @@ impl LrcEngine {
             loop {
                 {
                     let shard = self.shard(p);
+                    assert!(!shard.dead, "read by dead processor {p}");
                     let entry = &shard.pages[seg.page.index()];
                     if entry.valid {
                         let copy = entry.copy.as_ref().expect("valid page has a copy");
@@ -454,6 +472,7 @@ impl LrcEngine {
             loop {
                 {
                     let mut shard = self.shard(p);
+                    assert!(!shard.dead, "write by dead processor {p}");
                     let gi = seg.page.index();
                     if shard.pages[gi].valid {
                         if !shard.pages[gi].is_dirty() {
@@ -539,6 +558,7 @@ impl LrcEngine {
     /// in particular a contended [`LockError::HeldByOther`] that a blocking
     /// runtime retries in a loop — has no side effects.
     pub fn acquire(&self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+        assert!(!self.shard(p).dead, "acquire by dead processor {p}");
         let (_inflight, overlapped) = self.enter_slow_path();
         let mut waited = false;
         let _serial = self.serial_gate(&mut waited);
@@ -577,7 +597,14 @@ impl LrcEngine {
         // closed is in the store before its clock shows it (close_interval
         // publishes under the store's write lock before bumping), so the
         // notice computation below never names an unrecorded interval.
-        let know_q = Self::knowledge_of(&self.shard(q).clock, q);
+        let mut know_q = Self::knowledge_of(&self.shard(q).clock, q);
+        if self.cfg.mutation == ProtocolMutation::StaleGrantKnowledge {
+            // Mutation testing: the grantor under-reports its own latest
+            // closed interval, so the acquirer never hears about the
+            // grantor's most recent critical section. The history checker
+            // must reject the run.
+            know_q.set(q, know_q.get(q).saturating_sub(1));
+        }
         let mut store = self.store.read();
         let p_clock = self.shard(p).clock.clone();
         let notices = store.notices_missing(&p_clock, &know_q);
@@ -671,6 +698,7 @@ impl LrcEngine {
     /// Propagates [`LockError::NotHolder`] and range errors; a failed
     /// release leaves interval state untouched.
     pub fn release(&self, p: ProcId, lock: LockId) -> Result<(), LockError> {
+        assert!(!self.shard(p).dead, "release by dead processor {p}");
         let (_inflight, overlapped) = self.enter_slow_path();
         let mut waited = false;
         let _serial = self.serial_gate(&mut waited);
@@ -706,6 +734,7 @@ impl LrcEngine {
     ///
     /// Propagates [`BarrierError`] (double arrival, range errors).
     pub fn barrier(&self, p: ProcId, barrier: BarrierId) -> Result<BarrierArrival, BarrierError> {
+        assert!(!self.shard(p).dead, "barrier by dead processor {p}");
         let (_inflight, overlapped) = self.enter_slow_path();
         let mut waited = false;
         let _serial = self.serial_gate(&mut waited);
@@ -912,6 +941,13 @@ impl LrcEngine {
                 .weight();
             (w, iv.proc(), iv.seq())
         });
+        if self.cfg.mutation == ProtocolMutation::WrongDiffOrder {
+            // Mutation testing: apply the chain newest-first, so the
+            // oldest modification clobbers the newest whenever a page
+            // pulls more than one diff. The history checker must reject
+            // the run.
+            all.reverse();
+        }
         let mut shard = self.shard(p);
         let mut touched: Vec<PageId> = Vec::new();
         for (iv, g) in all {
@@ -1135,6 +1171,12 @@ impl LrcEngine {
     /// the store's write lock across the whole compound update.
     fn complete_barrier(&self, master: ProcId) {
         let n = self.cfg.n_procs;
+        // A dead processor contributes its knowledge (its frozen clock
+        // names only intervals that were flushed into the store when it
+        // was declared dead) but receives nothing: no exit message, no
+        // notices, no clock merge. Its frames were reset at death — the
+        // catch-up happens at rejoin, against its checkpoint.
+        let dead: Vec<bool> = ProcId::all(n).map(|r| self.shard(r).dead).collect();
         let mut merged = VectorClock::new(n);
         for r in ProcId::all(n) {
             merged.merge(&Self::knowledge_of(&self.shard(r).clock, r));
@@ -1142,9 +1184,28 @@ impl LrcEngine {
         let mut store = self.store.write();
         // Compute per-processor missing notices against pre-merge clocks.
         let missing: Vec<Vec<crate::WriteNotice>> = ProcId::all(n)
-            .map(|r| store.notices_missing(&self.shard(r).clock, &merged))
+            .map(|r| {
+                if dead[r.index()] {
+                    return Vec::new();
+                }
+                if self.cfg.mutation == ProtocolMutation::DroppedClockMerge {
+                    // Mutation testing: the master computes each
+                    // processor's exit notices against that processor's
+                    // OWN knowledge instead of the episode's merged clock
+                    // — nobody learns what their peers wrote before the
+                    // barrier. Clocks still merge below, so the loss is
+                    // silent. The history checker must reject the run.
+                    let own = Self::knowledge_of(&self.shard(r).clock, r);
+                    store.notices_missing(&self.shard(r).clock, &own)
+                } else {
+                    store.notices_missing(&self.shard(r).clock, &merged)
+                }
+            })
             .collect();
         for r in ProcId::all(n) {
+            if dead[r.index()] {
+                continue;
+            }
             if r != master {
                 let payload =
                     BARRIER_ID_BYTES + vc_bytes(n) + Self::notice_bytes(&missing[r.index()]);
@@ -1157,6 +1218,9 @@ impl LrcEngine {
             // Every processor pulls the diffs for its cached pages: one
             // round trip per (cacher, modifier) pair — Table 1's `2u`.
             for r in ProcId::all(n) {
+                if dead[r.index()] {
+                    continue;
+                }
                 let needed = self.needed_for_cached_pages(r);
                 let plan = FetchPlan::build(&store, r, None, &needed);
                 for (target, diffs) in &plan.targets {
@@ -1174,7 +1238,11 @@ impl LrcEngine {
             }
         }
         bump(&self.counters.barrier_episodes, 1);
-        if self.cfg.gc_at_barriers {
+        // Garbage collection pauses while any processor is down: clearing
+        // the interval history would strand both the rejoin catch-up (the
+        // era guard would reject the checkpoint) and cold misses whose
+        // authoritative owner is the dead processor's reset frame.
+        if self.cfg.gc_at_barriers && !dead.iter().any(|&d| d) {
             self.collect_garbage(&mut store);
         }
     }
@@ -1226,5 +1294,326 @@ impl LrcEngine {
         }
         store.clear();
         bump(&self.counters.gc_rounds, 1);
+    }
+
+    // ---- crash tolerance ----
+
+    /// True if `p` has been declared dead and has not rejoined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn is_dead(&self, p: ProcId) -> bool {
+        self.shard(p).dead
+    }
+
+    /// Declares `p` dead on the survivors' behalf.
+    ///
+    /// The crash model is a compute-client failure: engine operations are
+    /// atomic, so the crash lands *between* operations. The engine first
+    /// flushes `p`'s open interval (all its committed writes become one
+    /// closed interval in the store — exactly what `p`'s next release
+    /// would have published), then force-releases every lock `p` holds
+    /// (each recorded as an ordinary release so the history stays
+    /// checkable), records the crash marker, resets `p`'s frames to cold,
+    /// and completes any barrier episode that was waiting only on `p`.
+    ///
+    /// The flush comes *before* the lock releases: the moment a
+    /// force-released lock is grantable, the next acquirer reads `p`'s
+    /// clock, which must already cover the flushed interval.
+    ///
+    /// `p`'s clock stays frozen (it is valid knowledge), its frames are
+    /// discarded (a real crash loses them — rejoin restores a checkpoint
+    /// instead), and every subsequent operation by `p` panics until
+    /// [`LrcEngine::rejoin`].
+    ///
+    /// The caller (the runtime's failure detector) must ensure `p`'s
+    /// driving thread has stopped issuing operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or already dead.
+    pub fn declare_dead(&self, p: ProcId) -> DeathReport {
+        {
+            let mut shard = self.shard(p);
+            assert!(!shard.dead, "processor {p} is already dead");
+            shard.dead = true;
+        }
+        // Flush: every write of the open interval becomes durable history.
+        self.close_interval(p);
+        let held = self.locks.lock().held_by(p);
+        let mut released = Vec::with_capacity(held.len());
+        for lock in held {
+            // Serialize with in-flight acquires of this lock, like any
+            // release would.
+            let mut waited = false;
+            let _gate = self
+                .lock_gates
+                .get(lock.index())
+                .map(|g| gate_lock(g, &mut waited));
+            let grant = self
+                .locks
+                .lock()
+                .release(p, lock)
+                .expect("dead holder releases its own lock");
+            if let Some(rec) = self.recorder() {
+                rec.release(p, lock, grant);
+            }
+            bump(&self.counters.releases, 1);
+            released.push(lock);
+        }
+        if let Some(rec) = self.recorder() {
+            rec.crash(p);
+        }
+        {
+            let mut shard = self.shard(p);
+            shard.dirty.clear();
+            for entry in &mut shard.pages {
+                *entry = PageEntry::default();
+            }
+        }
+        let completed_episodes = self.barriers.lock().mark_dead(p);
+        for &(barrier, _) in &completed_episodes {
+            let master = self.barriers.lock().master(barrier);
+            self.complete_barrier(master);
+        }
+        DeathReport {
+            released,
+            completed_episodes,
+        }
+    }
+
+    /// Checks that a checkpoint describes this engine's shape.
+    fn check_shape(&self, ckpt: &crate::EngineCheckpoint) -> Result<(), crate::CheckpointError> {
+        let (n, page_bytes, n_pages) = (
+            self.cfg.n_procs,
+            self.space.page_size().bytes(),
+            self.space.n_pages() as usize,
+        );
+        if (ckpt.n_procs, ckpt.page_bytes, ckpt.n_pages) != (n, page_bytes, n_pages)
+            || ckpt.procs.len() != n
+            || ckpt.owners.len() != n_pages
+        {
+            return Err(crate::CheckpointError::Incompatible(format!(
+                "checkpoint is {}×{}B×{} pages, engine is {n}×{page_bytes}B×{n_pages}",
+                ckpt.n_procs, ckpt.page_bytes, ckpt.n_pages
+            )));
+        }
+        for proc in &ckpt.procs {
+            for frame in &proc.frames {
+                if frame.page.index() >= n_pages {
+                    return Err(crate::CheckpointError::Incompatible(format!(
+                        "frame page {} out of range",
+                        frame.page
+                    )));
+                }
+                if frame
+                    .contents
+                    .as_ref()
+                    .is_some_and(|c| c.len() != page_bytes)
+                {
+                    return Err(crate::CheckpointError::Incompatible(
+                        "frame contents are not page-sized".into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds one frame from its checkpoint.
+    fn restore_frame(&self, shard: &mut ProcShard, frame: &crate::FrameCheckpoint) {
+        let entry = &mut shard.pages[frame.page.index()];
+        if let Some(contents) = &frame.contents {
+            let mut buf = PageBuf::zeroed(self.space.page_size());
+            buf.write(0, contents);
+            entry.copy = Some(buf);
+        }
+        entry.valid = frame.valid;
+        entry.pending = frame.pending.clone();
+    }
+
+    /// Captures a checkpoint of the whole engine.
+    ///
+    /// Call at a synchronization point — in practice right after a barrier
+    /// episode completes, before any processor issues its next operation —
+    /// so the cut is consistent. The capture itself tolerates open
+    /// intervals: a dirty page contributes its *twin* (the committed
+    /// contents), so uncommitted writes are never checkpointed, exactly as
+    /// a real crash would lose them.
+    pub fn checkpoint(&self) -> crate::EngineCheckpoint {
+        let store = self.store.read();
+        let owners = self.gc_owner.lock().clone();
+        let n = self.cfg.n_procs;
+        let mut procs = Vec::with_capacity(n);
+        for p in ProcId::all(n) {
+            let shard = self.shard(p);
+            let mut frames = Vec::new();
+            for (gi, entry) in shard.pages.iter().enumerate() {
+                let contents = match (&entry.twin, &entry.copy) {
+                    (Some(twin), _) => Some(twin.as_bytes().to_vec()),
+                    (None, Some(copy)) => Some(copy.as_bytes().to_vec()),
+                    (None, None) => None,
+                };
+                let frame = crate::FrameCheckpoint {
+                    page: PageId::new(gi as u32),
+                    contents,
+                    valid: entry.valid,
+                    pending: entry.pending.clone(),
+                };
+                if !frame.is_default() {
+                    frames.push(frame);
+                }
+            }
+            procs.push(crate::ProcCheckpoint {
+                clock: shard.clock.clone(),
+                frames,
+            });
+        }
+        crate::EngineCheckpoint {
+            n_procs: n,
+            page_bytes: self.space.page_size().bytes(),
+            n_pages: self.space.n_pages() as usize,
+            episode: self.counters.snapshot().barrier_episodes,
+            store_era: store.version(),
+            owners,
+            store: store.export(),
+            procs,
+        }
+    }
+
+    /// Restores a whole-engine checkpoint into this (freshly built)
+    /// engine: the interval store, owner table, and every processor's
+    /// frames and clock are replaced. Locks must be free and no barrier
+    /// episode in progress — the checkpoint was cut at a synchronization
+    /// point, and lock/barrier state is not checkpointed.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CheckpointError::Incompatible`] if the checkpoint
+    /// describes a different engine shape.
+    pub fn restore(&self, ckpt: &crate::EngineCheckpoint) -> Result<(), crate::CheckpointError> {
+        self.check_shape(ckpt)?;
+        let mut store = self.store.write();
+        *store = IntervalStore::import(self.cfg.n_procs, ckpt.store_era, &ckpt.store);
+        *self.gc_owner.lock() = ckpt.owners.clone();
+        for p in ProcId::all(self.cfg.n_procs) {
+            let mut shard = self.shard(p);
+            shard.clock = ckpt.procs[p.index()].clock.clone();
+            shard.dirty.clear();
+            shard.dead = false;
+            for entry in &mut shard.pages {
+                *entry = PageEntry::default();
+            }
+            for frame in &ckpt.procs[p.index()].frames {
+                self.restore_frame(&mut shard, frame);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rejoins dead processor `p` from a checkpoint of this run.
+    ///
+    /// The checkpoint's frames and clock are restored, then `p` catches up
+    /// through the normal protocol: every write notice between the
+    /// checkpoint's knowledge and the cluster's current knowledge (the
+    /// survivors' merged clocks, plus `p`'s own intervals flushed at
+    /// death) is delivered into the restored frames, and any page with
+    /// unapplied notices is invalidated — under *both* policies — so the
+    /// next access pulls diffs through the ordinary miss path. Diffs of
+    /// `p`'s own flushed intervals are reapplied from local possession
+    /// (see [`FetchPlan::build`]).
+    ///
+    /// After rejoin the application must resynchronize (acquire or
+    /// barrier) before trusting shared data, like any release-consistent
+    /// reader.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CheckpointError::Incompatible`] if the shape mismatches,
+    /// `p` is not dead, or the store has been garbage-collected since the
+    /// checkpoint was captured (the catch-up history is gone — restart
+    /// from a full restore instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn rejoin(
+        &self,
+        p: ProcId,
+        ckpt: &crate::EngineCheckpoint,
+    ) -> Result<(), crate::CheckpointError> {
+        self.check_shape(ckpt)?;
+        let n = self.cfg.n_procs;
+        {
+            let store = self.store.read();
+            if store.version() != ckpt.store_era {
+                return Err(crate::CheckpointError::Incompatible(format!(
+                    "store era {} differs from checkpoint era {}: the \
+                     catch-up history was garbage-collected",
+                    store.version(),
+                    ckpt.store_era
+                )));
+            }
+            // Target knowledge: the checkpoint's own view, every live
+            // survivor's knowledge, and p's own flushed intervals.
+            let ckpt_clock = &ckpt.procs[p.index()].clock;
+            let have = Self::knowledge_of(ckpt_clock, p);
+            let mut want = have.clone();
+            for r in ProcId::all(n) {
+                if r == p {
+                    continue;
+                }
+                let shard_r = self.shard(r);
+                if !shard_r.dead {
+                    want.merge(&Self::knowledge_of(&shard_r.clock, r));
+                }
+            }
+            let latest = store.latest_seq(p);
+            if want.get(p) < latest {
+                want.set(p, latest);
+            }
+            let notices = store.notices_missing(&have, &want);
+
+            let mut shard = self.shard(p);
+            if !shard.dead {
+                return Err(crate::CheckpointError::Incompatible(format!(
+                    "processor {p} is not declared dead"
+                )));
+            }
+            shard.dirty.clear();
+            for entry in &mut shard.pages {
+                *entry = PageEntry::default();
+            }
+            for frame in &ckpt.procs[p.index()].frames {
+                self.restore_frame(&mut shard, frame);
+            }
+            // Catch-up delivery. Unlike deliver_notices this may carry
+            // p's *own* post-checkpoint intervals, and it invalidates
+            // under the update policy too: rejoin is not an acquire, so
+            // nothing will pull for cached pages afterwards — the miss
+            // path must.
+            bump(&self.counters.notices_received, notices.len() as u64);
+            for notice in &notices {
+                let entry = &mut shard.pages[notice.page.index()];
+                entry.pending.push(notice.interval);
+                if entry.valid {
+                    entry.valid = false;
+                    bump(&self.counters.invalidations, 1);
+                }
+            }
+            // Advance the clock past everything just delivered, so the
+            // next synchronization does not re-deliver the same notices
+            // (duplicate pendings would poison the fetch planner). The
+            // own entry reopens past both the checkpoint's open interval
+            // and the flushed history.
+            let mut clock = ckpt_clock.clone();
+            clock.merge(&want);
+            clock.set(p, ckpt_clock.get(p).max(latest + 1));
+            shard.clock = clock;
+            shard.dead = false;
+        }
+        self.barriers.lock().revive(p);
+        Ok(())
     }
 }

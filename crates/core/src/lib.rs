@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod config;
 mod counters;
 mod engine;
@@ -68,9 +69,12 @@ mod remote;
 pub mod slowpath;
 mod store;
 
+pub use checkpoint::{
+    CheckpointDelta, CheckpointError, EngineCheckpoint, FrameCheckpoint, ProcCheckpoint, StoreEntry,
+};
 pub use config::{ConfigError, LrcConfig, Policy, ProtocolMutation, MAX_PROCS};
 pub use counters::LazyCounters;
-pub use engine::LrcEngine;
+pub use engine::{DeathReport, LrcEngine};
 pub use plan::FetchPlan;
 pub use remote::{EngineOp, EngineOpError};
 pub use slowpath::FetchHook;

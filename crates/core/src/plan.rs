@@ -55,11 +55,17 @@ impl FetchPlan {
         let mut plan = FetchPlan::default();
         let mut target_index: HashMap<ProcId, usize> = HashMap::new();
         for (_, iv, g) in order {
-            debug_assert_ne!(
-                iv.proc(),
-                for_proc,
-                "a processor never fetches its own diff"
-            );
+            // A diff the processor already holds costs no messages: it is
+            // applied from local possession. In normal operation pending
+            // diffs are never already held, so this arm is reserved for
+            // crash recovery — a rejoined processor replaying the write
+            // notices of its *own* post-checkpoint intervals (flushed into
+            // the store when it was declared dead) finds itself the
+            // recorded holder and reapplies them locally.
+            if store.holds(for_proc, iv, g) {
+                plan.from_free.push((iv, g));
+                continue;
+            }
             if free_source.is_some_and(|q| store.holds(q, iv, g)) {
                 plan.from_free.push((iv, g));
                 continue;
@@ -194,6 +200,24 @@ mod tests {
         let plan = FetchPlan::build(&store, p(0), Some(p(1)), &[(iv1, page), (iv2, page)]);
         assert_eq!(plan.target_count(), 0, "grantor supplies everything");
         assert_eq!(plan.from_free.len(), 2);
+    }
+
+    #[test]
+    fn diffs_already_held_cost_no_messages() {
+        // Crash recovery: a rejoined processor replans its own flushed
+        // interval. It is the recorded holder, so the diff applies locally
+        // — no free source, no fetch target.
+        let mut store = IntervalStore::new(4);
+        let page = g(0);
+        close(&mut store, 0, 1, page, &[]);
+        let own = IntervalId::new(p(0), 1);
+        close(&mut store, 1, 2, page, &[(0, 1)]);
+        let other = IntervalId::new(p(1), 2);
+
+        let plan = FetchPlan::build(&store, p(0), None, &[(own, page), (other, page)]);
+        assert_eq!(plan.from_free, vec![(own, page)]);
+        assert_eq!(plan.target_count(), 1, "only the foreign diff is fetched");
+        assert_eq!(plan.targets[0].0, p(1));
     }
 
     #[test]

@@ -229,6 +229,73 @@ impl IntervalStore {
         best.into_iter().map(|(g, (_, p))| (g, p)).collect()
     }
 
+    /// The highest closed-interval sequence number recorded for `p`
+    /// (0 if none survives — empty intervals leave no records, and
+    /// garbage collection discards them all).
+    pub fn latest_seq(&self, p: ProcId) -> u32 {
+        self.records[p.index()]
+            .last()
+            .map_or(0, |r| r.stamp.id().seq())
+    }
+
+    /// Exports every interval record with its diff payloads and holder
+    /// masks — grouped by processor, ascending seq within each — the
+    /// checkpoint serialization view of the store.
+    pub(crate) fn export(&self) -> Vec<crate::StoreEntry> {
+        self.records
+            .iter()
+            .flatten()
+            .map(|rec| {
+                let id = rec.stamp.id();
+                let diffs = rec
+                    .pages
+                    .iter()
+                    .map(|&g| (g, self.diffs[&(id, g)].clone(), self.holders[&(id, g)]))
+                    .collect();
+                (rec.stamp.clone(), diffs)
+            })
+            .collect()
+    }
+
+    /// Rebuilds a store from an exported view (the inverse of
+    /// [`IntervalStore::export`]). `version` restores the snapshot era so
+    /// the recovery guard against rejoining across a garbage collection
+    /// keeps working after a whole-engine restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a processor's intervals arrive out of seq order.
+    pub(crate) fn import(
+        n_procs: usize,
+        version: u64,
+        entries: &[crate::StoreEntry],
+    ) -> IntervalStore {
+        let mut store = IntervalStore::new(n_procs);
+        store.version = version;
+        for (stamp, diffs) in entries {
+            let id = stamp.id();
+            let list = &mut store.records[id.proc().index()];
+            if let Some(last) = list.last() {
+                assert!(
+                    last.stamp.id().seq() < id.seq(),
+                    "interval {} imported out of order",
+                    id
+                );
+            }
+            let mut pages = Vec::with_capacity(diffs.len());
+            for (page, diff, mask) in diffs {
+                pages.push(*page);
+                store.diffs.insert((id, *page), diff.clone());
+                store.holders.insert((id, *page), *mask);
+            }
+            list.push(IntervalRecord {
+                stamp: stamp.clone(),
+                pages,
+            });
+        }
+        store
+    }
+
     /// Discards every interval record, diff, and possession entry — the
     /// barrier-time garbage collection step. Callers must first ensure all
     /// processors have applied what they need.
@@ -348,6 +415,46 @@ mod tests {
         assert_eq!(s.version(), 1, "garbage collection invalidates snapshots");
         s.clear();
         assert_eq!(s.version(), 2);
+    }
+
+    #[test]
+    fn export_import_round_trips_records_diffs_and_holders() {
+        let mut s = IntervalStore::new(3);
+        let g0 = PageId::new(0);
+        let g1 = PageId::new(5);
+        s.close_interval(
+            stamp(0, 1, 3),
+            vec![(g0, diff_of(&[1])), (g1, diff_of(&[2]))],
+        );
+        s.close_interval(stamp(1, 1, 3), vec![(g0, diff_of(&[3]))]);
+        s.close_interval(stamp(0, 4, 3), vec![(g1, diff_of(&[4]))]);
+        s.add_holder(p(2), IntervalId::new(p(0), 1), g0);
+        s.clear(); // bump the era, then rebuild some history
+        s.close_interval(stamp(2, 7, 3), vec![(g0, diff_of(&[5]))]);
+        s.add_holder(p(0), IntervalId::new(p(2), 7), g0);
+
+        let back = IntervalStore::import(3, s.version(), &s.export());
+        assert_eq!(back.version(), s.version());
+        assert_eq!(back.interval_count(), s.interval_count());
+        assert_eq!(back.diff_count(), s.diff_count());
+        assert_eq!(back.diff_bytes(), s.diff_bytes());
+        assert_eq!(back.latest_seq(p(2)), 7);
+        assert_eq!(back.latest_seq(p(1)), 0, "cleared history leaves no seq");
+        let id = IntervalId::new(p(2), 7);
+        assert!(back.holds(p(2), id, g0), "creator mask survives");
+        assert!(back.holds(p(0), id, g0), "fetched-holder mask survives");
+        assert_eq!(back.diff(id, g0), s.diff(id, g0));
+    }
+
+    #[test]
+    fn latest_seq_tracks_last_closed_interval() {
+        let mut s = IntervalStore::new(2);
+        assert_eq!(s.latest_seq(p(0)), 0);
+        let g = PageId::new(0);
+        s.close_interval(stamp(0, 2, 2), vec![(g, diff_of(&[1]))]);
+        s.close_interval(stamp(0, 6, 2), vec![(g, diff_of(&[2]))]);
+        assert_eq!(s.latest_seq(p(0)), 6);
+        assert_eq!(s.latest_seq(p(1)), 0);
     }
 
     #[test]

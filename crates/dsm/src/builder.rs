@@ -26,6 +26,7 @@ pub struct DsmBuilder {
     kind: ProtocolKind,
     params: EngineParams,
     wait_timeout: Option<Duration>,
+    holder_timeout: Option<Duration>,
 }
 
 impl DsmBuilder {
@@ -40,6 +41,7 @@ impl DsmBuilder {
                 ..EngineParams::default()
             },
             wait_timeout: None,
+            holder_timeout: None,
         }
     }
 
@@ -107,6 +109,28 @@ impl DsmBuilder {
         self
     }
 
+    /// Arms the failure detector: a processor blocked acquiring a lock for
+    /// longer than `timeout` suspects the holder has crashed, declares it
+    /// dead ([`Dsm::declare_dead`] — flushing its open interval and
+    /// force-releasing its locks), and retries the acquire. Lazy protocols
+    /// only; the eager baseline has no crash story. Default: never suspect.
+    ///
+    /// Distinct from [`DsmBuilder::wait_timeout`], which *panics* on a
+    /// stuck wait — this one recovers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder's protocol is eager.
+    pub fn holder_timeout(mut self, timeout: Duration) -> Self {
+        assert!(
+            self.kind.is_lazy(),
+            "holder timeout requires a lazy protocol; {} has no crash story",
+            self.kind
+        );
+        self.holder_timeout = Some(timeout);
+        self
+    }
+
     /// Builds the runtime.
     ///
     /// # Errors
@@ -120,6 +144,7 @@ impl DsmBuilder {
             self.params.n_locks,
             self.params.n_barriers,
             self.wait_timeout,
+            self.holder_timeout,
         ))
     }
 }

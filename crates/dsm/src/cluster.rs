@@ -3,8 +3,9 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
+use lrc_core::{CheckpointError, DeathReport};
 use lrc_hist::HistoryRecorder;
-use lrc_sim::{AnyEngine, ProtocolKind};
+use lrc_sim::{AnyCheckpoint, AnyEngine, ProtocolKind};
 use lrc_simnet::NetStats;
 use lrc_sync::{BarrierError, LockError};
 use lrc_vclock::ProcId;
@@ -89,6 +90,54 @@ pub(crate) struct Cluster {
     /// episodes). `None` waits forever; tests set a bound so a lost
     /// wake-up fails with a stuck-waiter report instead of hanging CI.
     pub(crate) wait_timeout: Option<Duration>,
+    /// Failure-detector deadline: a lock waiter blocked this long
+    /// suspects the holder crashed and declares it dead (lazy engines
+    /// only). `None` disables suspicion.
+    pub(crate) holder_timeout: Option<Duration>,
+    /// Serializes concurrent suspicions of the same processor: the engine
+    /// panics on a double `declare_dead`, so check-and-declare must be
+    /// atomic across waiters.
+    pub(crate) suspicion: parking_lot::Mutex<()>,
+}
+
+impl Cluster {
+    /// Declares `p` dead unless another waiter got there first. Returns
+    /// whether this call was the one that declared it.
+    pub(crate) fn suspect(&self, p: ProcId) -> bool {
+        let _serialized = self.suspicion.lock();
+        if self.engine.is_dead(p) {
+            return false;
+        }
+        self.declare_dead(p);
+        true
+    }
+
+    /// Declares `p` dead in the engine and propagates the consequences
+    /// into the runtime's blocking layer: every lock the engine
+    /// force-released gets its generation bumped (so its waiters retry
+    /// and win), and every barrier episode completed on `p`'s behalf
+    /// advances the runtime's episode counter (so parked arrivals fall
+    /// through).
+    pub(crate) fn declare_dead(&self, p: ProcId) -> DeathReport {
+        let report = self.engine.declare_dead(p);
+        for &lock in &report.released {
+            if let Some(slot) = self.lock_slots.get(lock.index()) {
+                *slot.generation.lock() += 1;
+                slot.released.notify_all();
+            }
+        }
+        if !report.completed_episodes.is_empty() {
+            let mut episodes = self.episodes.lock();
+            for &(barrier, _) in &report.completed_episodes {
+                if let Some(done) = episodes.get_mut(barrier.index()) {
+                    *done += 1;
+                }
+            }
+            drop(episodes);
+            self.barrier_cv.notify_all();
+        }
+        report
+    }
 }
 
 /// A running DSM: `n` simulated processors sharing a paged address space
@@ -114,6 +163,7 @@ impl Dsm {
         n_locks: usize,
         n_barriers: usize,
         wait_timeout: Option<Duration>,
+        holder_timeout: Option<Duration>,
     ) -> Self {
         let n_procs = match &engine {
             AnyEngine::Lazy(e) => e.config().n_procs,
@@ -132,6 +182,8 @@ impl Dsm {
                 episodes: parking_lot::Mutex::new(vec![0; n_barriers]),
                 n_procs,
                 wait_timeout,
+                holder_timeout,
+                suspicion: parking_lot::Mutex::new(()),
             }),
             kind,
             n_locks,
@@ -227,6 +279,57 @@ impl Dsm {
     /// Snapshot of the accumulated network statistics.
     pub fn net_stats(&self) -> NetStats {
         self.cluster.engine.net_stats()
+    }
+
+    // ---- crash tolerance ----
+
+    /// Captures a checkpoint of the engine. Call at a synchronization
+    /// point — right after a barrier episode, before any processor's next
+    /// operation — so the cut is consistent.
+    pub fn checkpoint(&self) -> AnyCheckpoint {
+        self.cluster.engine.checkpoint()
+    }
+
+    /// Restores a checkpoint into this (freshly built, idle) runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CheckpointError`].
+    pub fn restore(&self, ckpt: &AnyCheckpoint) -> Result<(), CheckpointError> {
+        self.cluster.engine.restore(ckpt)
+    }
+
+    /// Declares processor `p` dead on the survivors' behalf (lazy
+    /// protocols only — see [`lrc_core::LrcEngine::declare_dead`]): `p`'s
+    /// open interval is flushed, its locks force-released (their waiters
+    /// woken to retry and win), and any barrier episode waiting only on
+    /// `p` completes (parked survivors fall through). The caller must
+    /// ensure `p`'s driving thread has stopped issuing operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range, already dead, or the engine is
+    /// eager.
+    pub fn declare_dead(&self, p: ProcId) -> DeathReport {
+        self.cluster.declare_dead(p)
+    }
+
+    /// Whether `p` is declared dead (always `false` on eager engines).
+    pub fn is_dead(&self, p: ProcId) -> bool {
+        self.cluster.engine.is_dead(p)
+    }
+
+    /// Rejoins dead processor `p` from a checkpoint of this run (lazy
+    /// protocols only — see [`lrc_core::LrcEngine::rejoin`]). After a
+    /// successful rejoin, `p`'s handle is usable again; the application
+    /// must resynchronize (acquire or barrier) before trusting shared
+    /// data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CheckpointError`].
+    pub fn rejoin(&self, p: ProcId, ckpt: &AnyCheckpoint) -> Result<(), CheckpointError> {
+        self.cluster.engine.rejoin(p, ckpt)
     }
 }
 

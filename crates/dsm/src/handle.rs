@@ -94,6 +94,23 @@ impl ProcHandle {
                     let generation = generation.expect("contended lock is in range");
                     let mut current = slot.generation.lock();
                     while *current == generation {
+                        if let Some(suspect_after) = self.cluster.holder_timeout {
+                            // Failure-detector path: a holder silent past
+                            // the deadline is presumed crashed. Declare it
+                            // dead (flushing its interval and force-
+                            // releasing its locks) and retry the acquire.
+                            let result = slot.released.wait_for(&mut current, suspect_after);
+                            if result.timed_out() && *current == generation {
+                                drop(current);
+                                if let Some(holder) = self.cluster.engine.lock_holder(lock) {
+                                    if holder != self.proc {
+                                        self.cluster.suspect(holder);
+                                    }
+                                }
+                                break;
+                            }
+                            continue;
+                        }
                         match self.cluster.wait_timeout {
                             None => slot.released.wait(&mut current),
                             Some(limit) => {

@@ -52,6 +52,7 @@ use std::thread::JoinHandle;
 
 use lrc_core::EngineOp;
 use lrc_net::{NetError, NodeId, Transport, WireCtx, WireKind, WireMsg, WireStats};
+use lrc_sim::AnyCheckpoint;
 use lrc_sync::{BarrierId, LockId};
 use lrc_vclock::ProcId;
 
@@ -131,6 +132,27 @@ impl NodeServer {
         self.transport.stats()
     }
 
+    /// Spawns the worker thread that owns `proc`'s handle and drains its
+    /// operation queue.
+    fn spawn_worker(&self, proc: ProcId) -> (Sender<(u64, NodeId, EngineOp)>, JoinHandle<()>) {
+        let (tx, rx) = channel::<(u64, NodeId, EngineOp)>();
+        let mut handle = self.dsm.handle(proc);
+        let transport = Arc::clone(&self.transport);
+        let thread = std::thread::Builder::new()
+            .name(format!("lrc-node-worker-{proc}"))
+            .spawn(move || {
+                while let Ok((seq, src, op)) = rx.recv() {
+                    let result = handle.apply(&op).map_err(|e| e.to_string());
+                    let reply = WireMsg::OpReply { result };
+                    if transport.send(&reply, src, seq).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn node worker");
+        (tx, thread)
+    }
+
     /// Serves until every greeted peer has sent [`WireMsg::Shutdown`],
     /// then joins the workers and returns.
     ///
@@ -139,6 +161,9 @@ impl NodeServer {
     /// protocol violation, and with several peers the caller must ensure
     /// every peer connects before the first one shuts down — otherwise
     /// the server can retire while a late `Hello` is still in flight.
+    /// A crashed peer never sends `Shutdown`; it stops blocking the exit
+    /// once a [`WireMsg::RejoinRequest`] from a different node takes over
+    /// the last processor it hosted.
     ///
     /// # Errors
     ///
@@ -150,6 +175,11 @@ impl NodeServer {
         let mut worker_threads: Vec<JoinHandle<()>> = Vec::new();
         let mut greeted: Vec<NodeId> = Vec::new();
         let mut peers: Vec<NodeId> = Vec::new();
+        // Which node hosts each remote processor — so a rejoin from a
+        // *different* node supersedes the dead incarnation: once the old
+        // node hosts nothing, it is no longer waited on for a Shutdown
+        // (a crashed peer never sends one).
+        let mut hosts: HashMap<ProcId, NodeId> = HashMap::new();
         let result = loop {
             let frame = match self.transport.recv() {
                 Ok(frame) => frame,
@@ -181,23 +211,10 @@ impl NodeServer {
                         )));
                     }
                     for proc in procs {
-                        let (tx, rx) = channel::<(u64, NodeId, EngineOp)>();
-                        let mut handle = self.dsm.handle(proc);
-                        let transport = Arc::clone(&self.transport);
-                        let thread = std::thread::Builder::new()
-                            .name(format!("lrc-node-worker-{proc}"))
-                            .spawn(move || {
-                                while let Ok((seq, src, op)) = rx.recv() {
-                                    let result = handle.apply(&op).map_err(|e| e.to_string());
-                                    let reply = WireMsg::OpReply { result };
-                                    if transport.send(&reply, src, seq).is_err() {
-                                        break;
-                                    }
-                                }
-                            })
-                            .expect("spawn node worker");
+                        let (tx, thread) = self.spawn_worker(proc);
                         workers.insert(proc, tx);
                         worker_threads.push(thread);
+                        hosts.insert(proc, node);
                     }
                 }
                 WireMsg::OpRequest { proc, op } => match workers.get(&proc) {
@@ -215,6 +232,57 @@ impl NodeServer {
                         }
                     }
                 },
+                WireMsg::RejoinRequest {
+                    node,
+                    proc,
+                    checkpoint,
+                } => {
+                    // A restarted incarnation announces itself. The rejoin
+                    // handshake replaces the Hello: on success the node is
+                    // greeted and the processor hosted fresh.
+                    let outcome = if proc.index() >= self.dsm.n_procs() {
+                        Err(format!("processor {proc} out of range"))
+                    } else {
+                        AnyCheckpoint::decode(&checkpoint)
+                            .map_err(|e| e.to_string())
+                            .and_then(|ckpt| {
+                                self.dsm.rejoin(proc, &ckpt).map_err(|e| e.to_string())?;
+                                Ok(match &ckpt {
+                                    AnyCheckpoint::Lazy(c) => c.episode,
+                                    AnyCheckpoint::Eager(_) => 0,
+                                })
+                            })
+                    };
+                    if outcome.is_ok() {
+                        if !greeted.contains(&node) {
+                            greeted.push(node);
+                        }
+                        if !peers.contains(&node) {
+                            peers.push(node);
+                        }
+                        // The dead incarnation's worker (if any) is stale:
+                        // dropping its sender drains it to exit, and the
+                        // revived processor gets a fresh one.
+                        workers.remove(&proc);
+                        let (tx, thread) = self.spawn_worker(proc);
+                        workers.insert(proc, tx);
+                        worker_threads.push(thread);
+                        // The restarted incarnation supersedes whichever
+                        // node hosted this processor before the crash: if
+                        // that node now hosts nothing, stop waiting for
+                        // its Shutdown — it is dead and will never send
+                        // one.
+                        if let Some(old) = hosts.insert(proc, node) {
+                            if old != node && !hosts.values().any(|&n| n == old) {
+                                peers.retain(|&n| n != old);
+                            }
+                        }
+                    }
+                    let reply = WireMsg::RejoinReply { result: outcome };
+                    if let Err(e) = self.transport.send(&reply, frame.src, frame.seq) {
+                        break Err(NodeError::from(e));
+                    }
+                }
                 WireMsg::Shutdown => {
                     if !greeted.contains(&frame.src) {
                         break Err(NodeError::Protocol(format!(
@@ -315,6 +383,73 @@ impl NodeClient {
             procs,
             demux: Some(demux),
         })
+    }
+
+    /// Reconnects a restarted node: sends a [`WireMsg::RejoinRequest`]
+    /// presenting `proc` and the node's last saved engine-encoded
+    /// checkpoint, blocks for the server's verdict, and on success
+    /// returns a working client (hosting `proc`) plus the barrier episode
+    /// the checkpoint was cut at. The server replays the checkpoint into
+    /// the engine and catches the processor up through the normal
+    /// write-notice path — the restarted node itself ships only these two
+    /// frames.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Remote`] if the server rejects the checkpoint
+    /// (corrupt, incompatible, or the processor was never declared dead);
+    /// [`NodeError::Net`] / [`NodeError::Protocol`] on transport trouble.
+    pub fn rejoin(
+        transport: impl Transport + 'static,
+        engine_node: NodeId,
+        proc: ProcId,
+        checkpoint: Vec<u8>,
+    ) -> Result<(NodeClient, u64), NodeError> {
+        let node = transport.node();
+        let inner = Arc::new(ClientInner {
+            transport: Arc::new(transport),
+            engine_node,
+            next_seq: AtomicU64::new(1),
+            pending: Mutex::new(HashMap::new()),
+        });
+        inner.transport.send(
+            &WireMsg::RejoinRequest {
+                node,
+                proc,
+                checkpoint,
+            },
+            engine_node,
+            0,
+        )?;
+        // The reply demultiplexer is not running yet, so the handshake
+        // reply is read synchronously right here.
+        let frame = inner.transport.recv()?;
+        if frame.kind != WireKind::RejoinReply {
+            return Err(NodeError::Protocol(format!(
+                "expected RejoinReply, got {}",
+                frame.kind
+            )));
+        }
+        // Like OpReply, RejoinReply carries no vector clock: width 0
+        // keeps the decode context-independent.
+        let episode = match WireMsg::decode(frame.kind, &frame.body, &WireCtx { n_procs: 0 })? {
+            WireMsg::RejoinReply { result: Ok(ep) } => ep,
+            WireMsg::RejoinReply { result: Err(e) } => return Err(NodeError::Remote(e)),
+            _ => unreachable!("kind was RejoinReply"),
+        };
+        let demux_inner = Arc::clone(&inner);
+        let demux = std::thread::Builder::new()
+            .name(format!("lrc-node-demux-{node}"))
+            .spawn(move || demux_loop(&demux_inner))
+            .expect("spawn reply demultiplexer");
+        Ok((
+            NodeClient {
+                inner,
+                procs: vec![proc],
+                demux: Some(demux),
+            },
+            episode,
+        ))
     }
 
     /// The processors this node announced.

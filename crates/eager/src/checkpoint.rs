@@ -1,0 +1,203 @@
+//! Checkpoints of the eager baseline engine.
+//!
+//! Much simpler than the lazy engine's ([`lrc_core::EngineCheckpoint`]):
+//! eager RC keeps no interval history and no vector clocks, so a
+//! checkpoint is just the directory (copyset and owner per page) plus each
+//! processor's committed page frames. The codec mirrors the lazy one —
+//! little-endian, page-sized raw contents — and shares its error type.
+
+use lrc_core::CheckpointError;
+use lrc_pagemem::PageId;
+use lrc_vclock::ProcId;
+
+const MAGIC: &[u8; 4] = b"ERCK";
+const FORMAT: u16 = 1;
+
+/// One processor's frame of one page (committed contents only — a dirty
+/// page contributes its twin, so uncommitted epoch writes are never
+/// checkpointed).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EagerFrame {
+    /// The page.
+    pub page: PageId,
+    /// Resident committed contents, if any.
+    pub contents: Option<Vec<u8>>,
+    /// Whether the copy was valid.
+    pub valid: bool,
+}
+
+/// A full checkpoint of the eager engine at a synchronization point.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EagerCheckpoint {
+    /// Number of processors.
+    pub n_procs: usize,
+    /// Page size in bytes.
+    pub page_bytes: usize,
+    /// Number of pages.
+    pub n_pages: usize,
+    /// Directory: `(copyset mask, owner)` per page.
+    pub dir: Vec<(u64, ProcId)>,
+    /// Per-processor non-default frames, index = processor id.
+    pub procs: Vec<Vec<EagerFrame>>,
+}
+
+fn corrupt(why: impl Into<String>) -> CheckpointError {
+    CheckpointError::Corrupt(why.into())
+}
+
+impl EagerCheckpoint {
+    /// Serializes the checkpoint.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT.to_le_bytes());
+        out.extend_from_slice(&(self.n_procs as u16).to_le_bytes());
+        out.extend_from_slice(&(self.page_bytes as u32).to_le_bytes());
+        out.extend_from_slice(&(self.n_pages as u32).to_le_bytes());
+        for &(copyset, owner) in &self.dir {
+            out.extend_from_slice(&copyset.to_le_bytes());
+            out.extend_from_slice(&owner.raw().to_le_bytes());
+        }
+        for frames in &self.procs {
+            out.extend_from_slice(&(frames.len() as u32).to_le_bytes());
+            for frame in frames {
+                out.extend_from_slice(&frame.page.raw().to_le_bytes());
+                let mut flags = 0u8;
+                if frame.contents.is_some() {
+                    flags |= 1;
+                }
+                if frame.valid {
+                    flags |= 2;
+                }
+                out.push(flags);
+                if let Some(contents) = &frame.contents {
+                    assert_eq!(contents.len(), self.page_bytes, "page-sized contents");
+                    out.extend_from_slice(contents);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a checkpoint produced by [`EagerCheckpoint::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<EagerCheckpoint, CheckpointError> {
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Result<&[u8], CheckpointError> {
+            let end = at
+                .checked_add(n)
+                .filter(|&end| end <= bytes.len())
+                .ok_or_else(|| corrupt(format!("truncated at byte {at}")))?;
+            let out = &bytes[*at..end];
+            *at = end;
+            Ok(out)
+        };
+        if take(&mut at, 4)? != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let b = take(&mut at, 2)?;
+        let format = u16::from_le_bytes([b[0], b[1]]);
+        if format != FORMAT {
+            return Err(corrupt(format!("unsupported format {format}")));
+        }
+        let b = take(&mut at, 2)?;
+        let n_procs = u16::from_le_bytes([b[0], b[1]]) as usize;
+        let b = take(&mut at, 4)?;
+        let page_bytes = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
+        let b = take(&mut at, 4)?;
+        let n_pages = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
+        if n_procs == 0 || n_pages == 0 || page_bytes == 0 {
+            return Err(corrupt("empty engine shape"));
+        }
+        if n_pages.saturating_mul(10) > bytes.len() {
+            return Err(corrupt("directory larger than the buffer"));
+        }
+        let mut dir = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            let b = take(&mut at, 8)?;
+            let copyset = u64::from_le_bytes(b.try_into().expect("eight bytes"));
+            let b = take(&mut at, 2)?;
+            let owner = ProcId::new(u16::from_le_bytes([b[0], b[1]]));
+            if owner.index() >= n_procs {
+                return Err(corrupt("directory owner out of range"));
+            }
+            dir.push((copyset, owner));
+        }
+        let mut procs = Vec::with_capacity(n_procs);
+        for _ in 0..n_procs {
+            let b = take(&mut at, 4)?;
+            let n_frames = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
+            if n_frames.saturating_mul(5) > bytes.len() - at {
+                return Err(corrupt("frame count exceeds remaining bytes"));
+            }
+            let mut frames = Vec::with_capacity(n_frames);
+            for _ in 0..n_frames {
+                let b = take(&mut at, 4)?;
+                let page = PageId::new(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+                if page.index() >= n_pages {
+                    return Err(corrupt(format!("frame page {page} out of range")));
+                }
+                let flags = take(&mut at, 1)?[0];
+                if flags & !3 != 0 {
+                    return Err(corrupt(format!("unknown frame flags {flags:#x}")));
+                }
+                let contents = if flags & 1 != 0 {
+                    Some(take(&mut at, page_bytes)?.to_vec())
+                } else {
+                    None
+                };
+                frames.push(EagerFrame {
+                    page,
+                    contents,
+                    valid: flags & 2 != 0,
+                });
+            }
+            procs.push(frames);
+        }
+        if at != bytes.len() {
+            return Err(corrupt(format!("{} trailing bytes", bytes.len() - at)));
+        }
+        Ok(EagerCheckpoint {
+            n_procs,
+            page_bytes,
+            n_pages,
+            dir,
+            procs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let ckpt = EagerCheckpoint {
+            n_procs: 2,
+            page_bytes: 64,
+            n_pages: 2,
+            dir: vec![(0b11, ProcId::new(0)), (0b10, ProcId::new(1))],
+            procs: vec![
+                vec![EagerFrame {
+                    page: PageId::new(0),
+                    contents: Some(vec![3u8; 64]),
+                    valid: true,
+                }],
+                vec![EagerFrame {
+                    page: PageId::new(1),
+                    contents: None,
+                    valid: false,
+                }],
+            ],
+        };
+        let bytes = ckpt.encode();
+        assert_eq!(EagerCheckpoint::decode(&bytes).unwrap(), ckpt);
+        assert!(matches!(
+            EagerCheckpoint::decode(&bytes[..bytes.len() - 1]),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let mut bad = bytes.clone();
+        bad[0] ^= 1;
+        assert!(EagerCheckpoint::decode(&bad).is_err());
+    }
+}

@@ -976,4 +976,100 @@ impl EagerEngine {
         }
         self.dir.lock()[gi].copyset |= pbit;
     }
+
+    // ---- crash tolerance ----
+
+    /// Captures a checkpoint: the directory plus each processor's
+    /// committed frames (a dirty page contributes its twin — uncommitted
+    /// epoch writes are never checkpointed). Call at a synchronization
+    /// point so the cut is consistent.
+    pub fn checkpoint(&self) -> crate::EagerCheckpoint {
+        let dir: Vec<(u64, ProcId)> = self
+            .dir
+            .lock()
+            .iter()
+            .map(|e| (e.copyset, e.owner))
+            .collect();
+        let mut procs = Vec::with_capacity(self.cfg.n_procs);
+        for p in ProcId::all(self.cfg.n_procs) {
+            let shard = self.shard(p);
+            let mut frames = Vec::new();
+            for (gi, entry) in shard.pages.iter().enumerate() {
+                let contents = match (&entry.twin, &entry.copy) {
+                    (Some(twin), _) => Some(twin.as_bytes().to_vec()),
+                    (None, Some(copy)) => Some(copy.as_bytes().to_vec()),
+                    (None, None) => None,
+                };
+                if contents.is_none() && !entry.valid {
+                    continue;
+                }
+                frames.push(crate::EagerFrame {
+                    page: PageId::new(gi as u32),
+                    contents,
+                    valid: entry.valid,
+                });
+            }
+            procs.push(frames);
+        }
+        crate::EagerCheckpoint {
+            n_procs: self.cfg.n_procs,
+            page_bytes: self.space.page_size().bytes(),
+            n_pages: self.space.n_pages() as usize,
+            dir,
+            procs,
+        }
+    }
+
+    /// Restores a checkpoint into this (freshly built) engine: directory
+    /// and frames are replaced. Locks must be free and no barrier episode
+    /// in progress — synchronization state is not checkpointed.
+    ///
+    /// # Errors
+    ///
+    /// [`lrc_core::CheckpointError::Incompatible`] if the checkpoint
+    /// describes a different engine shape.
+    pub fn restore(&self, ckpt: &crate::EagerCheckpoint) -> Result<(), lrc_core::CheckpointError> {
+        let shape = (
+            self.cfg.n_procs,
+            self.space.page_size().bytes(),
+            self.space.n_pages() as usize,
+        );
+        if (ckpt.n_procs, ckpt.page_bytes, ckpt.n_pages) != shape
+            || ckpt.dir.len() != shape.2
+            || ckpt.procs.len() != shape.0
+        {
+            return Err(lrc_core::CheckpointError::Incompatible(format!(
+                "checkpoint is {}×{}B×{} pages, engine is {}×{}B×{}",
+                ckpt.n_procs, ckpt.page_bytes, ckpt.n_pages, shape.0, shape.1, shape.2
+            )));
+        }
+        {
+            let mut dir = self.dir.lock();
+            for (entry, &(copyset, owner)) in dir.iter_mut().zip(&ckpt.dir) {
+                *entry = DirEntry { copyset, owner };
+            }
+        }
+        for p in ProcId::all(self.cfg.n_procs) {
+            let mut shard = self.shard(p);
+            shard.dirty.clear();
+            for entry in &mut shard.pages {
+                *entry = EPage::default();
+            }
+            for frame in &ckpt.procs[p.index()] {
+                let entry = &mut shard.pages[frame.page.index()];
+                if let Some(contents) = &frame.contents {
+                    if contents.len() != self.space.page_size().bytes() {
+                        return Err(lrc_core::CheckpointError::Incompatible(
+                            "frame contents are not page-sized".into(),
+                        ));
+                    }
+                    let mut buf = PageBuf::zeroed(self.space.page_size());
+                    buf.write(0, contents);
+                    entry.copy = Some(buf);
+                }
+                entry.valid = frame.valid;
+            }
+        }
+        Ok(())
+    }
 }

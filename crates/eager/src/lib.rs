@@ -48,10 +48,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod config;
 mod counters;
 mod engine;
 
+pub use checkpoint::{EagerCheckpoint, EagerFrame};
 pub use config::EagerConfig;
 pub use counters::EagerCounters;
 pub use engine::EagerEngine;

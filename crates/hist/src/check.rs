@@ -327,14 +327,15 @@ impl History {
             }
         }
 
+        // A processor may legitimately miss barrier episodes only if it
+        // was declared dead at some point: its log then carries a Crash
+        // marker (the engine completes episodes on the survivors' behalf).
+        let crashed: Vec<bool> = self
+            .logs
+            .iter()
+            .map(|log| log.iter().any(|e| matches!(e, HistEvent::Crash)))
+            .collect();
         for ((barrier, episode), group) in barriers {
-            if group.len() != n {
-                return Err(HistError::Malformed(format!(
-                    "barrier {barrier} episode {episode}: {} arrivals for \
-                     {n} processors",
-                    group.len()
-                )));
-            }
             let mut seen = vec![false; n];
             for &(p, _) in &group {
                 if std::mem::replace(&mut seen[p], true) {
@@ -342,6 +343,13 @@ impl History {
                         "barrier {barrier} episode {episode}: p{p} arrived twice"
                     )));
                 }
+            }
+            if let Some(missing) = (0..n).find(|&p| !seen[p] && !crashed[p]) {
+                return Err(HistError::Malformed(format!(
+                    "barrier {barrier} episode {episode}: {} arrivals for \
+                     {n} processors (p{missing} missing and never crashed)",
+                    group.len()
+                )));
             }
             // Crossing the barrier requires every processor's pre-arrival
             // prefix; the arrivals themselves stay mutually concurrent.
@@ -922,6 +930,22 @@ mod tests {
         // Gap in the grant order.
         let h = History::from_logs(vec![vec![acq(0, 1), rel(0, 1)], vec![acq(0, 3), rel(0, 3)]]);
         assert!(matches!(h.check(&budget()), Err(HistError::Malformed(_))));
+    }
+
+    #[test]
+    fn crashed_proc_is_excused_from_missed_barrier_episodes() {
+        // p1 dies after episode 0; p0 completes episode 1 alone. The
+        // Crash marker in p1's log excuses its missing arrivals.
+        let h = History::from_logs(vec![
+            vec![bar(0, 0), write(0, 1), bar(0, 1), read(0, 1)],
+            vec![bar(0, 0), HistEvent::Crash],
+        ]);
+        h.check(&budget()).unwrap();
+        // Without the marker the same shape is a recorder bug.
+        let bad = History::from_logs(vec![vec![bar(0, 0), bar(0, 1)], vec![bar(0, 0)]]);
+        let err = bad.check(&budget()).unwrap_err();
+        assert!(matches!(err, HistError::Malformed(_)));
+        assert!(err.to_string().contains("never crashed"), "{err}");
     }
 
     #[test]

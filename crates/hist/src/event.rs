@@ -50,6 +50,12 @@ pub enum HistEvent {
         /// Which episode of the barrier this arrival belongs to.
         episode: u64,
     },
+    /// The processor was declared dead (crash recovery). Everything before
+    /// this marker really happened and stays subject to checking; the
+    /// checker excuses the processor from barrier episodes it missed while
+    /// dead. Events after the marker belong to the processor's rejoined
+    /// incarnation.
+    Crash,
 }
 
 impl HistEvent {
@@ -80,6 +86,7 @@ impl fmt::Display for HistEvent {
             HistEvent::Barrier { barrier, episode } => {
                 write!(f, "bar {barrier} (episode {episode})")
             }
+            HistEvent::Crash => write!(f, "CRASH (declared dead)"),
         }
     }
 }
@@ -178,6 +185,8 @@ mod tests {
         assert!(rendered[2].contains("grant 3"));
         assert!(rendered[3].contains("rel"));
         assert!(rendered[4].contains("episode 2"));
+        assert!(HistEvent::Crash.to_string().contains("CRASH"));
+        assert_eq!(HistEvent::Crash.access(), None);
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! Deterministic fault injection for any [`Transport`].
+//!
+//! [`FaultyTransport`] wraps a real transport and applies a [`FaultPlan`]
+//! to outgoing traffic: drop the nth frame, delay one, sever the link to
+//! one peer after a send budget, kill the whole endpoint mid-protocol, or
+//! drop a seeded pseudo-random fraction of frames. Faults are decided
+//! from *send counts*, never wall-clock time, so a failing run replays
+//! exactly — the property the crash-tolerance suite leans on to kill a
+//! node at a chosen protocol step (mid-lock-transfer, mid-barrier,
+//! mid-miss-reply) on every execution.
+//!
+//! The wrapper is transparent when the plan is empty, and composes: a
+//! `FaultyTransport<ChannelTransport>` behaves like the channel mesh with
+//! scripted failures; the same plan over [`crate::TcpTransport`] scripts
+//! real socket deaths.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::transport::{NetError, NodeId, Transport, WireStats};
+use crate::wire::{Frame, WireKind, WireMsg};
+
+/// One scripted fault. Send indices are 1-based and count *attempted*
+/// sends (including frames other rules later drop), so a rule's firing
+/// point does not shift when rules are added in front of it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FaultRule {
+    /// Silently discard the `nth` send of `kind` (any kind if `None`):
+    /// the caller sees `Ok`, the peer sees nothing.
+    DropNth {
+        /// Which kind to match, or any.
+        kind: Option<WireKind>,
+        /// 1-based index among matching sends.
+        nth: u64,
+    },
+    /// Sleep before delivering the `nth` send (reordering pressure for
+    /// timing-sensitive paths; the frame still arrives).
+    DelayNth {
+        /// 1-based index among all sends.
+        nth: u64,
+        /// How long to hold the frame.
+        delay: Duration,
+    },
+    /// After `after_sends` frames to `peer` have been let through, fail
+    /// every further send to that peer with [`NetError::Closed`].
+    SeverPeer {
+        /// The peer whose link dies.
+        peer: NodeId,
+        /// Frames to that peer that still succeed.
+        after_sends: u64,
+    },
+    /// Kill the endpoint at its `sends`-th send: that send and everything
+    /// after it — including every later `recv` — fails with
+    /// [`NetError::Closed`]. This is the "node crashes mid-protocol"
+    /// fault: with a deterministic transport under it, the frame at which
+    /// the node dies is the same on every run.
+    KillAfter {
+        /// 1-based index of the first send that fails.
+        sends: u64,
+    },
+    /// Drop each send with probability `numer`/`denom`, decided by a
+    /// seeded xorshift stream — random-looking but identical across runs
+    /// with the same seed and send sequence.
+    DropRandom {
+        /// Drop probability numerator.
+        numer: u32,
+        /// Drop probability denominator (> 0).
+        denom: u32,
+    },
+}
+
+/// A scripted set of [`FaultRule`]s plus the seed for [`FaultRule::DropRandom`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new()
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (the wrapper becomes a transparent pass-through).
+    pub fn new() -> FaultPlan {
+        FaultPlan {
+            rules: Vec::new(),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Sets the seed of the [`FaultRule::DropRandom`] stream.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = if seed == 0 { 1 } else { seed };
+        self
+    }
+
+    /// Adds a rule.
+    #[must_use]
+    pub fn rule(mut self, rule: FaultRule) -> FaultPlan {
+        if let FaultRule::DropRandom { denom, .. } = rule {
+            assert!(denom > 0, "drop probability denominator must be positive");
+        }
+        self.rules.push(rule);
+        self
+    }
+
+    /// Shorthand: kill the endpoint at its `sends`-th send (see
+    /// [`FaultRule::KillAfter`]).
+    #[must_use]
+    pub fn kill_after_sends(self, sends: u64) -> FaultPlan {
+        self.rule(FaultRule::KillAfter { sends })
+    }
+
+    /// Shorthand: sever the link to `peer` after `after_sends` delivered
+    /// frames (see [`FaultRule::SeverPeer`]).
+    #[must_use]
+    pub fn sever_peer(self, peer: NodeId, after_sends: u64) -> FaultPlan {
+        self.rule(FaultRule::SeverPeer { peer, after_sends })
+    }
+
+    /// Shorthand: drop the `nth` send of `kind` (see [`FaultRule::DropNth`]).
+    #[must_use]
+    pub fn drop_nth(self, kind: Option<WireKind>, nth: u64) -> FaultPlan {
+        self.rule(FaultRule::DropNth { kind, nth })
+    }
+}
+
+/// Mutable fault-decision state, advanced on every send.
+#[derive(Debug)]
+struct FaultState {
+    /// Total sends attempted (1-based after increment).
+    sends: u64,
+    /// Sends attempted per kind tag.
+    sends_by_kind: [u64; WireKind::COUNT],
+    /// Frames delivered per destination (for [`FaultRule::SeverPeer`]).
+    delivered_to: Vec<u64>,
+    /// xorshift64 state for [`FaultRule::DropRandom`].
+    rng: u64,
+}
+
+/// The outcome of consulting the plan for one send.
+enum Verdict {
+    Deliver,
+    DeliverAfter(Duration),
+    Drop,
+    Sever,
+    Kill,
+}
+
+/// A [`Transport`] wrapper that injects the faults of a [`FaultPlan`].
+///
+/// Dropped frames are counted in [`FaultyTransport::dropped`] but not in
+/// the inner transport's stats (they never reach it); a killed endpoint
+/// fails every subsequent `send` *and* `recv` with [`NetError::Closed`],
+/// modeling a node that is gone, not merely deaf.
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    plan: FaultPlan,
+    state: Mutex<FaultState>,
+    killed: AtomicBool,
+    dropped: Mutex<u64>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` with the scripted `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> FaultyTransport<T> {
+        let seed = plan.seed;
+        FaultyTransport {
+            inner,
+            plan,
+            state: Mutex::new(FaultState {
+                sends: 0,
+                sends_by_kind: [0; WireKind::COUNT],
+                delivered_to: Vec::new(),
+                rng: seed,
+            }),
+            killed: AtomicBool::new(false),
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Whether a [`FaultRule::KillAfter`] has fired.
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::Acquire)
+    }
+
+    /// Frames silently discarded so far.
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Total sends attempted so far (delivered, dropped, or refused —
+    /// the count fault rules index into).
+    pub fn sends_attempted(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).sends
+    }
+
+    /// Advances the counters for one send and decides its fate. The most
+    /// severe applicable verdict wins: kill > sever > drop > delay.
+    fn consult(&self, kind: WireKind, dst: NodeId) -> Verdict {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.sends += 1;
+        st.sends_by_kind[kind.tag() as usize] += 1;
+        let sends = st.sends;
+        let kind_sends = st.sends_by_kind[kind.tag() as usize];
+        if st.delivered_to.len() <= dst as usize {
+            st.delivered_to.resize(dst as usize + 1, 0);
+        }
+        let mut verdict = Verdict::Deliver;
+        for rule in &self.plan.rules {
+            match *rule {
+                FaultRule::KillAfter { sends: at } if sends >= at => return Verdict::Kill,
+                FaultRule::SeverPeer { peer, after_sends }
+                    if peer == dst && st.delivered_to[dst as usize] >= after_sends =>
+                {
+                    verdict = Verdict::Sever;
+                }
+                FaultRule::DropNth { kind: k, nth }
+                    if k.is_none_or(|k| k == kind)
+                        && nth == if k.is_some() { kind_sends } else { sends }
+                        && !matches!(verdict, Verdict::Sever) =>
+                {
+                    verdict = Verdict::Drop;
+                }
+                FaultRule::DropRandom { numer, denom } => {
+                    // xorshift64 — one step per send whether or not it
+                    // fires, so earlier rules don't shift the stream.
+                    st.rng ^= st.rng << 13;
+                    st.rng ^= st.rng >> 7;
+                    st.rng ^= st.rng << 17;
+                    if (st.rng % denom as u64) < numer as u64
+                        && matches!(verdict, Verdict::Deliver | Verdict::DeliverAfter(_))
+                    {
+                        verdict = Verdict::Drop;
+                    }
+                }
+                FaultRule::DelayNth { nth, delay } if nth == sends => {
+                    if matches!(verdict, Verdict::Deliver) {
+                        verdict = Verdict::DeliverAfter(delay);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if matches!(verdict, Verdict::Deliver | Verdict::DeliverAfter(_)) {
+            st.delivered_to[dst as usize] += 1;
+        }
+        verdict
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn node(&self) -> NodeId {
+        self.inner.node()
+    }
+
+    fn send(&self, msg: &WireMsg, dst: NodeId, seq: u64) -> Result<(), NetError> {
+        if self.is_killed() {
+            return Err(NetError::Closed);
+        }
+        match self.consult(msg.kind(), dst) {
+            Verdict::Deliver => self.inner.send(msg, dst, seq),
+            Verdict::DeliverAfter(delay) => {
+                std::thread::sleep(delay);
+                self.inner.send(msg, dst, seq)
+            }
+            Verdict::Drop => {
+                *self.dropped.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+                Ok(())
+            }
+            Verdict::Sever => Err(NetError::Closed),
+            Verdict::Kill => {
+                self.killed.store(true, Ordering::Release);
+                Err(NetError::Closed)
+            }
+        }
+    }
+
+    fn recv(&self) -> Result<Frame, NetError> {
+        if self.is_killed() {
+            return Err(NetError::Closed);
+        }
+        let frame = self.inner.recv();
+        // A kill that fired while this recv was blocked still poisons the
+        // result: the node is gone, late frames do not resurrect it.
+        if self.is_killed() {
+            return Err(NetError::Closed);
+        }
+        frame
+    }
+
+    fn stats(&self) -> WireStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelNet;
+    use lrc_vclock::ProcId;
+
+    fn pair() -> (
+        FaultyTransport<crate::ChannelTransport>,
+        crate::ChannelTransport,
+    ) {
+        let mut mesh = ChannelNet::mesh(2);
+        let b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        (FaultyTransport::new(a, FaultPlan::new()), b)
+    }
+
+    fn hello() -> WireMsg {
+        WireMsg::Hello {
+            node: 0,
+            procs: vec![ProcId::new(0)],
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let (a, b) = pair();
+        a.send(&hello(), 1, 7).unwrap();
+        let frame = b.recv().unwrap();
+        assert_eq!((frame.kind, frame.seq), (WireKind::Hello, 7));
+        assert_eq!(a.dropped(), 0);
+        assert_eq!(a.stats().msgs_sent, 1);
+    }
+
+    #[test]
+    fn drop_nth_discards_exactly_that_frame() {
+        let mut mesh = ChannelNet::mesh(2);
+        let b = mesh.pop().unwrap();
+        let a = FaultyTransport::new(
+            mesh.pop().unwrap(),
+            FaultPlan::new().drop_nth(Some(WireKind::Hello), 2),
+        );
+        // Shutdown frames don't advance the Hello count.
+        a.send(&WireMsg::Shutdown, 1, 0).unwrap();
+        a.send(&hello(), 1, 1).unwrap(); // 1st Hello: delivered
+        a.send(&hello(), 1, 2).unwrap(); // 2nd Hello: dropped, still Ok
+        a.send(&hello(), 1, 3).unwrap(); // 3rd Hello: delivered
+        assert_eq!(a.dropped(), 1);
+        let seqs: Vec<u64> = (0..3).map(|_| b.recv().unwrap().seq).collect();
+        assert_eq!(seqs, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn kill_after_fails_everything_from_the_nth_send() {
+        let (a, b) = pair();
+        let a = FaultyTransport::new(a.inner, FaultPlan::new().kill_after_sends(3));
+        a.send(&hello(), 1, 0).unwrap();
+        a.send(&hello(), 1, 1).unwrap();
+        assert!(!a.is_killed());
+        assert_eq!(a.send(&hello(), 1, 2), Err(NetError::Closed));
+        assert!(a.is_killed());
+        assert_eq!(a.send(&hello(), 1, 3), Err(NetError::Closed));
+        assert_eq!(a.recv().unwrap_err(), NetError::Closed);
+        // Exactly the first two frames made it out.
+        assert_eq!(b.recv().unwrap().seq, 0);
+        assert_eq!(b.recv().unwrap().seq, 1);
+        assert_eq!(a.stats().msgs_sent, 2);
+    }
+
+    #[test]
+    fn sever_peer_cuts_one_link_only() {
+        let mut mesh = ChannelNet::mesh(3);
+        let c = mesh.pop().unwrap();
+        let b = mesh.pop().unwrap();
+        let a = FaultyTransport::new(mesh.pop().unwrap(), FaultPlan::new().sever_peer(1, 1));
+        a.send(&hello(), 1, 0).unwrap(); // 1st to node 1: delivered
+        assert_eq!(a.send(&hello(), 1, 1), Err(NetError::Closed)); // link dead
+        a.send(&hello(), 2, 2).unwrap(); // node 2 unaffected
+        assert_eq!(b.recv().unwrap().seq, 0);
+        assert_eq!(c.recv().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn seeded_random_drop_replays_identically() {
+        let run = |seed: u64| -> Vec<u64> {
+            let mut mesh = ChannelNet::mesh(2);
+            let b = mesh.pop().unwrap();
+            let a = FaultyTransport::new(
+                mesh.pop().unwrap(),
+                FaultPlan::new()
+                    .seed(seed)
+                    .rule(FaultRule::DropRandom { numer: 1, denom: 3 }),
+            );
+            for seq in 0..32 {
+                a.send(&WireMsg::Shutdown, 1, seq).unwrap();
+            }
+            let delivered = 32 - a.dropped();
+            drop(a);
+            (0..delivered).map(|_| b.recv().unwrap().seq).collect()
+        };
+        let first = run(42);
+        assert_eq!(first, run(42), "same seed, same drops");
+        assert!(first.len() < 32, "some frames dropped");
+        assert!(!first.is_empty(), "some frames delivered");
+        assert_ne!(first, run(1234), "different seed, different drops");
+    }
+
+    #[test]
+    fn delay_nth_still_delivers() {
+        let (a, b) = pair();
+        let a = FaultyTransport::new(
+            a.inner,
+            FaultPlan::new().rule(FaultRule::DelayNth {
+                nth: 1,
+                delay: Duration::from_millis(5),
+            }),
+        );
+        a.send(&hello(), 1, 0).unwrap();
+        assert_eq!(b.recv().unwrap().seq, 0);
+        assert_eq!(a.dropped(), 0);
+    }
+}

@@ -47,11 +47,13 @@
 #![warn(missing_docs)]
 
 mod channel;
+mod fault;
 mod tcp;
 mod transport;
 pub mod wire;
 
 pub use channel::{ChannelNet, ChannelTransport};
+pub use fault::{FaultPlan, FaultRule, FaultyTransport};
 pub use tcp::{TcpHub, TcpTransport};
 pub use transport::{NetError, NodeId, Transport, WireMeter, WireStats};
 pub use wire::{

@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -24,11 +25,22 @@ use std::thread;
 use crate::transport::{NetError, NodeId, Transport, WireMeter, WireStats};
 use crate::wire::{Frame, WireKind, WireMsg, FRAME_HEADER_BYTES};
 
+/// One peer link: its send queue plus a death flag poisoned by whichever
+/// I/O thread notices the link die first (recv EOF/corruption, or a
+/// failed write). A send to a poisoned peer reports [`NetError::Closed`]
+/// instead of silently queueing bytes no one will read — without the
+/// flag, a caller could send a request into a dead link and then block
+/// forever waiting for the reply.
+struct PeerLink {
+    tx: Sender<Vec<u8>>,
+    dead: Arc<AtomicBool>,
+}
+
 /// A TCP endpoint (hub or spoke).
 pub struct TcpTransport {
     node: NodeId,
     /// Per-peer send queues (consumed by that peer's send thread).
-    peers: Mutex<HashMap<NodeId, Sender<Vec<u8>>>>,
+    peers: Mutex<HashMap<NodeId, PeerLink>>,
     incoming: Mutex<Receiver<Frame>>,
     /// Held only during setup; [`TcpTransport::seal`] drops it so that
     /// once every peer's recv thread exits (EOF, error), the incoming
@@ -96,24 +108,27 @@ impl TcpTransport {
     /// Wires up the send and recv threads for one connected peer.
     fn attach(&self, peer: NodeId, stream: TcpStream) {
         let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = channel();
+        let dead = Arc::new(AtomicBool::new(false));
         let write_half = stream.try_clone().expect("clone TCP stream");
+        let send_dead = Arc::clone(&dead);
         thread::Builder::new()
             .name(format!("lrc-net-send-{}-{peer}", self.node))
-            .spawn(move || send_loop(write_half, rx))
+            .spawn(move || send_loop(write_half, rx, send_dead))
             .expect("spawn send thread");
         let incoming = self
             .incoming_tx
             .as_ref()
             .expect("attach only runs during setup, before seal()")
             .clone();
+        let recv_dead = Arc::clone(&dead);
         thread::Builder::new()
             .name(format!("lrc-net-recv-{}-{peer}", self.node))
-            .spawn(move || recv_loop(stream, incoming))
+            .spawn(move || recv_loop(stream, incoming, recv_dead))
             .expect("spawn recv thread");
         self.peers
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(peer, tx);
+            .insert(peer, PeerLink { tx, dead });
     }
 }
 
@@ -168,10 +183,12 @@ impl TcpHub {
     }
 }
 
-/// Drains the send queue onto the socket; exits when the queue closes.
-fn send_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>) {
+/// Drains the send queue onto the socket; exits when the queue closes or
+/// a write fails (poisoning the peer's death flag).
+fn send_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>, dead: Arc<AtomicBool>) {
     while let Ok(bytes) = rx.recv() {
         if stream.write_all(&bytes).is_err() {
+            dead.store(true, Ordering::Release);
             break;
         }
     }
@@ -179,13 +196,16 @@ fn send_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>) {
 }
 
 /// Reads frames off the socket into the shared incoming queue; exits on
-/// EOF, error, or when the endpoint is dropped.
-fn recv_loop(stream: TcpStream, incoming: Sender<Frame>) {
+/// EOF, error, or when the endpoint is dropped. EOF and corruption poison
+/// the peer's death flag so later sends fail instead of queueing into the
+/// void.
+fn recv_loop(stream: TcpStream, incoming: Sender<Frame>, dead: Arc<AtomicBool>) {
     while let Ok(frame) = read_frame(&mut &stream) {
         if incoming.send(frame).is_err() {
             break;
         }
     }
+    dead.store(true, Ordering::Release);
     let _ = stream.shutdown(std::net::Shutdown::Read);
 }
 
@@ -210,8 +230,11 @@ impl Transport for TcpTransport {
         let bytes = crate::transport::encode_frame_checked(msg, self.node, dst, seq)?;
         let len = bytes.len();
         let peers = self.peers.lock().unwrap_or_else(|e| e.into_inner());
-        let tx = peers.get(&dst).ok_or(NetError::UnknownPeer(dst))?;
-        tx.send(bytes).map_err(|_| NetError::Closed)?;
+        let link = peers.get(&dst).ok_or(NetError::UnknownPeer(dst))?;
+        if link.dead.load(Ordering::Acquire) {
+            return Err(NetError::Closed);
+        }
+        link.tx.send(bytes).map_err(|_| NetError::Closed)?;
         self.meter.count_sent(msg.kind(), len);
         Ok(())
     }
@@ -283,6 +306,44 @@ mod tests {
         // The hub's recv thread sees EOF and exits; because the incoming
         // channel was sealed after setup, recv reports Closed.
         assert_eq!(hub.recv().unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn send_after_peer_death_errors_instead_of_queueing_into_the_void() {
+        let hub = TcpTransport::bind("127.0.0.1:0", 0).expect("bind");
+        let addr = hub.local_addr();
+        let spoke_thread =
+            thread::spawn(move || TcpTransport::connect(&addr, 1, 0).expect("connect"));
+        let hub = hub.accept(1).expect("accept");
+        let spoke = spoke_thread.join().unwrap();
+        // Sever the link: the hub endpoint goes away without a Shutdown.
+        drop(hub);
+        // recv observing Closed proves the spoke's recv thread exited and
+        // poisoned the peer's death flag...
+        assert_eq!(spoke.recv().unwrap_err(), NetError::Closed);
+        // ...so a subsequent send must error. Before the death flag, it
+        // returned Ok (the bytes sat in the dead link's queue) and a
+        // caller blocking for the reply hung forever.
+        assert_eq!(spoke.send(&WireMsg::Shutdown, 0, 1), Err(NetError::Closed));
+    }
+
+    #[test]
+    fn in_flight_blocking_fetch_unblocks_when_the_peer_dies() {
+        let hub = TcpTransport::bind("127.0.0.1:0", 0).expect("bind");
+        let addr = hub.local_addr();
+        let spoke_thread =
+            thread::spawn(move || TcpTransport::connect(&addr, 1, 0).expect("connect"));
+        let hub = hub.accept(1).expect("accept");
+        let spoke = spoke_thread.join().unwrap();
+        // The spoke issues a request and blocks for the reply — the shape
+        // of every remote page fetch.
+        spoke.send(&WireMsg::Shutdown, 0, 9).unwrap();
+        let fetch = thread::spawn(move || spoke.recv());
+        // The hub reads the request, then dies mid-fetch.
+        hub.recv().unwrap();
+        drop(hub);
+        // The blocked fetch must resolve to Closed, not hang.
+        assert_eq!(fetch.join().unwrap().unwrap_err(), NetError::Closed);
     }
 
     #[test]

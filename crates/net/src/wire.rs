@@ -146,11 +146,16 @@ pub enum WireKind {
     /// A standalone write-notice batch (the no-piggyback ablation's
     /// separate consistency message).
     Notices,
+    /// A restarted node asks to rejoin, presenting its processor and its
+    /// last saved checkpoint (opaque bytes — the engine's own codec).
+    RejoinRequest,
+    /// The rejoin outcome: the barrier episode rejoined at, or an error.
+    RejoinReply,
 }
 
 impl WireKind {
     /// All kinds, in tag order.
-    pub const ALL: [WireKind; 12] = [
+    pub const ALL: [WireKind; 14] = [
         WireKind::Hello,
         WireKind::Shutdown,
         WireKind::OpRequest,
@@ -163,10 +168,12 @@ impl WireKind {
         WireKind::MissRequest,
         WireKind::MissReply,
         WireKind::Notices,
+        WireKind::RejoinRequest,
+        WireKind::RejoinReply,
     ];
 
     /// Number of kinds.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 14;
 
     /// Dense tag (also the frame header byte).
     pub fn tag(self) -> u8 {
@@ -183,6 +190,8 @@ impl WireKind {
             WireKind::MissRequest => 9,
             WireKind::MissReply => 10,
             WireKind::Notices => 11,
+            WireKind::RejoinRequest => 12,
+            WireKind::RejoinReply => 13,
         }
     }
 
@@ -567,6 +576,23 @@ pub enum WireMsg {
         /// The notices.
         notices: NoticeBatch,
     },
+    /// A restarted node announces itself for rejoin. The checkpoint
+    /// travels opaque: this layer frames it, the node runtime decodes it
+    /// with the engine's own codec ([`lrc_core::EngineCheckpoint`]).
+    RejoinRequest {
+        /// The rejoining node.
+        node: NodeId,
+        /// The processor being revived.
+        proc: ProcId,
+        /// The node's last saved checkpoint, engine-encoded.
+        checkpoint: Vec<u8>,
+    },
+    /// The rejoin outcome.
+    RejoinReply {
+        /// `Ok(episode)` — the barrier episode the processor rejoined at
+        /// — or a rendered error (corrupt or incompatible checkpoint).
+        result: Result<u64, String>,
+    },
 }
 
 impl WireMsg {
@@ -585,6 +611,8 @@ impl WireMsg {
             WireMsg::MissRequest { .. } => WireKind::MissRequest,
             WireMsg::MissReply { .. } => WireKind::MissReply,
             WireMsg::Notices { .. } => WireKind::Notices,
+            WireMsg::RejoinRequest { .. } => WireKind::RejoinRequest,
+            WireMsg::RejoinReply { .. } => WireKind::RejoinReply,
         }
     }
 
@@ -723,6 +751,28 @@ impl WireMsg {
                 clock.write_wire(&mut out);
                 notices.write(&mut out);
             }
+            WireMsg::RejoinRequest {
+                node,
+                proc,
+                checkpoint,
+            } => {
+                out.extend_from_slice(&node.to_le_bytes());
+                out.extend_from_slice(&proc.raw().to_le_bytes());
+                out.extend_from_slice(&(checkpoint.len() as u32).to_le_bytes());
+                out.extend_from_slice(checkpoint);
+            }
+            WireMsg::RejoinReply { result } => match result {
+                Ok(episode) => {
+                    out.push(0);
+                    out.extend_from_slice(&episode.to_le_bytes());
+                }
+                Err(msg) => {
+                    let msg = msg.as_bytes();
+                    out.push(1);
+                    out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+                    out.extend_from_slice(msg);
+                }
+            },
         }
         out
     }
@@ -878,6 +928,30 @@ impl WireMsg {
                 let clock = r.clock(ctx)?;
                 let notices = NoticeBatch::read(&mut r)?;
                 WireMsg::Notices { clock, notices }
+            }
+            WireKind::RejoinRequest => {
+                let node = r.u16()?;
+                let proc = ProcId::new(r.u16()?);
+                let len = r.u32()? as usize;
+                let checkpoint = r.take(len)?.to_vec();
+                WireMsg::RejoinRequest {
+                    node,
+                    proc,
+                    checkpoint,
+                }
+            }
+            WireKind::RejoinReply => {
+                let result = match r.u8()? {
+                    0 => Ok(r.u64()?),
+                    1 => {
+                        let len = r.u32()? as usize;
+                        let payload = r.take(len)?.to_vec();
+                        Err(String::from_utf8(payload)
+                            .map_err(|_| malformed("error text is not UTF-8"))?)
+                    }
+                    other => return Err(malformed(format!("unknown rejoin status {other}"))),
+                };
+                WireMsg::RejoinReply { result }
             }
         };
         if r.at != body.len() {
@@ -1058,6 +1132,15 @@ mod tests {
             WireMsg::Notices {
                 clock: clock(),
                 notices,
+            },
+            WireMsg::RejoinRequest {
+                node: 2,
+                proc: ProcId::new(1),
+                checkpoint: vec![7; 40],
+            },
+            WireMsg::RejoinReply { result: Ok(3) },
+            WireMsg::RejoinReply {
+                result: Err("incompatible checkpoint: store era changed".into()),
             },
         ] {
             round_trip(msg);

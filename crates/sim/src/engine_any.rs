@@ -1,7 +1,10 @@
 use std::sync::Arc;
 
-use lrc_core::{ConfigError, EngineOp, EngineOpError, LrcConfig, LrcEngine, ProtocolMutation};
-use lrc_eager::{EagerConfig, EagerEngine};
+use lrc_core::{
+    CheckpointError, ConfigError, DeathReport, EngineCheckpoint, EngineOp, EngineOpError,
+    LrcConfig, LrcEngine, ProtocolMutation,
+};
+use lrc_eager::{EagerCheckpoint, EagerConfig, EagerEngine};
 use lrc_hist::HistoryRecorder;
 use lrc_pagemem::AddrSpace;
 use lrc_simnet::NetStats;
@@ -278,6 +281,115 @@ impl AnyEngine {
             AnyEngine::Eager(e) => Some(e),
         }
     }
+
+    // ---- crash tolerance ----
+
+    /// Captures a checkpoint of either engine family. Call at a
+    /// synchronization point so the cut is consistent (see
+    /// [`lrc_core::LrcEngine::checkpoint`]).
+    pub fn checkpoint(&self) -> AnyCheckpoint {
+        match self {
+            AnyEngine::Lazy(e) => AnyCheckpoint::Lazy(e.checkpoint()),
+            AnyEngine::Eager(e) => AnyCheckpoint::Eager(e.checkpoint()),
+        }
+    }
+
+    /// Restores a checkpoint into this (freshly built) engine.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Incompatible`] if the checkpoint belongs to the
+    /// other engine family or describes a different shape.
+    pub fn restore(&self, ckpt: &AnyCheckpoint) -> Result<(), CheckpointError> {
+        match (self, ckpt) {
+            (AnyEngine::Lazy(e), AnyCheckpoint::Lazy(c)) => e.restore(c),
+            (AnyEngine::Eager(e), AnyCheckpoint::Eager(c)) => e.restore(c),
+            _ => Err(CheckpointError::Incompatible(
+                "checkpoint belongs to the other engine family".into(),
+            )),
+        }
+    }
+
+    /// Declares a processor dead (lazy engines only — see
+    /// [`lrc_core::LrcEngine::declare_dead`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an eager engine: the eager baseline has no crash story.
+    pub fn declare_dead(&self, p: ProcId) -> DeathReport {
+        self.as_lazy()
+            .expect("crash tolerance is a lazy-engine feature")
+            .declare_dead(p)
+    }
+
+    /// Whether a processor is declared dead (always `false` on eager
+    /// engines, which have no crash story).
+    pub fn is_dead(&self, p: ProcId) -> bool {
+        self.as_lazy().is_some_and(|e| e.is_dead(p))
+    }
+
+    /// Rejoins a dead processor from a checkpoint (lazy engines only —
+    /// see [`lrc_core::LrcEngine::rejoin`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CheckpointError`]; an eager engine or an eager
+    /// checkpoint is [`CheckpointError::Incompatible`].
+    pub fn rejoin(&self, p: ProcId, ckpt: &AnyCheckpoint) -> Result<(), CheckpointError> {
+        let (engine, ckpt) = match (self.as_lazy(), ckpt) {
+            (Some(e), AnyCheckpoint::Lazy(c)) => (e, c),
+            _ => {
+                return Err(CheckpointError::Incompatible(
+                    "rejoin is a lazy-engine feature".into(),
+                ))
+            }
+        };
+        engine.rejoin(p, ckpt)
+    }
+}
+
+/// A checkpoint of either engine family (the [`AnyEngine`] counterpart of
+/// [`EngineCheckpoint`] and [`EagerCheckpoint`]).
+#[derive(Clone, PartialEq, Debug)]
+pub enum AnyCheckpoint {
+    /// A lazy engine's checkpoint.
+    Lazy(EngineCheckpoint),
+    /// An eager engine's checkpoint.
+    Eager(EagerCheckpoint),
+}
+
+impl AnyCheckpoint {
+    /// Serializes the checkpoint, tagged with its family.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            AnyCheckpoint::Lazy(c) => {
+                let mut out = vec![0u8];
+                out.extend_from_slice(&c.encode());
+                out
+            }
+            AnyCheckpoint::Eager(c) => {
+                let mut out = vec![1u8];
+                out.extend_from_slice(&c.encode());
+                out
+            }
+        }
+    }
+
+    /// Deserializes a checkpoint produced by [`AnyCheckpoint::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CheckpointError::Corrupt`].
+    pub fn decode(bytes: &[u8]) -> Result<AnyCheckpoint, CheckpointError> {
+        match bytes.first() {
+            Some(0) => Ok(AnyCheckpoint::Lazy(EngineCheckpoint::decode(&bytes[1..])?)),
+            Some(1) => Ok(AnyCheckpoint::Eager(EagerCheckpoint::decode(&bytes[1..])?)),
+            Some(tag) => Err(CheckpointError::Corrupt(format!(
+                "unknown checkpoint family tag {tag}"
+            ))),
+            None => Err(CheckpointError::Corrupt("empty checkpoint".into())),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +440,44 @@ mod tests {
         let mut bad = params();
         bad.page_bytes = 1000;
         assert!(AnyEngine::build(ProtocolKind::LazyInvalidate, &bad).is_err());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_either_family() {
+        for kind in ProtocolKind::ALL {
+            let e = AnyEngine::build(kind, &params()).unwrap();
+            let (p0, p1) = (ProcId::new(0), ProcId::new(1));
+            let l = LockId::new(0);
+            e.acquire(p0, l).unwrap();
+            e.write(p0, 8, &[9, 9]);
+            e.release(p0, l).unwrap();
+            e.acquire(p1, l).unwrap();
+            let mut buf = [0u8; 2];
+            e.read_into(p1, 8, &mut buf);
+            e.release(p1, l).unwrap();
+
+            let ckpt = e.checkpoint();
+            let decoded = AnyCheckpoint::decode(&ckpt.encode()).unwrap();
+            assert_eq!(decoded, ckpt, "{kind}");
+            assert_eq!(matches!(ckpt, AnyCheckpoint::Lazy(_)), kind.is_lazy());
+
+            let fresh = AnyEngine::build(kind, &params()).unwrap();
+            fresh.restore(&ckpt).unwrap();
+            let mut buf = [0u8; 2];
+            fresh.read_into(p1, 8, &mut buf);
+            assert_eq!(buf, [9, 9], "{kind}");
+
+            // Cross-family restore must be refused, not misread.
+            let other = ProtocolKind::ALL
+                .into_iter()
+                .find(|k| k.is_lazy() != kind.is_lazy())
+                .unwrap();
+            let wrong = AnyEngine::build(other, &params()).unwrap();
+            assert!(matches!(
+                wrong.restore(&ckpt),
+                Err(CheckpointError::Incompatible(_))
+            ));
+        }
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod protocol;
 mod runner;
 mod sweep;
 
-pub use engine_any::{AnyEngine, EngineParams};
+pub use engine_any::{AnyCheckpoint, AnyEngine, EngineParams};
 pub use matrix::{run_traced, CommMatrix};
 pub use protocol::ProtocolKind;
 pub use runner::{run_trace, synth_write_bytes, RunReport, SimError, SimOptions};

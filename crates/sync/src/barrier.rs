@@ -130,6 +130,9 @@ pub struct BarrierSet {
     arrived: Vec<Vec<bool>>,
     count: Vec<usize>,
     episode: Vec<u64>,
+    /// Processors declared dead: they are not required for episode
+    /// completion until [`BarrierSet::revive`] re-includes them.
+    dead: Vec<bool>,
 }
 
 impl BarrierSet {
@@ -145,6 +148,7 @@ impl BarrierSet {
             arrived: vec![vec![false; n_procs]; n_barriers],
             count: vec![0; n_barriers],
             episode: vec![0; n_barriers],
+            dead: vec![false; n_procs],
         }
     }
 
@@ -191,6 +195,75 @@ impl BarrierSet {
         Ok(())
     }
 
+    /// True once every *live* processor has arrived at `barrier`.
+    fn episode_complete(&self, b: usize) -> bool {
+        self.arrived[b]
+            .iter()
+            .zip(&self.dead)
+            .all(|(&arrived, &dead)| arrived || dead)
+    }
+
+    /// Closes the current episode of barrier `b` and returns its index.
+    fn close_episode(&mut self, b: usize) -> u64 {
+        self.arrived[b].iter_mut().for_each(|f| *f = false);
+        self.count[b] = 0;
+        let episode = self.episode[b];
+        self.episode[b] += 1;
+        episode
+    }
+
+    /// Excludes `p` from episode completion (crash recovery): episodes no
+    /// longer wait for it. An arrival `p` already made this episode keeps
+    /// counting — its side effects (interval close, notices) happened.
+    /// Returns the episodes that complete *because* `p` stopped being
+    /// required: `(barrier, episode)` pairs the caller must treat exactly
+    /// like a closing arrival. Marking an already-dead processor is a
+    /// no-op returning no completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn mark_dead(&mut self, p: ProcId) -> Vec<(BarrierId, u64)> {
+        assert!(p.index() < self.n_procs, "unknown processor {p}");
+        if self.dead[p.index()] {
+            return Vec::new();
+        }
+        self.dead[p.index()] = true;
+        let mut completed = Vec::new();
+        for b in 0..self.arrived.len() {
+            // An episode nobody entered yet is not "complete" — it has not
+            // started. Only close episodes with at least one live arrival.
+            let live_arrivals = self.arrived[b]
+                .iter()
+                .zip(&self.dead)
+                .filter(|&(&arrived, &dead)| arrived && !dead)
+                .count();
+            if live_arrivals > 0 && self.episode_complete(b) {
+                let episode = self.close_episode(b);
+                completed.push((BarrierId::new(b as u32), episode));
+            }
+        }
+        completed
+    }
+
+    /// Re-includes a previously [`mark_dead`](BarrierSet::mark_dead)ed
+    /// processor: future episodes wait for it again (including any episode
+    /// currently in progress).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or not dead.
+    pub fn revive(&mut self, p: ProcId) {
+        assert!(p.index() < self.n_procs, "unknown processor {p}");
+        assert!(self.dead[p.index()], "{p} is not dead");
+        self.dead[p.index()] = false;
+    }
+
+    /// True if `p` is currently excluded from episode completion.
+    pub fn is_dead(&self, p: ProcId) -> bool {
+        self.dead.get(p.index()).copied().unwrap_or(false)
+    }
+
     /// Records the arrival of `p` at `barrier`.
     ///
     /// # Errors
@@ -208,22 +281,19 @@ impl BarrierSet {
         if p.index() >= self.n_procs {
             return Err(BarrierError::UnknownProc(p));
         }
-        let flags = &mut self.arrived[barrier.index()];
-        if flags[p.index()] {
+        let b = barrier.index();
+        if self.arrived[b][p.index()] {
             return Err(BarrierError::DoubleArrival { barrier, proc: p });
         }
-        flags[p.index()] = true;
-        self.count[barrier.index()] += 1;
-        if self.count[barrier.index()] == self.n_procs {
-            flags.iter_mut().for_each(|f| *f = false);
-            self.count[barrier.index()] = 0;
-            let episode = self.episode[barrier.index()];
-            self.episode[barrier.index()] += 1;
+        self.arrived[b][p.index()] = true;
+        self.count[b] += 1;
+        if self.episode_complete(b) {
+            let episode = self.close_episode(b);
             Ok(BarrierArrival::Complete { episode })
         } else {
             Ok(BarrierArrival::Waiting {
-                arrived: self.count[barrier.index()],
-                episode: self.episode[barrier.index()],
+                arrived: self.count[b],
+                episode: self.episode[b],
             })
         }
     }
@@ -308,6 +378,75 @@ mod tests {
         assert_eq!(
             b.arrive(p(9), BarrierId::new(0)),
             Err(BarrierError::UnknownProc(p(9)))
+        );
+    }
+
+    #[test]
+    fn marking_the_last_straggler_dead_completes_the_episode() {
+        let mut b = BarrierSet::new(2, 3);
+        let id = BarrierId::new(0);
+        b.arrive(p(0), id).unwrap();
+        b.arrive(p(2), id).unwrap();
+        // p1 dies without arriving: the episode completes on its behalf.
+        let completed = b.mark_dead(p(1));
+        assert_eq!(completed, vec![(id, 0)]);
+        assert_eq!(b.episodes_completed(id), Some(1));
+        assert!(b.is_dead(p(1)));
+        // Untouched barriers complete nothing.
+        assert_eq!(b.episodes_completed(BarrierId::new(1)), Some(0));
+        // The next episode needs only the two live processors.
+        b.arrive(p(0), id).unwrap();
+        assert_eq!(
+            b.arrive(p(2), id).unwrap(),
+            BarrierArrival::Complete { episode: 1 }
+        );
+    }
+
+    #[test]
+    fn dead_arrival_still_counts_toward_its_episode() {
+        let mut b = BarrierSet::new(1, 3);
+        let id = BarrierId::new(0);
+        // p1 arrives, then dies mid-episode: its arrival (and the interval
+        // it closed) stands, and the survivors complete the episode.
+        b.arrive(p(1), id).unwrap();
+        assert_eq!(b.mark_dead(p(1)), vec![]);
+        b.arrive(p(0), id).unwrap();
+        assert_eq!(
+            b.arrive(p(2), id).unwrap(),
+            BarrierArrival::Complete { episode: 0 }
+        );
+    }
+
+    #[test]
+    fn marking_dead_with_no_live_arrivals_completes_nothing() {
+        let mut b = BarrierSet::new(1, 2);
+        assert_eq!(b.mark_dead(p(1)), vec![]);
+        assert_eq!(b.episodes_completed(BarrierId::new(0)), Some(0));
+        // A second mark is a no-op.
+        assert_eq!(b.mark_dead(p(1)), vec![]);
+    }
+
+    #[test]
+    fn revived_processor_is_required_again() {
+        let mut b = BarrierSet::new(1, 2);
+        let id = BarrierId::new(0);
+        b.mark_dead(p(1));
+        assert_eq!(
+            b.arrive(p(0), id).unwrap(),
+            BarrierArrival::Complete { episode: 0 }
+        );
+        b.revive(p(1));
+        assert!(!b.is_dead(p(1)));
+        assert_eq!(
+            b.arrive(p(0), id).unwrap(),
+            BarrierArrival::Waiting {
+                arrived: 1,
+                episode: 1
+            }
+        );
+        assert_eq!(
+            b.arrive(p(1), id).unwrap(),
+            BarrierArrival::Complete { episode: 1 }
         );
     }
 

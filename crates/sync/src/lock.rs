@@ -207,6 +207,17 @@ impl LockTable {
         self.grantor.get(lock.index()).copied()
     }
 
+    /// Every lock currently held by `p` (crash recovery: the locks a dead
+    /// holder must be forced to release).
+    pub fn held_by(&self, p: ProcId) -> Vec<LockId> {
+        self.holder
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| **h == Some(p))
+            .map(|(l, _)| LockId::new(l as u32))
+            .collect()
+    }
+
     fn check(&self, p: ProcId, lock: LockId) -> Result<(), LockError> {
         if lock.index() >= self.holder.len() {
             return Err(LockError::UnknownLock(lock));
@@ -461,6 +472,19 @@ mod tests {
         assert!(t.acquire(p(0), a).is_err());
         assert_eq!(t.release(p(2), a).unwrap(), 2);
         assert_eq!(t.acquire(p(0), a).unwrap().grant_seq, 3);
+    }
+
+    #[test]
+    fn held_by_lists_exactly_the_holders_locks() {
+        let mut t = LockTable::new(3, 2);
+        assert!(t.held_by(p(0)).is_empty());
+        t.acquire(p(0), LockId::new(0)).unwrap();
+        t.acquire(p(0), LockId::new(2)).unwrap();
+        t.acquire(p(1), LockId::new(1)).unwrap();
+        assert_eq!(t.held_by(p(0)), vec![LockId::new(0), LockId::new(2)]);
+        assert_eq!(t.held_by(p(1)), vec![LockId::new(1)]);
+        t.release(p(0), LockId::new(0)).unwrap();
+        assert_eq!(t.held_by(p(0)), vec![LockId::new(2)]);
     }
 
     #[test]

@@ -1,0 +1,495 @@
+//! Crash tolerance under injected faults: peer nodes killed
+//! mid-lock-transfer, mid-barrier, and mid-miss-reply over the channel
+//! transport, wrapped in the deterministic [`FaultyTransport`] layer.
+//!
+//! The invariants under test:
+//!
+//! * survivors detect the dead node (failure detector or explicit
+//!   declaration), force-release its locks, complete its barrier
+//!   episodes, and observe its *flushed* final interval;
+//! * every recorded history — including the crash markers — passes the
+//!   `lrc-hist` checker;
+//! * a restarted node that presents its last checkpoint converges to
+//!   memory byte-identical to a single-threaded engine replay of the
+//!   same kill-and-rejoin sequence.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lrc::core::EngineOp;
+use lrc::dsm::{DsmBuilder, NodeClient, NodeError, NodeServer};
+use lrc::hist::{CheckBudget, HistoryRecorder};
+use lrc::net::{
+    ChannelNet, FaultPlan, FaultyTransport, NetError, Transport, WireCtx, WireKind, WireMsg,
+};
+use lrc::pagemem::{AddrSpace, PageSize};
+use lrc::sim::{AnyEngine, EngineParams, ProtocolKind};
+use lrc::sync::{BarrierId, LockId};
+use lrc::vclock::ProcId;
+
+/// Generous deadline for every blocking wait a test does expect to
+/// complete; a lost wake-up fails loudly instead of hanging CI.
+const WAIT: Duration = Duration::from_secs(60);
+
+/// How long a survivor waits on a silent lock holder before declaring it
+/// dead.
+const SUSPECT_AFTER: Duration = Duration::from_millis(150);
+
+/// Drives one remote processor over raw wire frames — no [`NodeClient`],
+/// so the test controls exactly which frames the "process" lives to send
+/// and receive. A crashed process does not run a tidy reply
+/// demultiplexer, and the kill points here are defined in *frames sent*.
+struct RawPeer<T: Transport> {
+    transport: T,
+    proc: ProcId,
+    seq: u64,
+}
+
+impl<T: Transport> RawPeer<T> {
+    /// Announces `proc` to the engine node (node 0) and returns the peer.
+    fn hello(transport: T, proc: ProcId) -> RawPeer<T> {
+        let node = transport.node();
+        transport
+            .send(
+                &WireMsg::Hello {
+                    node,
+                    procs: vec![proc],
+                },
+                0,
+                0,
+            )
+            .expect("hello is the first frame; the fault plan spares it");
+        RawPeer {
+            transport,
+            proc,
+            seq: 0,
+        }
+    }
+
+    /// Sends one operation frame without waiting for its reply.
+    fn send_op(&mut self, op: EngineOp) -> Result<u64, NetError> {
+        self.seq += 1;
+        self.transport.send(
+            &WireMsg::OpRequest {
+                proc: self.proc,
+                op,
+            },
+            0,
+            self.seq,
+        )?;
+        Ok(self.seq)
+    }
+
+    /// Blocks for the next reply frame and returns its payload.
+    fn recv_reply(&mut self) -> Result<Vec<u8>, NetError> {
+        let frame = self.transport.recv()?;
+        assert_eq!(frame.kind, WireKind::OpReply, "op-plane traffic only");
+        match WireMsg::decode(frame.kind, &frame.body, &WireCtx { n_procs: 0 })
+            .expect("well-formed reply")
+        {
+            WireMsg::OpReply { result } => Ok(result.expect("legal script")),
+            _ => unreachable!("kind was OpReply"),
+        }
+    }
+
+    /// Sends one operation and blocks for its outcome.
+    fn op(&mut self, op: EngineOp) -> Result<Vec<u8>, NetError> {
+        self.send_op(op)?;
+        self.recv_reply()
+    }
+}
+
+/// Reads the full shared space through `read` in page-sized chunks.
+fn read_all(read: &mut dyn FnMut(u64, &mut [u8]), total: u64, page: usize) -> Vec<u8> {
+    let mut mem = vec![0u8; total as usize];
+    for (i, chunk) in mem.chunks_mut(page).enumerate() {
+        read(i as u64 * page as u64, chunk);
+    }
+    mem
+}
+
+/// A node killed mid-lock-transfer: its acquire and write are delivered,
+/// the release dies with the process. The survivor's failure detector
+/// times the silent holder out, declares it dead, and wins the
+/// force-released lock — observing the dead holder's flushed write.
+#[test]
+fn killed_lock_holder_is_detected_and_superseded() {
+    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 14)
+        .page_size(256)
+        .wait_timeout(WAIT)
+        .holder_timeout(SUSPECT_AFTER)
+        .build()
+        .unwrap();
+    let recorder = HistoryRecorder::new(2);
+    dsm.attach_recorder(Arc::clone(&recorder));
+
+    let mut mesh = ChannelNet::mesh(2);
+    let victim_end = mesh.pop().unwrap();
+    let server_end = mesh.pop().unwrap();
+    let server = NodeServer::new(dsm.clone(), server_end);
+    let serving = std::thread::spawn(move || server.serve());
+
+    // Frame 4 (the release) is where the process dies.
+    let plan = FaultPlan::new().kill_after_sends(4);
+    let victim_proc = ProcId::new(1);
+    let lock = LockId::new(0);
+    let mut victim = RawPeer::hello(FaultyTransport::new(victim_end, plan), victim_proc);
+    victim.op(EngineOp::Acquire(lock)).unwrap();
+    victim
+        .op(EngineOp::Write {
+            addr: 64,
+            data: 7u64.to_le_bytes().to_vec(),
+        })
+        .unwrap();
+    assert_eq!(
+        victim.send_op(EngineOp::Release(lock)).unwrap_err(),
+        NetError::Closed,
+        "the kill rule fires on the release frame"
+    );
+
+    // The survivor contends for the same lock: the holder stays silent
+    // past the suspicion deadline, is declared dead (open interval
+    // flushed, lock force-released), and the retry wins.
+    let mut survivor = dsm.handle(ProcId::new(0));
+    survivor.acquire(lock).unwrap();
+    assert!(
+        dsm.is_dead(victim_proc),
+        "the silent holder was declared dead"
+    );
+    assert_eq!(
+        survivor.read_u64(64),
+        7,
+        "the dead holder's write was flushed before the force-release"
+    );
+    survivor.write_u64(72, 8);
+    survivor.release(lock).unwrap();
+
+    // The recorded histories — crash marker included — check out.
+    recorder
+        .finish()
+        .check(&CheckBudget::default())
+        .expect("survivor history passes after a mid-transfer kill");
+
+    // The dead process's endpoint closing is what ends the server.
+    drop(victim);
+    assert!(
+        matches!(
+            serving.join().unwrap(),
+            Err(NodeError::Net(NetError::Closed))
+        ),
+        "a crashed peer ends the session with a transport close, not a Shutdown"
+    );
+}
+
+/// A node killed mid-barrier: its arrival frame dies in flight, leaving
+/// the survivor parked in an episode that can never complete — until the
+/// death declaration completes the episode on the dead node's behalf.
+#[test]
+fn killed_node_mid_barrier_releases_the_parked_survivor() {
+    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 14)
+        .page_size(256)
+        .wait_timeout(WAIT)
+        .build()
+        .unwrap();
+    let recorder = HistoryRecorder::new(2);
+    dsm.attach_recorder(Arc::clone(&recorder));
+
+    let mut mesh = ChannelNet::mesh(2);
+    let victim_end = mesh.pop().unwrap();
+    let server_end = mesh.pop().unwrap();
+    let server = NodeServer::new(dsm.clone(), server_end);
+    let serving = std::thread::spawn(move || server.serve());
+
+    // Frame 3 (the barrier arrival) is where the process dies.
+    let plan = FaultPlan::new().kill_after_sends(3);
+    let victim_proc = ProcId::new(1);
+    let barrier = BarrierId::new(0);
+    let mut victim = RawPeer::hello(FaultyTransport::new(victim_end, plan), victim_proc);
+    victim
+        .op(EngineOp::Write {
+            addr: 0,
+            data: 3u64.to_le_bytes().to_vec(),
+        })
+        .unwrap();
+    assert_eq!(
+        victim.send_op(EngineOp::Barrier(barrier)).unwrap_err(),
+        NetError::Closed,
+        "the kill rule fires on the barrier arrival"
+    );
+
+    // The survivor arrives and parks: with the victim gone, its episode
+    // needs the death declaration to complete.
+    let survivor_thread = std::thread::spawn({
+        let dsm = dsm.clone();
+        move || {
+            let mut h = dsm.handle(ProcId::new(0));
+            h.write_u64(8, 5);
+            h.barrier(barrier).unwrap();
+            h.read_u64(8)
+        }
+    });
+    std::thread::sleep(Duration::from_millis(100)); // let the survivor park
+    dsm.declare_dead(victim_proc);
+    assert_eq!(
+        survivor_thread.join().unwrap(),
+        5,
+        "the parked survivor fell through the completed episode"
+    );
+
+    recorder
+        .finish()
+        .check(&CheckBudget::default())
+        .expect("survivor history passes after a mid-barrier kill");
+
+    drop(victim);
+    assert!(matches!(
+        serving.join().unwrap(),
+        Err(NodeError::Net(NetError::Closed))
+    ));
+}
+
+/// A node killed with a miss reply in flight: its page miss is serviced
+/// and the reply sent, but the process dies before consuming it. The
+/// servicing must leave the engine consistent for the survivors, and the
+/// dead processor's recorded read must still be justified.
+#[test]
+fn killed_node_with_a_miss_reply_in_flight_leaves_survivors_consistent() {
+    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 14)
+        .page_size(256)
+        .wait_timeout(WAIT)
+        .build()
+        .unwrap();
+    let recorder = HistoryRecorder::new(2);
+    dsm.attach_recorder(Arc::clone(&recorder));
+
+    let mut mesh = ChannelNet::mesh(2);
+    let victim_end = mesh.pop().unwrap();
+    let server_end = mesh.pop().unwrap();
+    let server = NodeServer::new(dsm.clone(), server_end);
+    let serving = std::thread::spawn(move || server.serve());
+
+    let victim_proc = ProcId::new(1);
+    let lock = LockId::new(0);
+
+    // The survivor publishes under the lock first, so the victim's read
+    // is a genuine warm miss with protocol traffic behind it.
+    let mut survivor = dsm.handle(ProcId::new(0));
+    survivor.acquire(lock).unwrap();
+    survivor.write_u64(512, 31);
+    survivor.release(lock).unwrap();
+
+    // Frame 4 (the release) is where the process dies — after the miss
+    // request went out, while its reply is still unconsumed.
+    let plan = FaultPlan::new().kill_after_sends(4);
+    let mut victim = RawPeer::hello(FaultyTransport::new(victim_end, plan), victim_proc);
+    victim.op(EngineOp::Acquire(lock)).unwrap();
+    let miss_seq = victim
+        .send_op(EngineOp::Read { addr: 512, len: 8 })
+        .unwrap();
+
+    // The miss really was serviced: its reply frame sits in the dead
+    // process's queue, never to be consumed. The test reads it through
+    // the fault layer's inner transport — the omniscient view of a frame
+    // that was in flight when the process died.
+    let frame = victim.transport.inner().recv().unwrap();
+    assert_eq!(frame.kind, WireKind::OpReply);
+    assert_eq!(frame.seq, miss_seq);
+    let bytes = match WireMsg::decode(frame.kind, &frame.body, &WireCtx { n_procs: 0 }).unwrap() {
+        WireMsg::OpReply { result } => result.expect("the miss was serviced"),
+        _ => unreachable!("kind was OpReply"),
+    };
+    assert_eq!(
+        u64::from_le_bytes(bytes.try_into().unwrap()),
+        31,
+        "the in-flight reply carried current data"
+    );
+    assert_eq!(
+        victim.send_op(EngineOp::Release(lock)).unwrap_err(),
+        NetError::Closed,
+        "the kill rule fires on the release frame"
+    );
+
+    // The survivors declare the victim dead and carry on; the serviced
+    // miss left nothing inconsistent behind.
+    dsm.declare_dead(victim_proc);
+    survivor.acquire(lock).unwrap();
+    assert_eq!(survivor.read_u64(512), 31);
+    survivor.write_u64(520, 32);
+    survivor.release(lock).unwrap();
+
+    recorder
+        .finish()
+        .check(&CheckBudget::default())
+        .expect("histories pass with the victim's serviced-but-unconsumed miss");
+
+    drop(victim);
+    assert!(matches!(
+        serving.join().unwrap(),
+        Err(NodeError::Net(NetError::Closed))
+    ));
+}
+
+/// The full crash-tolerance arc, seeded and deterministic: a node
+/// checkpoints at a barrier, is killed mid-lock-transfer, survivors
+/// detect the death and carry on, and the restarted node rejoins from the
+/// checkpoint over the wire — converging to memory byte-identical to a
+/// single-threaded engine replay of the same kill-and-rejoin sequence.
+#[test]
+fn killed_node_rejoins_from_checkpoint_and_converges() {
+    const PAGE: usize = 256;
+    const MEM: u64 = 1 << 14;
+    let kind = ProtocolKind::LazyInvalidate;
+    let p0 = ProcId::new(0);
+    let p1 = ProcId::new(1);
+    let lock = LockId::new(0);
+    let barrier = BarrierId::new(0);
+
+    let dsm = DsmBuilder::new(kind, 2, MEM)
+        .page_size(PAGE)
+        .wait_timeout(WAIT)
+        .holder_timeout(SUSPECT_AFTER)
+        .build()
+        .unwrap();
+    let recorder = HistoryRecorder::new(2);
+    dsm.attach_recorder(Arc::clone(&recorder));
+
+    let mut mesh = ChannelNet::mesh(3);
+    let rejoin_end = mesh.pop().unwrap(); // node 2: the restarted incarnation
+    let victim_end = mesh.pop().unwrap(); // node 1: dies mid-run
+    let server_end = mesh.pop().unwrap(); // node 0: the engine node
+    let server = NodeServer::new(dsm.clone(), server_end);
+    let serving = std::thread::spawn(move || server.serve());
+
+    // Frame 6 (the phase-2 release) is where the process dies.
+    let plan = FaultPlan::new().kill_after_sends(6);
+    let mut victim = RawPeer::hello(FaultyTransport::new(victim_end, plan), p1);
+
+    // The survivor holds at the std barrier until the checkpoint is cut
+    // *and* the victim holds the contended lock — making the
+    // failure-detector hand-off deterministic.
+    let ckpt_taken = Arc::new(std::sync::Barrier::new(2));
+    let survivor_thread = std::thread::spawn({
+        let dsm = dsm.clone();
+        let ckpt_taken = Arc::clone(&ckpt_taken);
+        move || {
+            let mut h = dsm.handle(p0);
+            h.write_u64(8, 0x51);
+            h.barrier(barrier).unwrap();
+            ckpt_taken.wait();
+            // Phase 2: the victim took the lock first and died holding
+            // it; the failure detector inside acquire declares it dead.
+            h.acquire(lock).unwrap();
+            let flushed = h.read_u64(1032);
+            h.write_u64(16, 0x52);
+            h.release(lock).unwrap();
+            flushed
+        }
+    });
+
+    // Phase 1: the victim publishes its slot and arrives at the barrier.
+    victim
+        .op(EngineOp::Write {
+            addr: 1024,
+            data: 0x41u64.to_le_bytes().to_vec(),
+        })
+        .unwrap();
+    victim.op(EngineOp::Barrier(barrier)).unwrap();
+
+    // Post-barrier quiescence: cut the checkpoint the restarted node will
+    // present (the engine is idle — the survivor is parked at the std
+    // barrier, the victim's worker drained).
+    let checkpoint = dsm.checkpoint().encode();
+
+    // Phase 2: the victim takes the lock and writes, then dies on the
+    // release frame.
+    victim.op(EngineOp::Acquire(lock)).unwrap();
+    victim
+        .op(EngineOp::Write {
+            addr: 1032,
+            data: 0x42u64.to_le_bytes().to_vec(),
+        })
+        .unwrap();
+    ckpt_taken.wait(); // unleash the survivor onto the held lock
+    assert_eq!(
+        victim.send_op(EngineOp::Release(lock)).unwrap_err(),
+        NetError::Closed,
+        "the kill rule fires on the phase-2 release"
+    );
+
+    assert_eq!(
+        survivor_thread.join().unwrap(),
+        0x42,
+        "the dead holder's final write was flushed to the survivor"
+    );
+    assert!(dsm.is_dead(p1));
+
+    // ---- rejoin: the restarted incarnation presents the checkpoint ----
+    let (client, episode) = NodeClient::rejoin(rejoin_end, 0, p1, checkpoint).unwrap();
+    assert_eq!(episode, 1, "the checkpoint was cut after barrier episode 1");
+    assert!(!dsm.is_dead(p1), "the rejoined processor is live again");
+
+    // Resynchronize (a lock acquire is the happens-before edge from the
+    // survivors), then read the whole space back over the wire.
+    let total = AddrSpace::with_capacity(PageSize::new(PAGE).unwrap(), MEM).total_bytes();
+    let mut revived = client.handle(p1);
+    revived.acquire(lock).unwrap();
+    let node_mem = read_all(
+        &mut |addr, buf| revived.read_bytes(addr, buf).expect("remote read"),
+        total,
+        PAGE,
+    );
+    revived.release(lock).unwrap();
+
+    // Every recorded history — two crash-spanning logs included — passes.
+    recorder
+        .finish()
+        .check(&CheckBudget::default())
+        .expect("kill-and-rejoin histories pass the checker");
+
+    // The reference: the same sequence replayed single-threaded through
+    // the engine, in the serialization order the runtime actually took.
+    let params = EngineParams {
+        n_procs: 2,
+        mem_bytes: MEM,
+        page_bytes: PAGE,
+        n_locks: 1,
+        n_barriers: 1,
+        ..EngineParams::default()
+    };
+    let engine = AnyEngine::build(kind, &params).unwrap();
+    engine.write(p0, 8, &0x51u64.to_le_bytes());
+    engine.write(p1, 1024, &0x41u64.to_le_bytes());
+    engine.barrier(p0, barrier).unwrap();
+    engine.barrier(p1, barrier).unwrap();
+    let reference_ckpt = engine.checkpoint();
+    engine.acquire(p1, lock).unwrap();
+    engine.write(p1, 1032, &0x42u64.to_le_bytes());
+    engine.declare_dead(p1);
+    engine.acquire(p0, lock).unwrap();
+    let mut flushed = [0u8; 8];
+    engine.read_into(p0, 1032, &mut flushed);
+    engine.write(p0, 16, &0x52u64.to_le_bytes());
+    engine.release(p0, lock).unwrap();
+    engine.rejoin(p1, &reference_ckpt).unwrap();
+    engine.acquire(p1, lock).unwrap();
+    let sim_mem = read_all(
+        &mut |addr, buf| engine.read_into(p1, addr, buf),
+        total,
+        PAGE,
+    );
+    engine.release(p1, lock).unwrap();
+
+    assert_eq!(
+        sim_mem, node_mem,
+        "rejoined node's memory diverges from the single-threaded replay"
+    );
+
+    // The rejoin superseded the dead node 1, so node 2's shutdown is the
+    // last one the server waits for: a clean exit.
+    client.shutdown().unwrap();
+    serving
+        .join()
+        .unwrap()
+        .expect("rejoin supersedes the crashed peer; the server retires cleanly");
+    drop(victim);
+}

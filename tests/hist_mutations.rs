@@ -9,7 +9,10 @@
 
 mod hist_support;
 
-use hist_support::{failure_report, forced_flow_program, run_and_check, run_threaded, RunConfig};
+use hist_support::{
+    failure_report, forced_flow_program, run_and_check, run_threaded, run_threaded_sampled,
+    RunConfig,
+};
 use lrc::core::ProtocolMutation;
 use lrc::hist::{CheckBudget, HistError};
 use lrc::sim::ProtocolKind;
@@ -89,6 +92,115 @@ fn stale_snapshot_apply_is_rejected() {
                 "{}: unexpected rejection {err}",
                 cfg.label()
             );
+        }
+    }
+}
+
+/// Applying a fetched interval's diffs in reverse happens-before order
+/// (older diffs clobber newer ones wherever writes overlap) is rejected
+/// under both lazy policies and both page-size regimes, every time. The
+/// forced-flow program's shared critical section makes every processor
+/// rewrite the same words each phase, so ordering matters on every run.
+#[test]
+fn wrong_diff_order_is_rejected() {
+    let prog = forced_flow_program(3, 3);
+    for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::LazyUpdate] {
+        for page in [256usize, 1024] {
+            let cfg = broken(kind, page, ProtocolMutation::WrongDiffOrder);
+            let (_, verdict) = run_and_check(&prog, &cfg);
+            let err = verdict.expect_err("wrong-diff-order must be rejected");
+            assert!(
+                matches!(
+                    err,
+                    HistError::Unjustified { .. } | HistError::NoWitness { .. }
+                ),
+                "{}: unexpected rejection {err}",
+                cfg.label()
+            );
+        }
+    }
+}
+
+/// A barrier master that computes each processor's exit notices against
+/// that processor's *own* knowledge instead of the merged episode clock
+/// (so notices covered by other processors' contributions are silently
+/// dropped) is rejected under both lazy policies and both page-size
+/// regimes, every time.
+#[test]
+fn dropped_clock_merge_is_rejected() {
+    let prog = forced_flow_program(3, 3);
+    for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::LazyUpdate] {
+        for page in [256usize, 1024] {
+            let cfg = broken(kind, page, ProtocolMutation::DroppedClockMerge);
+            let (_, verdict) = run_and_check(&prog, &cfg);
+            let err = verdict.expect_err("dropped-clock-merge must be rejected");
+            assert!(
+                matches!(
+                    err,
+                    HistError::Unjustified { .. } | HistError::NoWitness { .. }
+                ),
+                "{}: unexpected rejection {err}",
+                cfg.label()
+            );
+        }
+    }
+}
+
+/// A lock grant that understates the acquirer's prior knowledge by one
+/// interval (so the releaser ships one notice batch too few) is rejected
+/// under both lazy policies and both page-size regimes, every time — the
+/// forced-flow program's critical section moves data on every hand-off.
+#[test]
+fn stale_grant_knowledge_is_rejected() {
+    let prog = forced_flow_program(3, 3);
+    for kind in [ProtocolKind::LazyInvalidate, ProtocolKind::LazyUpdate] {
+        for page in [256usize, 1024] {
+            let cfg = broken(kind, page, ProtocolMutation::StaleGrantKnowledge);
+            let (_, verdict) = run_and_check(&prog, &cfg);
+            let err = verdict.expect_err("stale-grant-knowledge must be rejected");
+            assert!(
+                matches!(
+                    err,
+                    HistError::Unjustified { .. } | HistError::NoWitness { .. }
+                ),
+                "{}: unexpected rejection {err}",
+                cfg.label()
+            );
+        }
+    }
+}
+
+/// Read-sampled recording (1-in-N) still rejects a broken protocol: the
+/// forced-flow program reads the flowed data often enough that even a
+/// thinned observation set contains an unjustifiable read, while the
+/// stock protocol passes the same sampled recording.
+#[test]
+fn sampled_recording_still_rejects_skip_twin_diff() {
+    let prog = forced_flow_program(3, 3);
+    let cfg = broken(
+        ProtocolKind::LazyInvalidate,
+        256,
+        ProtocolMutation::SkipTwinDiff,
+    );
+    for sample in [2u32, 3] {
+        let hist = run_threaded_sampled(&prog, &cfg, sample);
+        let err = hist
+            .check(&CheckBudget::default())
+            .expect_err("sampled skip-twin-diff must be rejected");
+        assert!(
+            matches!(
+                err,
+                HistError::Unjustified { .. } | HistError::NoWitness { .. }
+            ),
+            "{} sample=1/{sample}: unexpected rejection {err}",
+            cfg.label()
+        );
+        // The same sampled recording of the *stock* protocol passes: the
+        // rejection above is the mutation's fault, not the sampling's.
+        let stock = RunConfig::stock(ProtocolKind::LazyInvalidate, 256);
+        let verdict = run_threaded_sampled(&prog, &stock, sample).check(&CheckBudget::default());
+        if let Err(err) = verdict {
+            panic!("stock run under 1/{sample} sampling rejected: {err}");
         }
     }
 }

@@ -1,0 +1,198 @@
+//! Checkpoint/restore round trips at the runtime level: a checkpoint cut
+//! from a live [`Dsm`], serialized, decoded, and restored into a fresh
+//! runtime must resume *identically* — under every protocol family — and
+//! incremental deltas between barrier-episode checkpoints must
+//! reconstruct the full snapshot exactly.
+
+use lrc::core::CheckpointError;
+use lrc::dsm::{Dsm, DsmBuilder};
+use lrc::sim::{AnyCheckpoint, ProtocolKind};
+use lrc::sync::LockId;
+use lrc::vclock::ProcId;
+
+const PAGE: usize = 256;
+const MEM: u64 = 1 << 13;
+
+fn build(kind: ProtocolKind) -> Dsm {
+    DsmBuilder::new(kind, 2, MEM)
+        .page_size(PAGE)
+        .locks(1)
+        .build()
+        .unwrap()
+}
+
+/// A committed phase of work: every write is published by a release
+/// before the phase ends, so a checkpoint cut afterwards captures it.
+fn committed_phase(dsm: &Dsm, salt: u64) {
+    let lock = LockId::new(0);
+    let mut a = dsm.handle(ProcId::new(0));
+    let mut b = dsm.handle(ProcId::new(1));
+    a.acquire(lock).unwrap();
+    a.write_u64(8, 100 + salt);
+    a.write_u64(520, 200 + salt);
+    a.release(lock).unwrap();
+    b.acquire(lock).unwrap();
+    let seen = b.read_u64(8);
+    b.write_u64(1032, seen + salt);
+    b.release(lock).unwrap();
+}
+
+/// Full-space read-back as `p`, inside the lock (the happens-before edge
+/// that makes the read protocol-legal on every engine).
+fn read_all(dsm: &Dsm, p: ProcId) -> Vec<u8> {
+    let lock = LockId::new(0);
+    let mut h = dsm.handle(p);
+    h.acquire(lock).unwrap();
+    let mut mem = vec![0u8; MEM as usize];
+    for (i, chunk) in mem.chunks_mut(PAGE).enumerate() {
+        h.read_bytes(i as u64 * PAGE as u64, chunk);
+    }
+    h.release(lock).unwrap();
+    mem
+}
+
+/// Checkpoint → encode → decode → restore into a fresh runtime, then run
+/// the same continuation on both: final memory must be byte-identical,
+/// for every protocol family.
+#[test]
+fn restored_runtime_resumes_identically_across_all_kinds() {
+    for kind in ProtocolKind::ALL {
+        let original = build(kind);
+        committed_phase(&original, 1);
+
+        let ckpt = original.checkpoint();
+        let bytes = ckpt.encode();
+        let decoded = AnyCheckpoint::decode(&bytes).expect("round trip");
+        assert_eq!(decoded, ckpt, "{kind}: codec round trip");
+
+        let restored = build(kind);
+        restored.restore(&decoded).expect("same-shape restore");
+
+        // The same continuation on both runtimes...
+        committed_phase(&original, 2);
+        committed_phase(&restored, 2);
+
+        // ...ends in the same bytes, from either processor's view.
+        for p in [ProcId::new(0), ProcId::new(1)] {
+            assert_eq!(
+                read_all(&original, p),
+                read_all(&restored, p),
+                "{kind}: memory diverges after restore (as {p})"
+            );
+        }
+    }
+}
+
+/// Deltas between successive checkpoints reconstruct the full snapshot
+/// exactly, round-trip through their codec, and stay smaller than the
+/// full checkpoint — the incremental-between-barriers claim.
+#[test]
+fn incremental_deltas_reconstruct_the_full_checkpoint() {
+    let dsm = build(ProtocolKind::LazyInvalidate);
+    committed_phase(&dsm, 1);
+    let AnyCheckpoint::Lazy(base) = dsm.checkpoint() else {
+        panic!("lazy runtime cuts lazy checkpoints");
+    };
+    committed_phase(&dsm, 2);
+    let AnyCheckpoint::Lazy(full) = dsm.checkpoint() else {
+        panic!("lazy runtime cuts lazy checkpoints");
+    };
+
+    let delta = full.delta_since(&base).expect("same run, same era");
+    assert_eq!(
+        delta.apply_to(&base).expect("delta applies to its base"),
+        full,
+        "base + delta must equal the full checkpoint"
+    );
+
+    let delta_bytes = delta.encode(full.page_bytes, full.n_pages);
+    let decoded = lrc::core::CheckpointDelta::decode(&delta_bytes).expect("delta round trip");
+    assert_eq!(decoded, delta);
+    assert!(
+        delta_bytes.len() < full.encode().len(),
+        "a one-phase delta ({}B) should undercut the full checkpoint ({}B)",
+        delta_bytes.len(),
+        full.encode().len()
+    );
+}
+
+/// A checkpoint cut mid-interval captures only *committed* state: a write
+/// still sitting in an open interval (no release yet) contributes the
+/// page's twin, not the dirty bytes.
+#[test]
+fn mid_interval_checkpoint_captures_committed_state_only() {
+    let lock = LockId::new(0);
+    let dsm = build(ProtocolKind::LazyInvalidate);
+    committed_phase(&dsm, 1); // addr 8 now holds 101, committed
+
+    let mut a = dsm.handle(ProcId::new(0));
+    a.acquire(lock).unwrap();
+    a.write_u64(8, 0xDEAD); // dirty, interval still open
+    let ckpt = dsm.checkpoint();
+    a.release(lock).unwrap();
+
+    let restored = build(ProtocolKind::LazyInvalidate);
+    restored.restore(&ckpt).expect("same-shape restore");
+    let mut r = restored.handle(ProcId::new(0));
+    assert_eq!(
+        r.read_u64(8),
+        101,
+        "the uncommitted write must not appear in the checkpoint"
+    );
+
+    // After the release commits it, a fresh checkpoint carries it.
+    let after = dsm.checkpoint();
+    let restored2 = build(ProtocolKind::LazyInvalidate);
+    restored2.restore(&after).expect("same-shape restore");
+    let mut r2 = restored2.handle(ProcId::new(0));
+    assert_eq!(r2.read_u64(8), 0xDEAD, "the committed write is captured");
+}
+
+/// Family and shape mismatches are rejected, and corrupt bytes are
+/// reported as corrupt — never misdecoded.
+#[test]
+fn incompatible_and_corrupt_checkpoints_are_rejected() {
+    let lazy = build(ProtocolKind::LazyInvalidate);
+    let eager = build(ProtocolKind::EagerInvalidate);
+    committed_phase(&lazy, 1);
+    committed_phase(&eager, 1);
+
+    // Cross-family restores are refused.
+    let from_lazy = lazy.checkpoint();
+    let from_eager = eager.checkpoint();
+    assert!(matches!(
+        eager.restore(&from_lazy),
+        Err(CheckpointError::Incompatible(_))
+    ));
+    assert!(matches!(
+        lazy.restore(&from_eager),
+        Err(CheckpointError::Incompatible(_))
+    ));
+
+    // Shape mismatches are refused: a 4-processor runtime cannot swallow
+    // a 2-processor checkpoint.
+    let wider = DsmBuilder::new(ProtocolKind::LazyInvalidate, 4, MEM)
+        .page_size(PAGE)
+        .build()
+        .unwrap();
+    assert!(matches!(
+        wider.restore(&from_lazy),
+        Err(CheckpointError::Incompatible(_))
+    ));
+
+    // Truncated and tag-mangled bytes are corrupt, loudly.
+    let mut bytes = from_lazy.encode();
+    assert!(matches!(
+        AnyCheckpoint::decode(&bytes[..bytes.len() - 3]),
+        Err(CheckpointError::Corrupt(_))
+    ));
+    bytes[0] = 9; // unknown family tag
+    assert!(matches!(
+        AnyCheckpoint::decode(&bytes),
+        Err(CheckpointError::Corrupt(_))
+    ));
+    assert!(matches!(
+        AnyCheckpoint::decode(&[]),
+        Err(CheckpointError::Corrupt(_))
+    ));
+}
