@@ -23,11 +23,14 @@
 //! ratio — the global lock serializes (and, contended, parks threads),
 //! the sharded engine does not.
 
-use std::sync::Mutex;
 use std::time::Instant;
 
 use lrc_dsm::{Dsm, DsmBuilder};
 use lrc_sim::ProtocolKind;
+// The global baseline lock stays untagged (auto class, no level): it wraps
+// the whole engine hierarchy from outside, which is exactly what its
+// pre-sharding role was.
+use parking_lot::Mutex;
 
 /// Total operations across all processors, split evenly. Kept moderate so
 /// the whole sweep finishes in seconds even under a contended global lock.
@@ -70,7 +73,7 @@ fn run(n_procs: usize, global: Option<&Mutex<()>>) -> f64 {
         let mut sum = 0u64;
         for i in 0..ops_per_proc {
             let addr = base + (i % (REGION_BYTES / 8)) * 8;
-            let _serial = global.map(|m| m.lock().unwrap());
+            let _serial = global.map(|m| m.lock());
             if i % READS_PER_WRITE == 0 {
                 proc.write_u64(addr, i);
             } else {

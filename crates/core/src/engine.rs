@@ -9,6 +9,7 @@ use lrc_simnet::{
 };
 use lrc_sync::{BarrierArrival, BarrierError, BarrierId, BarrierSet, LockError, LockId, LockTable};
 use lrc_vclock::{IntervalId, ProcId, StampedInterval, VectorClock};
+use parking_lot::lockdep::classes;
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
 use crate::counters::{bump, SharedLazyCounters};
@@ -168,24 +169,36 @@ impl LrcEngine {
             .map(|p| {
                 let mut clock = VectorClock::new(n);
                 clock.set(p, 1); // interval numbering starts at 1
-                Mutex::new(ProcShard {
-                    clock,
-                    dirty: Vec::new(),
-                    pages: (0..space.n_pages()).map(|_| PageEntry::default()).collect(),
-                    dead: false,
-                })
+                Mutex::new_in(
+                    ProcShard {
+                        clock,
+                        dirty: Vec::new(),
+                        pages: (0..space.n_pages()).map(|_| PageEntry::default()).collect(),
+                        dead: false,
+                    },
+                    classes::ENGINE_SHARD,
+                )
             })
             .collect();
         Ok(LrcEngine {
             space,
             shards,
-            store: RwLock::new(IntervalStore::new(n)),
-            locks: Mutex::new(LockTable::new(cfg.n_locks, n)),
-            barriers: Mutex::new(BarrierSet::new(cfg.n_barriers, n)),
-            gc_owner: Mutex::new(vec![None; space.n_pages() as usize]),
-            lock_gates: (0..cfg.n_locks).map(|_| Mutex::new(())).collect(),
-            page_gates: (0..space.n_pages()).map(|_| Mutex::new(())).collect(),
-            serial_gate: cfg.serialize_slow_paths.then(|| Mutex::new(())),
+            store: RwLock::new_in(IntervalStore::new(n), classes::CORE_STORE),
+            locks: Mutex::new_in(LockTable::new(cfg.n_locks, n), classes::SYNC_LOCK_TABLE),
+            barriers: Mutex::new_in(
+                BarrierSet::new(cfg.n_barriers, n),
+                classes::SYNC_BARRIER_SET,
+            ),
+            gc_owner: Mutex::new_in(vec![None; space.n_pages() as usize], classes::CORE_GC_OWNER),
+            lock_gates: (0..cfg.n_locks)
+                .map(|l| Mutex::new_in((), classes::ENGINE_LOCK_GATE.with_order(l as u64)))
+                .collect(),
+            page_gates: (0..space.n_pages())
+                .map(|p| Mutex::new_in((), classes::ENGINE_PAGE_GATE.with_order(u64::from(p))))
+                .collect(),
+            serial_gate: cfg
+                .serialize_slow_paths
+                .then(|| Mutex::new_in((), classes::ENGINE_SERIAL_GATE)),
             slow_inflight: AtomicU64::new(0),
             miss_inflight: AtomicU64::new(0),
             fetch_hook: FetchHookCell::default(),

@@ -9,6 +9,7 @@ use lrc_sim::{AnyCheckpoint, AnyEngine, ProtocolKind};
 use lrc_simnet::NetStats;
 use lrc_sync::{BarrierError, LockError};
 use lrc_vclock::ProcId;
+use parking_lot::lockdep::classes;
 
 use crate::ProcHandle;
 
@@ -173,17 +174,20 @@ impl Dsm {
             cluster: Arc::new(Cluster {
                 engine,
                 lock_slots: (0..n_locks)
-                    .map(|_| LockSlot {
-                        generation: parking_lot::Mutex::new(0),
+                    .map(|l| LockSlot {
+                        generation: parking_lot::Mutex::new_in(
+                            0,
+                            classes::DSM_LOCK_SLOT.with_order(l as u64),
+                        ),
                         released: parking_lot::Condvar::new(),
                     })
                     .collect(),
                 barrier_cv: parking_lot::Condvar::new(),
-                episodes: parking_lot::Mutex::new(vec![0; n_barriers]),
+                episodes: parking_lot::Mutex::new_in(vec![0; n_barriers], classes::DSM_EPISODES),
                 n_procs,
                 wait_timeout,
                 holder_timeout,
-                suspicion: parking_lot::Mutex::new(()),
+                suspicion: parking_lot::Mutex::new_in((), classes::DSM_SUSPICION),
             }),
             kind,
             n_locks,

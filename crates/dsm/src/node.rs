@@ -47,7 +47,10 @@ use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::lockdep::classes;
+use parking_lot::Mutex;
 use std::thread::JoinHandle;
 
 use lrc_core::EngineOp;
@@ -363,7 +366,7 @@ impl NodeClient {
             transport: Arc::new(transport),
             engine_node,
             next_seq: AtomicU64::new(1),
-            pending: Mutex::new(HashMap::new()),
+            pending: Mutex::new_in(HashMap::new(), classes::NET_PENDING),
         });
         inner.transport.send(
             &WireMsg::Hello {
@@ -410,7 +413,7 @@ impl NodeClient {
             transport: Arc::new(transport),
             engine_node,
             next_seq: AtomicU64::new(1),
-            pending: Mutex::new(HashMap::new()),
+            pending: Mutex::new_in(HashMap::new(), classes::NET_PENDING),
         });
         inner.transport.send(
             &WireMsg::RejoinRequest {
@@ -523,17 +526,13 @@ fn demux_loop(inner: &ClientInner) {
             Ok(WireMsg::OpReply { result }) => result,
             _ => Err("malformed reply frame".to_string()),
         };
-        let waiter = inner
-            .pending
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .remove(&frame.seq);
+        let waiter = inner.pending.lock().remove(&frame.seq);
         if let Some(tx) = waiter {
             let _ = tx.send(result);
         }
     }
     // Unblock every caller still waiting.
-    let mut pending = inner.pending.lock().unwrap_or_else(|e| e.into_inner());
+    let mut pending = inner.pending.lock();
     for (_, tx) in pending.drain() {
         let _ = tx.send(Err("transport closed".to_string()));
     }
@@ -564,11 +563,7 @@ impl RemoteHandle {
     pub fn apply(&mut self, op: &EngineOp) -> Result<Vec<u8>, NodeError> {
         let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel();
-        self.inner
-            .pending
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(seq, tx);
+        self.inner.pending.lock().insert(seq, tx);
         let request = WireMsg::OpRequest {
             proc: self.proc,
             op: op.clone(),
@@ -578,11 +573,7 @@ impl RemoteHandle {
             .transport
             .send(&request, self.inner.engine_node, seq)
         {
-            self.inner
-                .pending
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .remove(&seq);
+            self.inner.pending.lock().remove(&seq);
             return Err(e.into());
         }
         match rx.recv() {

@@ -11,6 +11,7 @@ use lrc_simnet::{
 };
 use lrc_sync::{BarrierArrival, BarrierError, BarrierId, BarrierSet, LockError, LockId, LockTable};
 use lrc_vclock::ProcId;
+use parking_lot::lockdep::classes;
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::counters::{bump, SharedEagerCounters};
@@ -158,19 +159,31 @@ impl EagerEngine {
             space,
             shards: (0..n)
                 .map(|_| {
-                    Mutex::new(EagerShard {
-                        pages: (0..space.n_pages()).map(|_| EPage::default()).collect(),
-                        dirty: Vec::new(),
-                    })
+                    Mutex::new_in(
+                        EagerShard {
+                            pages: (0..space.n_pages()).map(|_| EPage::default()).collect(),
+                            dirty: Vec::new(),
+                        },
+                        classes::ENGINE_SHARD,
+                    )
                 })
                 .collect(),
-            dir: Mutex::new(dir),
-            locks: Mutex::new(LockTable::new(cfg.n_locks, n)),
-            barriers: Mutex::new(BarrierSet::new(cfg.n_barriers, n)),
-            epoch_mods: Mutex::new(HashMap::new()),
-            lock_gates: (0..cfg.n_locks).map(|_| Mutex::new(())).collect(),
-            page_gates: (0..space.n_pages()).map(|_| Mutex::new(())).collect(),
-            serial_gate: cfg.serialize_slow_paths.then(|| Mutex::new(())),
+            dir: Mutex::new_in(dir, classes::EAGER_DIRECTORY),
+            locks: Mutex::new_in(LockTable::new(cfg.n_locks, n), classes::SYNC_LOCK_TABLE),
+            barriers: Mutex::new_in(
+                BarrierSet::new(cfg.n_barriers, n),
+                classes::SYNC_BARRIER_SET,
+            ),
+            epoch_mods: Mutex::new_in(HashMap::new(), classes::EAGER_EPOCH_MODS),
+            lock_gates: (0..cfg.n_locks)
+                .map(|l| Mutex::new_in((), classes::ENGINE_LOCK_GATE.with_order(l as u64)))
+                .collect(),
+            page_gates: (0..space.n_pages())
+                .map(|p| Mutex::new_in((), classes::ENGINE_PAGE_GATE.with_order(u64::from(p))))
+                .collect(),
+            serial_gate: cfg
+                .serialize_slow_paths
+                .then(|| Mutex::new_in((), classes::ENGINE_SERIAL_GATE)),
             slow_inflight: AtomicU64::new(0),
             miss_inflight: AtomicU64::new(0),
             fetch_hook: FetchHookCell::default(),

@@ -3,6 +3,7 @@ use std::sync::Arc;
 
 use lrc_sync::{BarrierId, LockId};
 use lrc_vclock::ProcId;
+use parking_lot::lockdep::classes;
 use parking_lot::Mutex;
 
 use crate::{HistEvent, History};
@@ -58,9 +59,13 @@ impl HistoryRecorder {
         assert!(sample > 0, "sampling period must be at least 1");
         Arc::new(HistoryRecorder {
             n_procs,
-            logs: (0..n_procs).map(|_| Mutex::new(Vec::new())).collect(),
+            logs: (0..n_procs)
+                .map(|_| Mutex::new_in(Vec::new(), classes::HIST_LOG))
+                .collect(),
             sample,
-            reads_seen: (0..n_procs).map(|_| Mutex::new(0)).collect(),
+            reads_seen: (0..n_procs)
+                .map(|_| Mutex::new_in(0, classes::HIST_READS_SEEN))
+                .collect(),
         })
     }
 

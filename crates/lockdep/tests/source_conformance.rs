@@ -1,0 +1,221 @@
+//! Static source conformance: every lock in `crates/` and `src/` must
+//! route through the instrumented `third_party/parking_lot` stub, or the
+//! dynamic verifier has a blind spot. This test walks the tree and fails
+//! on any raw standard-library `Mutex`/`RwLock`/`Condvar` use outside the
+//! explicit allowlist below (each entry carries its justification).
+//!
+//! Comments in this file spell the forbidden module path with a space
+//! (`std:: sync`) so the scanner does not flag its own source.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Files allowed to keep raw `std::sync` locks, and why. Paths are
+/// relative to the repo root with `/` separators.
+const ALLOWLIST: &[(&str, &str)] = &[
+    (
+        "crates/lockdep/src/lib.rs",
+        "the verifier's own registry cannot route through the stub it \
+         instruments without recursing into itself",
+    ),
+    (
+        "crates/lockdep/tests/violations.rs",
+        "the test-serialization gate must stay invisible to the verifier \
+         under test, or it would appear in every report's held chain",
+    ),
+];
+
+/// The forbidden idents, assembled at runtime so this file's own source
+/// does not trip the scanner.
+fn forbidden_names() -> Vec<String> {
+    ["Mutex", "RwLock", "Condvar"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+fn repo_root() -> PathBuf {
+    // crates/lockdep -> crates -> root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels below the repo root")
+        .to_path_buf()
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // `target/` never appears under crates/ or src/, but be safe.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// True if `name` occurs in `list` (the inside of a `use std::sync::{...}`
+/// brace list) as a whole path segment, including one level of nesting
+/// (`atomic::{AtomicBool, Ordering}` does not hide `Mutex`).
+fn brace_list_contains(list: &str, name: &str) -> bool {
+    let mut rest = list;
+    while let Some(pos) = rest.find(name) {
+        let before_ok = pos == 0
+            || !is_ident_char(rest[..pos].chars().next_back().unwrap_or(' '))
+            || rest[..pos].ends_with("::");
+        let after = &rest[pos + name.len()..];
+        let after_ok = after.chars().next().is_none_or(|c| !is_ident_char(c));
+        // `MutexGuard` must not match `Mutex`; `sync::Mutex as M` must.
+        if before_ok && after_ok && !rest[..pos].ends_with("::") {
+            return true;
+        }
+        rest = &rest[pos + name.len()..];
+    }
+    false
+}
+
+/// Scans one file's source for forbidden lock tokens; returns the
+/// 1-based line numbers of hits.
+fn scan(source: &str, names: &[String]) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    // The prefix is assembled at runtime so it cannot match this file.
+    let prefix = format!("std::sync{}", "::");
+    // Direct qualified uses: std:: sync::Mutex / RwLock / Condvar.
+    for (i, line) in source.lines().enumerate() {
+        if let Some(pos) = line.find(&prefix) {
+            let tail = &line[pos + prefix.len()..];
+            for name in names {
+                if tail.starts_with(name.as_str())
+                    && tail[name.len()..]
+                        .chars()
+                        .next()
+                        .is_none_or(|c| !is_ident_char(c))
+                {
+                    hits.push((i + 1, format!("{prefix}{name}")));
+                }
+            }
+        }
+    }
+    // Brace-list imports: `use std:: sync::{Arc, Mutex}` (possibly
+    // spanning lines). Walk each occurrence and match the braces.
+    let use_prefix = format!("{prefix}{{");
+    let mut search = source;
+    let mut offset = 0usize;
+    while let Some(pos) = search.find(&use_prefix) {
+        let body_start = pos + use_prefix.len();
+        let mut depth = 1usize;
+        let mut end = body_start;
+        for (j, c) in search[body_start..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = body_start + j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let list = &search[body_start..end];
+        let line = source[..offset + pos].matches('\n').count() + 1;
+        for name in names {
+            if brace_list_contains(list, name) {
+                hits.push((line, format!("use {prefix}{{.. {name} ..}}")));
+            }
+        }
+        offset += end;
+        search = &search[end..];
+    }
+    hits.sort();
+    hits.dedup();
+    hits
+}
+
+#[test]
+fn no_raw_std_sync_locks_outside_the_stub() {
+    let root = repo_root();
+    let names = forbidden_names();
+    let mut files = Vec::new();
+    rust_files(&root.join("crates"), &mut files);
+    rust_files(&root.join("src"), &mut files);
+    assert!(
+        files.len() > 20,
+        "scanner found only {} files — wrong root?",
+        files.len()
+    );
+
+    let allow: BTreeSet<&str> = ALLOWLIST.iter().map(|(p, _)| *p).collect();
+    let mut offenders = Vec::new();
+    let mut used_allowlist: BTreeSet<&str> = BTreeSet::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .expect("scanned files live under the root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(path).expect("readable source");
+        let hits = scan(&source, &names);
+        if hits.is_empty() {
+            continue;
+        }
+        if let Some(entry) = allow.get(rel.as_str()) {
+            used_allowlist.insert(*entry);
+            continue;
+        }
+        for (line, what) in hits {
+            offenders.push(format!("  {rel}:{line}: {what}"));
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "raw std::sync locks bypass the lockdep-instrumented parking_lot \
+         stub — migrate them (Mutex::new / new_in) or add a justified \
+         allowlist entry:\n{}",
+        offenders.join("\n")
+    );
+    // Stale allowlist entries hide future regressions: prune them.
+    for (path, _) in ALLOWLIST {
+        assert!(
+            used_allowlist.contains(path),
+            "allowlist entry `{path}` no longer matches any hit — remove it"
+        );
+    }
+}
+
+#[test]
+fn scanner_catches_the_patterns_it_claims_to() {
+    let names = forbidden_names();
+    let qualified = format!("let m = std::sync{}Mutex::new(0);", "::");
+    assert_eq!(scan(&qualified, &names).len(), 1);
+
+    let braced = format!("use std::sync{}{{Arc, Mutex}};", "::");
+    assert_eq!(scan(&braced, &names).len(), 1);
+
+    let multiline = format!("use std::sync{}{{\n    Arc,\n    RwLock,\n}};", "::");
+    assert_eq!(scan(&multiline, &names).len(), 1);
+
+    let nested = format!(
+        "use std::sync{}{{atomic::{{AtomicBool, Ordering}}, Condvar}};",
+        "::"
+    );
+    assert_eq!(scan(&nested, &names).len(), 1);
+
+    let clean = format!(
+        "use std::sync{}{{mpsc, Arc}};\nlet g: std::sync{}MutexGuard<u32>;",
+        "::", "::"
+    );
+    assert!(scan(&clean, &names).is_empty(), "no false positives");
+}

@@ -7,7 +7,10 @@
 //! sender, no sockets, no timing.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::lockdep::classes;
+use parking_lot::Mutex;
 
 use crate::transport::{NetError, NodeId, Transport, WireMeter, WireStats};
 use crate::wire::{Frame, WireMsg};
@@ -49,7 +52,7 @@ impl ChannelNet {
                     .enumerate()
                     .map(|(j, tx)| (j != i).then(|| tx.clone()))
                     .collect(),
-                incoming: Mutex::new(rx),
+                incoming: Mutex::new_in(rx, classes::NET_INCOMING),
                 meter: Arc::new(WireMeter::default()),
             })
             .collect()
@@ -75,12 +78,7 @@ impl Transport for ChannelTransport {
     }
 
     fn recv(&self) -> Result<Frame, NetError> {
-        let bytes = self
-            .incoming
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .recv()
-            .map_err(|_| NetError::Closed)?;
+        let bytes = self.incoming.lock().recv().map_err(|_| NetError::Closed)?;
         let (frame, used) = Frame::decode(&bytes)?;
         debug_assert_eq!(used, bytes.len(), "channel delivers whole frames");
         self.meter.count_received(bytes.len());

@@ -15,7 +15,9 @@
 //! real socket deaths.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+
+use parking_lot::lockdep::classes;
+use parking_lot::Mutex;
 use std::time::Duration;
 
 use crate::transport::{NetError, NodeId, Transport, WireStats};
@@ -174,14 +176,17 @@ impl<T: Transport> FaultyTransport<T> {
         FaultyTransport {
             inner,
             plan,
-            state: Mutex::new(FaultState {
-                sends: 0,
-                sends_by_kind: [0; WireKind::COUNT],
-                delivered_to: Vec::new(),
-                rng: seed,
-            }),
+            state: Mutex::new_in(
+                FaultState {
+                    sends: 0,
+                    sends_by_kind: [0; WireKind::COUNT],
+                    delivered_to: Vec::new(),
+                    rng: seed,
+                },
+                classes::NET_FAULT_STATE,
+            ),
             killed: AtomicBool::new(false),
-            dropped: Mutex::new(0),
+            dropped: Mutex::new_in(0, classes::NET_FAULT_DROPPED),
         }
     }
 
@@ -197,19 +202,19 @@ impl<T: Transport> FaultyTransport<T> {
 
     /// Frames silently discarded so far.
     pub fn dropped(&self) -> u64 {
-        *self.dropped.lock().unwrap_or_else(|e| e.into_inner())
+        *self.dropped.lock()
     }
 
     /// Total sends attempted so far (delivered, dropped, or refused —
     /// the count fault rules index into).
     pub fn sends_attempted(&self) -> u64 {
-        self.state.lock().unwrap_or_else(|e| e.into_inner()).sends
+        self.state.lock().sends
     }
 
     /// Advances the counters for one send and decides its fate. The most
     /// severe applicable verdict wins: kill > sever > drop > delay.
     fn consult(&self, kind: WireKind, dst: NodeId) -> Verdict {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.state.lock();
         st.sends += 1;
         st.sends_by_kind[kind.tag() as usize] += 1;
         let sends = st.sends;
@@ -276,7 +281,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 self.inner.send(msg, dst, seq)
             }
             Verdict::Drop => {
-                *self.dropped.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+                *self.dropped.lock() += 1;
                 Ok(())
             }
             Verdict::Sever => Err(NetError::Closed),

@@ -19,7 +19,10 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::lockdep::classes;
+use parking_lot::Mutex;
 use std::thread;
 
 use crate::transport::{NetError, NodeId, Transport, WireMeter, WireStats};
@@ -55,8 +58,8 @@ impl TcpTransport {
         let (incoming_tx, incoming_rx) = channel();
         TcpTransport {
             node,
-            peers: Mutex::new(HashMap::new()),
-            incoming: Mutex::new(incoming_rx),
+            peers: Mutex::new_in(HashMap::new(), classes::NET_PEERS),
+            incoming: Mutex::new_in(incoming_rx, classes::NET_INCOMING),
             incoming_tx: Some(incoming_tx),
             meter: Arc::new(WireMeter::default()),
         }
@@ -125,10 +128,7 @@ impl TcpTransport {
             .name(format!("lrc-net-recv-{}-{peer}", self.node))
             .spawn(move || recv_loop(stream, incoming, recv_dead))
             .expect("spawn recv thread");
-        self.peers
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(peer, PeerLink { tx, dead });
+        self.peers.lock().insert(peer, PeerLink { tx, dead });
     }
 }
 
@@ -229,7 +229,7 @@ impl Transport for TcpTransport {
     fn send(&self, msg: &WireMsg, dst: NodeId, seq: u64) -> Result<(), NetError> {
         let bytes = crate::transport::encode_frame_checked(msg, self.node, dst, seq)?;
         let len = bytes.len();
-        let peers = self.peers.lock().unwrap_or_else(|e| e.into_inner());
+        let peers = self.peers.lock();
         let link = peers.get(&dst).ok_or(NetError::UnknownPeer(dst))?;
         if link.dead.load(Ordering::Acquire) {
             return Err(NetError::Closed);
@@ -240,12 +240,7 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&self) -> Result<Frame, NetError> {
-        let frame = self
-            .incoming
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .recv()
-            .map_err(|_| NetError::Closed)?;
+        let frame = self.incoming.lock().recv().map_err(|_| NetError::Closed)?;
         self.meter.count_received(frame.wire_len());
         Ok(frame)
     }
@@ -257,7 +252,7 @@ impl Transport for TcpTransport {
 
 impl std::fmt::Debug for TcpTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let peers = self.peers.lock().unwrap_or_else(|e| e.into_inner());
+        let peers = self.peers.lock();
         write!(f, "TcpTransport(node {}, {} peers)", self.node, peers.len())
     }
 }

@@ -1,8 +1,9 @@
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use lrc_vclock::ProcId;
+use parking_lot::lockdep::classes;
+use parking_lot::Mutex;
 
 use crate::{MsgKind, NetStats};
 
@@ -61,6 +62,7 @@ impl Fabric {
         assert!(n_procs > 0, "a fabric needs at least one processor");
         Fabric {
             n_procs,
+            trace: Mutex::new_in(Vec::new(), classes::SIMNET_TRACE),
             ..Fabric::default()
         }
     }
@@ -82,7 +84,7 @@ impl Fabric {
         if !self.trace_on.load(Ordering::Acquire) {
             return Vec::new();
         }
-        self.trace.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        self.trace.lock().clone()
     }
 
     /// Sends one message of `kind` with `payload` bytes from `src` to `dst`.
@@ -99,15 +101,12 @@ impl Fabric {
         self.msgs[kind.index()].fetch_add(1, Ordering::Relaxed);
         self.bytes[kind.index()].fetch_add(crate::MSG_HEADER_BYTES + payload, Ordering::Relaxed);
         if self.trace_on.load(Ordering::Acquire) {
-            self.trace
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(MsgRecord {
-                    src,
-                    dst,
-                    kind,
-                    payload,
-                });
+            self.trace.lock().push(MsgRecord {
+                src,
+                dst,
+                kind,
+                payload,
+            });
         }
     }
 

@@ -7,62 +7,176 @@
 //! while holding the lock does not wedge every other thread with a
 //! `PoisonError`), and `Condvar::wait` takes `&mut MutexGuard` instead of
 //! consuming the guard.
+//!
+//! # Lock-order verification
+//!
+//! Every lock in the workspace routes through this stub, which makes it
+//! the natural interposition point for the [`lockdep`] verifier: each
+//! `Mutex`/`RwLock` carries a [`lockdep::LockTag`] assigned at
+//! construction — an explicit [`lockdep::Class`] via [`Mutex::new_in`] /
+//! [`RwLock::new_in`], or a per-callsite auto-class via the plain
+//! constructors — and every acquisition, release, and condvar wait is
+//! reported to the verifier. The hooks are compiled in behind the
+//! default-on `lockdep` cargo feature and stay runtime-inert until
+//! `LRC_LOCKDEP=1` (see the `lrc-lockdep` crate docs).
 
 use std::ops::{Deref, DerefMut};
 
+pub use lrc_lockdep as lockdep;
+
+use lockdep::{AcquireOp, Class, LockTag};
+
+// ---- verifier hooks (no-ops when the `lockdep` feature is off) ----
+
+#[cfg(feature = "lockdep")]
+#[track_caller]
+fn auto_tag() -> LockTag {
+    lockdep::auto_tag(std::panic::Location::caller())
+}
+
+#[cfg(not(feature = "lockdep"))]
+fn auto_tag() -> LockTag {
+    LockTag::null()
+}
+
+#[cfg(feature = "lockdep")]
+fn class_tag(class: Class) -> LockTag {
+    lockdep::tag_for(class)
+}
+
+#[cfg(not(feature = "lockdep"))]
+fn class_tag(_class: Class) -> LockTag {
+    LockTag::null()
+}
+
+#[cfg(feature = "lockdep")]
+#[track_caller]
+fn hook_acquire(tag: LockTag, addr: usize, op: AcquireOp) {
+    lockdep::on_acquire(tag, addr, std::panic::Location::caller(), op);
+}
+
+#[cfg(not(feature = "lockdep"))]
+fn hook_acquire(_tag: LockTag, _addr: usize, _op: AcquireOp) {}
+
+#[cfg(feature = "lockdep")]
+fn hook_release(addr: usize) {
+    lockdep::on_release(addr);
+}
+
+#[cfg(not(feature = "lockdep"))]
+fn hook_release(_addr: usize) {}
+
+/// The stable identity of a lock instance for the verifier: the address
+/// of the underlying std primitive (metadata stripped for `?Sized`).
+fn lock_addr<L: ?Sized>(lock: &L) -> usize {
+    lock as *const L as *const () as usize
+}
+
 /// A mutex that hands back its guard without a poison `Result`.
 #[derive(Debug)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    tag: LockTag,
+    inner: std::sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
-    /// Wrap `value` in a mutex.
+    /// Wrap `value` in a mutex with a per-callsite auto lock class.
+    #[track_caller]
     pub fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            tag: auto_tag(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Wrap `value` in a mutex belonging to the explicit lock `class`
+    /// (see `lrc_lockdep::classes` for the workspace hierarchy).
+    pub fn new_in(value: T, class: Class) -> Self {
+        Mutex {
+            tag: class_tag(class),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Mutex::new(T::default())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Block until the lock is held.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+        let addr = lock_addr(&self.inner);
+        // Check *before* blocking so a potential deadlock reports instead
+        // of hanging.
+        hook_acquire(self.tag, addr, AcquireOp::blocking());
+        MutexGuard {
+            tag: self.tag,
+            addr,
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
     }
 
     /// Take the lock only if it is free right now: `Some(guard)` on
     /// success, `None` if another thread holds it (never blocks).
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(guard) => Some(MutexGuard(Some(guard))),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let addr = lock_addr(&self.inner);
+        let inner = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        // Recorded only on success, and as an observation: a try-lock
+        // cannot block, so it never completes a deadlock cycle.
+        hook_acquire(self.tag, addr, AcquireOp::try_lock());
+        Some(MutexGuard {
+            tag: self.tag,
+            addr,
+            inner: Some(inner),
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 /// RAII guard for [`Mutex`]. The inner `Option` exists so [`Condvar::wait`]
 /// can temporarily take the std guard while blocked.
 #[derive(Debug)]
-pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+pub struct MutexGuard<'a, T: ?Sized> {
+    tag: LockTag,
+    addr: usize,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.0.as_deref().expect("guard taken during wait")
+        self.inner.as_deref().expect("guard taken during wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.0.as_deref_mut().expect("guard taken during wait")
+        self.inner.as_deref_mut().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        hook_release(self.addr);
     }
 }
 
@@ -78,27 +192,37 @@ impl Condvar {
 
     /// Atomically release the guard's lock and block until notified; the
     /// lock is re-held when this returns.
+    ///
+    /// The verifier models the release-and-reacquire: the mutex leaves the
+    /// thread's held stack for the duration of the wait and the wake-up is
+    /// checked as a fresh blocking acquisition.
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        let inner = guard.0.take().expect("guard already waiting");
+        hook_release(guard.addr);
+        let inner = guard.inner.take().expect("guard already waiting");
         let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
-        guard.0 = Some(inner);
+        guard.inner = Some(inner);
+        hook_acquire(guard.tag, guard.addr, AcquireOp::blocking());
     }
 
     /// Like [`Condvar::wait`], but gives up after `timeout`. Mirrors
     /// `parking_lot::Condvar::wait_for`: returns a result whose
     /// [`WaitTimeoutResult::timed_out`] tells whether the deadline passed
     /// (spurious wakeups and notifications both report `false`).
+    #[track_caller]
     pub fn wait_for<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         timeout: std::time::Duration,
     ) -> WaitTimeoutResult {
-        let inner = guard.0.take().expect("guard already waiting");
+        hook_release(guard.addr);
+        let inner = guard.inner.take().expect("guard already waiting");
         let (inner, result) = self
             .0
             .wait_timeout(inner, timeout)
             .unwrap_or_else(|e| e.into_inner());
-        guard.0 = Some(inner);
+        guard.inner = Some(inner);
+        hook_acquire(guard.tag, guard.addr, AcquireOp::blocking());
         WaitTimeoutResult(result.timed_out())
     }
 
@@ -125,63 +249,117 @@ impl WaitTimeoutResult {
 }
 
 /// A readers-writer lock that hands back guards without poison `Result`s.
-#[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+#[derive(Debug)]
+pub struct RwLock<T: ?Sized> {
+    tag: LockTag,
+    inner: std::sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
-    /// Wrap `value` in a readers-writer lock.
+    /// Wrap `value` in a readers-writer lock with a per-callsite auto
+    /// lock class.
+    #[track_caller]
     pub fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock {
+            tag: auto_tag(),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Wrap `value` in a readers-writer lock belonging to the explicit
+    /// lock `class` (see `lrc_lockdep::classes`).
+    pub fn new_in(value: T, class: Class) -> Self {
+        RwLock {
+            tag: class_tag(class),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
+    fn default() -> Self {
+        RwLock::new(T::default())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Block until shared read access is held.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+        let addr = lock_addr(&self.inner);
+        hook_acquire(self.tag, addr, AcquireOp::shared());
+        RwLockReadGuard {
+            addr,
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Block until exclusive write access is held.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+        let addr = lock_addr(&self.inner);
+        hook_acquire(self.tag, addr, AcquireOp::blocking());
+        RwLockWriteGuard {
+            addr,
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 /// Shared RAII guard for [`RwLock`].
 #[derive(Debug)]
-pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    addr: usize,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
 
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        hook_release(self.addr);
     }
 }
 
 /// Exclusive RAII guard for [`RwLock`].
 #[derive(Debug)]
-pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    addr: usize,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        hook_release(self.addr);
     }
 }
 
