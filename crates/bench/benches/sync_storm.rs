@@ -21,11 +21,21 @@
 //! mutex imposed. Results are written as machine-readable JSON to
 //! `BENCH_sync_storm.json` (override with `--json PATH`).
 //!
+//! Two more runs cover protocol-level message batching: **ablated**
+//! (piggybacking off, so every contended grant trails a separate
+//! consistency message) and **coalesced** (piggybacking still off, but
+//! [`DsmBuilder::coalesce_notices`] merges the same-destination pair back
+//! into one message — same bytes, one header fewer). The gate is again
+//! counter-based: the coalesced run must record saved headers
+//! ([`lrc_core::LazyCounters::coalesced_msgs`]) and send fewer modeled
+//! messages than the ablated baseline.
+//!
 //! Run with `cargo bench -p lrc-bench --bench sync_storm`. Flags:
 //! `--smoke` shrinks the iteration counts for CI; `--check` exits
 //! non-zero unless the serialized baseline shows at least 2x the
-//! serialized waits of the sharded engine (the committed acceptance
-//! gate — a regression that re-serializes independent slow paths fails
+//! serialized waits of the sharded engine AND the coalesced run saves
+//! messages (the committed acceptance gates — a regression that
+//! re-serializes independent slow paths or stops batching messages fails
 //! CI instead of shipping).
 
 use std::time::{Duration, Instant};
@@ -47,19 +57,38 @@ struct Load {
     pair_iters: u64,
 }
 
+/// One engine configuration under the storm.
+#[derive(Clone, Copy, Default)]
+struct Variant {
+    /// Pre-split baseline: one engine-wide mutex around every slow path.
+    serialized: bool,
+    /// Piggybacking ablated: grants trail a separate consistency message.
+    no_piggyback: bool,
+    /// Same-destination message coalescing on top of the ablation.
+    coalesce: bool,
+}
+
 /// One run's verdict, straight off the engine counters.
 struct Outcome {
     counters: LazyCounters,
+    /// Modeled protocol messages actually charged to the fabric.
+    msgs: u64,
     elapsed: Duration,
 }
 
-fn build(serialized: bool) -> Dsm {
+fn build(v: &Variant) -> Dsm {
     let mut builder = DsmBuilder::new(ProtocolKind::LazyInvalidate, N_PROCS, 1 << 16)
         .page_size(PAGE_BYTES)
         .locks(16)
         .wait_timeout(Duration::from_secs(120));
-    if serialized {
+    if v.serialized {
         builder = builder.serialize_slow_paths();
+    }
+    if v.no_piggyback {
+        builder = builder.no_piggyback();
+    }
+    if v.coalesce {
+        builder = builder.coalesce_notices();
     }
     builder.build().expect("valid config")
 }
@@ -70,8 +99,8 @@ fn build(serialized: bool) -> Dsm {
 /// every lock hand-off invalidates the new holder's copy and the next
 /// read is a warm miss (diff fetch) on that pair's page — misses on
 /// *disjoint* pages across pairs.
-fn run(serialized: bool, load: &Load) -> Outcome {
-    let dsm = build(serialized);
+fn run(v: &Variant, load: &Load) -> Outcome {
+    let dsm = build(v);
     dsm.engine()
         .set_fetch_hook(Box::new(|_p, _page| std::thread::sleep(FETCH_LATENCY)));
     let start = Instant::now();
@@ -113,6 +142,7 @@ fn run(serialized: bool, load: &Load) -> Outcome {
     .expect("storm completes");
     Outcome {
         counters: dsm.engine().as_lazy().expect("lazy engine").counters(),
+        msgs: dsm.net_stats().total().msgs,
         elapsed: start.elapsed(),
     }
 }
@@ -122,13 +152,16 @@ fn json_block(label: &str, o: &Outcome) -> String {
     format!(
         "  \"{label}\": {{\n    \"slow_waits\": {},\n    \"slow_waits_avoided\": {},\n    \
          \"miss_inflight_peak\": {},\n    \"snapshot_retries\": {},\n    \"misses\": {},\n    \
-         \"acquires\": {},\n    \"elapsed_ms\": {}\n  }}",
+         \"acquires\": {},\n    \"modeled_msgs\": {},\n    \"coalesced_msgs\": {},\n    \
+         \"elapsed_ms\": {}\n  }}",
         c.slow_waits,
         c.slow_waits_avoided,
         c.miss_inflight_peak,
         c.snapshot_retries,
         c.misses(),
         c.acquires,
+        o.msgs,
+        c.coalesced_msgs,
         o.elapsed.as_millis(),
     )
 }
@@ -171,21 +204,49 @@ fn main() {
         if smoke { ", smoke" } else { "" },
     );
 
-    let sharded = run(false, &load);
-    let serialized = run(true, &load);
+    let sharded = run(&Variant::default(), &load);
+    let serialized = run(
+        &Variant {
+            serialized: true,
+            ..Variant::default()
+        },
+        &load,
+    );
+    let ablated = run(
+        &Variant {
+            no_piggyback: true,
+            ..Variant::default()
+        },
+        &load,
+    );
+    let coalesced = run(
+        &Variant {
+            no_piggyback: true,
+            coalesce: true,
+            ..Variant::default()
+        },
+        &load,
+    );
 
     let ratio = serialized.counters.slow_waits as f64 / (sharded.counters.slow_waits.max(1)) as f64;
     println!(
-        "{:>12} {:>12} {:>14} {:>10} {:>12}",
-        "", "slow waits", "waits avoided", "misses", "elapsed"
+        "{:>12} {:>12} {:>14} {:>10} {:>10} {:>10} {:>12}",
+        "", "slow waits", "waits avoided", "misses", "msgs", "merged", "elapsed"
     );
-    for (label, o) in [("sharded", &sharded), ("serialized", &serialized)] {
+    for (label, o) in [
+        ("sharded", &sharded),
+        ("serialized", &serialized),
+        ("ablated", &ablated),
+        ("coalesced", &coalesced),
+    ] {
         println!(
-            "{:>12} {:>12} {:>14} {:>10} {:>10}ms",
+            "{:>12} {:>12} {:>14} {:>10} {:>10} {:>10} {:>10}ms",
             label,
             o.counters.slow_waits,
             o.counters.slow_waits_avoided,
             o.counters.misses(),
+            o.msgs,
+            o.counters.coalesced_msgs,
             o.elapsed.as_millis(),
         );
     }
@@ -194,14 +255,20 @@ fn main() {
          sharded peak misses in flight: {}",
         sharded.counters.miss_inflight_peak
     );
+    println!(
+        "coalesced vs ablated modeled messages: {} vs {} ({} headers saved)",
+        coalesced.msgs, ablated.msgs, coalesced.counters.coalesced_msgs
+    );
 
     let json = format!
         (
         "{{\n  \"bench\": \"sync_storm\",\n  \"n_procs\": {N_PROCS},\n  \"page_bytes\": {PAGE_BYTES},\n  \
-         \"fetch_latency_us\": {},\n  \"smoke\": {smoke},\n{},\n{},\n  \"serialized_wait_ratio\": {ratio:.2}\n}}\n",
+         \"fetch_latency_us\": {},\n  \"smoke\": {smoke},\n{},\n{},\n{},\n{},\n  \"serialized_wait_ratio\": {ratio:.2}\n}}\n",
         FETCH_LATENCY.as_micros(),
         json_block("sharded", &sharded),
         json_block("serialized", &serialized),
+        json_block("ablated", &ablated),
+        json_block("coalesced", &coalesced),
     );
     std::fs::write(&json_path, &json).expect("write JSON results");
     println!("results written to {json_path}");
@@ -222,6 +289,21 @@ fn main() {
             sharded.counters.miss_inflight_peak >= 2,
             "misses on disjoint pages no longer overlap (peak {})",
             sharded.counters.miss_inflight_peak
+        );
+        // The batching gates: coalescing must actually merge the ablated
+        // grant's trailing notice (every contended transfer is an
+        // opportunity), and the merge must show up as fewer modeled
+        // messages than the ablated baseline sends for the same storm.
+        assert!(
+            coalesced.counters.coalesced_msgs > 0,
+            "coalesce_notices never merged a message under a contended storm"
+        );
+        assert!(
+            coalesced.msgs < ablated.msgs,
+            "batching regression: the coalesced run sent {} modeled messages, \
+             the ablated baseline {} — no headers saved",
+            coalesced.msgs,
+            ablated.msgs,
         );
         println!("check passed");
     }

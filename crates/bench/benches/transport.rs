@@ -1,15 +1,28 @@
-//! Criterion benchmarks of the `lrc-net` layer: codec throughput for the
-//! heavyweight message types and end-to-end op round trips over both
-//! transports (channel loopback and TCP loopback) — the per-operation
-//! overhead a message-passing deployment adds on top of the engine.
+//! Transport comparison harness: codec throughput, end-to-end op round
+//! trips over every backend (channel loopback, thread-per-peer TCP, and
+//! — with `--features reactor` — the readiness-based reactor), and the
+//! reactor's protocol-batching microbench: a same-destination frame storm
+//! whose frames-per-write-syscall ratio is the whole point of staging
+//! buffers. Byte accounting is reconciled three ways on every run:
+//! modeled frame bytes, the sender's metered bytes, and the receiver's
+//! metered bytes must agree exactly.
+//!
+//! Results are written as machine-readable JSON to `BENCH_transport.json`
+//! (override with `--json PATH`). Flags: `--smoke` shrinks iteration
+//! counts for CI; `--check` exits non-zero unless the reactor batches
+//! same-destination frames (> 1 frame per write syscall on the storm).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+#[cfg(feature = "reactor")]
+use std::time::Duration;
+
+#[cfg(feature = "reactor")]
 use lrc_core::EngineOp;
 use lrc_dsm::{DsmBuilder, NodeClient, NodeServer};
-use lrc_net::{ChannelNet, Frame, TcpTransport, WireCtx, WireMsg};
+use lrc_net::{ChannelNet, Frame, TcpTransport, Transport, WireCtx, WireMsg};
 use lrc_pagemem::{Diff, PageBuf, PageId, PageSize};
 use lrc_sim::ProtocolKind;
-use lrc_sync::LockId;
 use lrc_vclock::ProcId;
 use std::hint::black_box;
 
@@ -32,130 +45,261 @@ fn miss_reply() -> WireMsg {
     }
 }
 
-fn bench_codec(c: &mut Criterion) {
+/// Per-operation codec cost (encode, decode) in microseconds.
+fn bench_codec(iters: u64) -> (f64, f64) {
     let msg = miss_reply();
     let frame = msg.encode_frame(1, 0, 7);
     let bytes = frame.encode();
     let ctx = WireCtx { n_procs: 8 };
 
-    let mut group = c.benchmark_group("net_codec");
-    group.bench_function("encode_miss_reply", |b| {
-        b.iter(|| black_box(msg.encode_frame(1, 0, 7).encode()))
-    });
-    group.bench_function("decode_miss_reply", |b| {
-        b.iter(|| {
-            let (frame, _) = Frame::decode(black_box(&bytes)).unwrap();
-            black_box(WireMsg::decode(frame.kind, &frame.body, &ctx).unwrap())
-        })
-    });
-    group.finish();
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(msg.encode_frame(1, 0, 7).encode());
+    }
+    let encode_us = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        let (frame, _) = Frame::decode(black_box(&bytes)).unwrap();
+        black_box(WireMsg::decode(frame.kind, &frame.body, &ctx).unwrap());
+    }
+    let decode_us = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    (encode_us, decode_us)
 }
 
-/// One remote op round trip (request over the transport, dispatch into
-/// the engine, reply back) versus the direct in-process call.
-fn bench_round_trips(c: &mut Criterion) {
-    let mut group = c.benchmark_group("net_round_trip");
-
-    // Baseline: the same op applied directly.
-    {
-        let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 16)
-            .build()
-            .unwrap();
-        let mut h = dsm.handle(ProcId::new(1));
-        let mut x = 0u64;
-        group.bench_function("direct_write_u64", |b| {
-            b.iter(|| {
-                x += 1;
-                h.write_u64(64, x);
-            })
-        });
-    }
-
-    // Channel transport.
-    {
-        let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 16)
-            .build()
-            .unwrap();
-        let mut mesh = ChannelNet::mesh(2);
-        let client_end = mesh.pop().unwrap();
-        let server_end = mesh.pop().unwrap();
-        let server = NodeServer::new(dsm.clone(), server_end);
-        let serving = std::thread::spawn(move || server.serve());
-        let client = NodeClient::connect(client_end, 0, vec![ProcId::new(1)]).unwrap();
-        let mut h = client.handle(ProcId::new(1));
-        let mut x = 0u64;
-        group.bench_function("channel_write_u64", |b| {
-            b.iter(|| {
-                x += 1;
-                h.write_u64(64, x).unwrap();
-            })
-        });
-        client.shutdown().unwrap();
-        serving.join().unwrap().unwrap();
-    }
-
-    // TCP loopback transport.
-    {
-        let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 16)
-            .build()
-            .unwrap();
-        let hub = TcpTransport::bind("127.0.0.1:0", 0).unwrap();
-        let addr = hub.local_addr();
-        let connecting = std::thread::spawn(move || TcpTransport::connect(&addr, 1, 0).unwrap());
-        let server = NodeServer::new(dsm.clone(), hub.accept(1).unwrap());
-        let serving = std::thread::spawn(move || server.serve());
-        let client =
-            NodeClient::connect(connecting.join().unwrap(), 0, vec![ProcId::new(1)]).unwrap();
-        let mut h = client.handle(ProcId::new(1));
-        let mut x = 0u64;
-        group.bench_function("tcp_write_u64", |b| {
-            b.iter(|| {
-                x += 1;
-                h.write_u64(64, x).unwrap();
-            })
-        });
-        client.shutdown().unwrap();
-        serving.join().unwrap().unwrap();
-    }
-
-    group.finish();
-}
-
-/// Bulk throughput: how fast large writes stream over each transport.
-fn bench_bulk(c: &mut Criterion) {
-    const BLOCK: usize = 16 * 1024;
-    let mut group = c.benchmark_group("net_bulk");
-
-    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 20)
-        .page_size(4096)
+/// One remote op round trip per iteration (request over the transport,
+/// dispatch into the engine, reply back), in microseconds per op.
+fn bench_round_trips(
+    server_end: impl Transport + 'static,
+    client_end: impl Transport + 'static,
+    iters: u64,
+) -> f64 {
+    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 16)
         .build()
         .unwrap();
-    let mut mesh = ChannelNet::mesh(2);
-    let client_end = mesh.pop().unwrap();
-    let server_end = mesh.pop().unwrap();
     let server = NodeServer::new(dsm.clone(), server_end);
     let serving = std::thread::spawn(move || server.serve());
     let client = NodeClient::connect(client_end, 0, vec![ProcId::new(1)]).unwrap();
     let mut h = client.handle(ProcId::new(1));
-    let mut fill = 0u8;
-    group.bench_function("channel_write_16k", |b| {
-        b.iter(|| {
-            fill = fill.wrapping_add(1);
-            h.apply(&EngineOp::Write {
-                addr: 0,
-                data: vec![fill; BLOCK],
-            })
-            .unwrap();
-        })
-    });
-    // Keep the engine history bounded for long runs.
-    let mut local = dsm.handle(ProcId::new(0));
-    local.acquire(LockId::new(0)).unwrap();
-    local.release(LockId::new(0)).unwrap();
+    let mut x = 0u64;
+    for _ in 0..iters / 10 + 1 {
+        x += 1;
+        h.write_u64(64, x).unwrap(); // warm-up
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        x += 1;
+        h.write_u64(64, x).unwrap();
+    }
+    let per_op = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
     client.shutdown().unwrap();
     serving.join().unwrap().unwrap();
-    group.finish();
+    per_op
 }
 
-criterion_group!(benches, bench_codec, bench_round_trips, bench_bulk);
-criterion_main!(benches);
+/// The direct in-process baseline the transports are measured against.
+fn bench_direct(iters: u64) -> f64 {
+    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 16)
+        .build()
+        .unwrap();
+    let mut h = dsm.handle(ProcId::new(1));
+    let mut x = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        x += 1;
+        h.write_u64(64, x);
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// A connected channel pair (server end, client end).
+fn channel_pair() -> (lrc_net::ChannelTransport, lrc_net::ChannelTransport) {
+    let mut mesh = ChannelNet::mesh(2);
+    let client_end = mesh.pop().unwrap();
+    let server_end = mesh.pop().unwrap();
+    (server_end, client_end)
+}
+
+/// A connected TCP loopback pair (server end, client end).
+fn tcp_pair() -> (TcpTransport, TcpTransport) {
+    let hub = TcpTransport::bind("127.0.0.1:0", 0).unwrap();
+    let addr = hub.local_addr();
+    let connecting = std::thread::spawn(move || TcpTransport::connect(&addr, 1, 0).unwrap());
+    (hub.accept(1).unwrap(), connecting.join().unwrap())
+}
+
+/// A connected reactor loopback pair (server end, client end).
+#[cfg(feature = "reactor")]
+fn reactor_pair() -> (lrc_net::ReactorTransport, lrc_net::ReactorTransport) {
+    use lrc_net::ReactorTransport;
+    let hub = ReactorTransport::bind("127.0.0.1:0", 0).unwrap();
+    let addr = hub.local_addr();
+    let connecting = std::thread::spawn(move || ReactorTransport::connect(&addr, 1, 0).unwrap());
+    (hub.accept(1).unwrap(), connecting.join().unwrap())
+}
+
+/// The batching storm's verdict.
+#[cfg(feature = "reactor")]
+struct Burst {
+    frames: u64,
+    write_syscalls: u64,
+    frames_per_write: f64,
+    bytes_modeled: u64,
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+/// The protocol-batching microbench: a same-destination storm of op
+/// frames submitted faster than the reactor flushes, so the staging
+/// buffer aggregates them into shared write syscalls. Returns the frame
+/// accounting, with modeled / sender-metered / receiver-metered bytes
+/// asserted equal — the `SizeCrosscheck` discipline extended to real
+/// syscall batching.
+#[cfg(feature = "reactor")]
+fn reactor_burst(frames: u64) -> Burst {
+    let (hub, spoke) = reactor_pair();
+    let msg = WireMsg::OpRequest {
+        proc: ProcId::new(1),
+        op: EngineOp::Write {
+            addr: 0,
+            data: vec![0xa5; 64],
+        },
+    };
+    let frame_len = msg.encode_frame(1, 0, 1).wire_len() as u64;
+    let hello_len = WireMsg::Hello {
+        node: 1,
+        procs: Vec::new(),
+    }
+    .encode_frame(1, 0, 0)
+    .wire_len() as u64;
+
+    for seq in 1..=frames {
+        spoke.send(&msg, 0, seq).unwrap();
+    }
+    for _ in 0..frames {
+        hub.recv().unwrap();
+    }
+    // The reactor thread may still be accounting the last flush; its
+    // frame counter includes the connect-time link hello.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let batch = loop {
+        let batch = spoke.batch_stats();
+        if batch.frames_written > frames {
+            break batch;
+        }
+        assert!(Instant::now() < deadline, "reactor never flushed the burst");
+        std::thread::sleep(Duration::from_millis(2));
+    };
+
+    let bytes_modeled = hello_len + frames * frame_len;
+    let bytes_sent = spoke.stats().bytes_sent;
+    let bytes_received = hub.stats().bytes_received;
+    assert_eq!(
+        bytes_sent, bytes_modeled,
+        "sender-metered bytes diverge from the modeled frame bytes"
+    );
+    assert_eq!(
+        bytes_received, bytes_modeled,
+        "receiver-metered bytes diverge from the modeled frame bytes"
+    );
+    Burst {
+        frames: batch.frames_written,
+        write_syscalls: batch.write_syscalls,
+        frames_per_write: batch.frames_per_write(),
+        bytes_modeled,
+        bytes_sent,
+        bytes_received,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            // Cargo runs benches with the package as CWD; the committed
+            // results live at the workspace root.
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transport.json").to_string()
+        });
+    let (codec_iters, rt_iters, burst_frames) = if smoke {
+        (2_000u64, 500u64, 2_048u64)
+    } else {
+        (50_000, 5_000, 8_192)
+    };
+    // `cargo bench` passes --bench and harness flags; all are ignored.
+
+    let (encode_us, decode_us) = bench_codec(codec_iters);
+    println!("codec: encode {encode_us:.2}us decode {decode_us:.2}us (miss reply, 4KiB page)");
+
+    let direct_us = bench_direct(rt_iters * 10);
+    let (server_end, client_end) = channel_pair();
+    let channel_us = bench_round_trips(server_end, client_end, rt_iters);
+    let (server_end, client_end) = tcp_pair();
+    let tcp_us = bench_round_trips(server_end, client_end, rt_iters);
+    #[cfg(feature = "reactor")]
+    let reactor_us = {
+        let (server_end, client_end) = reactor_pair();
+        bench_round_trips(server_end, client_end, rt_iters)
+    };
+
+    println!("round trip (write_u64): direct {direct_us:.2}us  channel {channel_us:.2}us  tcp {tcp_us:.2}us");
+    #[cfg(feature = "reactor")]
+    println!("round trip (write_u64): reactor {reactor_us:.2}us");
+
+    #[cfg(feature = "reactor")]
+    let burst = reactor_burst(burst_frames);
+    #[cfg(not(feature = "reactor"))]
+    let _ = burst_frames;
+    #[cfg(feature = "reactor")]
+    println!(
+        "reactor storm: {} frames in {} write syscalls ({:.1} frames/write), \
+         {} bytes modeled == sent == received",
+        burst.frames, burst.write_syscalls, burst.frames_per_write, burst.bytes_modeled,
+    );
+
+    #[cfg(feature = "reactor")]
+    let reactor_json = format!(
+        ",\n    \"reactor\": {reactor_us:.3}\n  }},\n  \"reactor_burst\": {{\n    \
+         \"frames\": {},\n    \"write_syscalls\": {},\n    \"frames_per_write\": {:.2},\n    \
+         \"bytes_modeled\": {},\n    \"bytes_sent\": {},\n    \"bytes_received\": {}\n  }}",
+        burst.frames,
+        burst.write_syscalls,
+        burst.frames_per_write,
+        burst.bytes_modeled,
+        burst.bytes_sent,
+        burst.bytes_received,
+    );
+    #[cfg(not(feature = "reactor"))]
+    let reactor_json = "\n  }".to_string();
+
+    let json = format!(
+        "{{\n  \"bench\": \"transport\",\n  \"smoke\": {smoke},\n  \"codec_us\": {{\n    \
+         \"encode\": {encode_us:.3},\n    \"decode\": {decode_us:.3}\n  }},\n  \
+         \"round_trip_us\": {{\n    \"direct\": {direct_us:.3},\n    \
+         \"channel\": {channel_us:.3},\n    \"tcp\": {tcp_us:.3}{reactor_json}\n}}\n",
+    );
+    std::fs::write(&json_path, &json).expect("write JSON results");
+    println!("results written to {json_path}");
+
+    if check {
+        #[cfg(feature = "reactor")]
+        {
+            // The committed acceptance gate: a same-destination storm must
+            // share write syscalls across frames, or the staging buffers
+            // have regressed into frame-per-write behavior.
+            assert!(
+                burst.frames_per_write > 1.0,
+                "no batching: {} frames took {} write syscalls",
+                burst.frames,
+                burst.write_syscalls,
+            );
+            println!("check passed");
+        }
+        #[cfg(not(feature = "reactor"))]
+        println!("check: reactor feature disabled, batching gate skipped");
+    }
+}

@@ -123,6 +123,13 @@ pub enum CheckpointError {
     /// The checkpoint does not fit its target (engine shape, delta base,
     /// or store era mismatch).
     Incompatible(String),
+    /// The operation itself is not implemented for the target engine
+    /// family (e.g. rejoin on an eager engine) — a property of the
+    /// *engine*, not of the checkpoint, so it is distinct from
+    /// [`CheckpointError::Incompatible`]: retrying with a better-matched
+    /// checkpoint cannot succeed. Mirrors
+    /// [`crate::ConfigError::UnsupportedMutation`].
+    Unsupported(String),
 }
 
 impl fmt::Display for CheckpointError {
@@ -130,6 +137,9 @@ impl fmt::Display for CheckpointError {
         match self {
             CheckpointError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
             CheckpointError::Incompatible(why) => write!(f, "incompatible checkpoint: {why}"),
+            CheckpointError::Unsupported(why) => {
+                write!(f, "unsupported checkpoint operation: {why}")
+            }
         }
     }
 }

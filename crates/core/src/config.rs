@@ -133,6 +133,15 @@ pub struct LrcConfig {
     /// separate message per acquire, like a naive implementation would
     /// send. Default `true`.
     pub piggyback_notices: bool,
+    /// Merge protocol messages bound for the same destination when their
+    /// payloads travel together anyway: the no-piggyback ablation's
+    /// separate notice message rides the grant it accompanies, and a cold
+    /// miss whose base-copy supplier is also a diff supplier asks for both
+    /// in one round trip. Pure messaging optimization — the bytes moved
+    /// and the protocol state reached are identical; only the message
+    /// *count* (and per-message header cost) drops. Default `false` so the
+    /// stock accounting stays comparable with prior runs.
+    pub coalesce_notices: bool,
     /// When `true` — an ablation — a processor holding an invalidated copy
     /// re-fetches the entire page on a miss instead of only diffs,
     /// disabling the optimization of §4.3.3. Default `false`.
@@ -167,6 +176,7 @@ impl LrcConfig {
             n_barriers: 4,
             policy: Policy::Invalidate,
             piggyback_notices: true,
+            coalesce_notices: false,
             full_page_misses: false,
             gc_at_barriers: false,
             mutation: ProtocolMutation::Stock,
@@ -201,6 +211,13 @@ impl LrcConfig {
     /// Disables write-notice piggybacking (ablation).
     pub fn no_piggyback(mut self) -> Self {
         self.piggyback_notices = false;
+        self
+    }
+
+    /// Enables same-destination message coalescing (see
+    /// [`LrcConfig::coalesce_notices`]).
+    pub fn coalesce_notices(mut self) -> Self {
+        self.coalesce_notices = true;
         self
     }
 

@@ -23,6 +23,7 @@ pub(crate) struct SharedLazyCounters {
     pub slow_waits_avoided: AtomicU64,
     pub miss_inflight_peak: AtomicU64,
     pub snapshot_retries: AtomicU64,
+    pub coalesced_msgs: AtomicU64,
 }
 
 /// Adds `n` to a counter field (statistics only — relaxed ordering).
@@ -51,6 +52,7 @@ impl SharedLazyCounters {
             slow_waits_avoided: get(&self.slow_waits_avoided),
             miss_inflight_peak: get(&self.miss_inflight_peak),
             snapshot_retries: get(&self.snapshot_retries),
+            coalesced_msgs: get(&self.coalesced_msgs),
         }
     }
 }
@@ -100,6 +102,11 @@ pub struct LazyCounters {
     /// reorganized (garbage-collected) between the read snapshot the plan
     /// was built against and the apply step's revalidation.
     pub snapshot_retries: u64,
+    /// Protocol messages *not sent* because `coalesce_notices` merged them
+    /// into another message bound for the same destination (a standalone
+    /// notice batch riding its grant, or a base-copy request folded into a
+    /// diff request). Each unit is one saved message header.
+    pub coalesced_msgs: u64,
 }
 
 impl LazyCounters {

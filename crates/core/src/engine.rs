@@ -320,6 +320,13 @@ impl LrcEngine {
         self.locks.lock().holder(lock)
     }
 
+    /// The live processors the current episode of `barrier` is still
+    /// waiting for (empty for unknown barriers) — the failure detector's
+    /// suspect list when a barrier wait times out.
+    pub fn barrier_absentees(&self, barrier: BarrierId) -> Vec<ProcId> {
+        self.barriers.lock().absent(barrier)
+    }
+
     fn shard(&self, p: ProcId) -> MutexGuard<'_, ProcShard> {
         self.shards[p.index()].lock()
     }
@@ -688,6 +695,16 @@ impl LrcEngine {
         if self.cfg.piggyback_notices {
             if let Some((src, dst)) = path.grant {
                 self.net.send(src, dst, MsgKind::LockGrant, grant_payload);
+            }
+        } else if self.cfg.coalesce_notices {
+            // Ablated *but* coalescing: the separate consistency message is
+            // bound for the same destination as the grant it trails, so the
+            // two merge back into one — same bytes, one header fewer. (This
+            // is the transport-level batching made protocol-aware: the
+            // messages would share a flush anyway.)
+            if let Some((src, dst)) = path.grant {
+                self.net.send(src, dst, MsgKind::LockGrant, grant_payload);
+                bump(&self.counters.coalesced_msgs, 1);
             }
         } else {
             // Ablation: the grant carries only the lock; consistency data

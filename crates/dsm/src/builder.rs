@@ -77,6 +77,13 @@ impl DsmBuilder {
         self
     }
 
+    /// Merges same-destination protocol messages that travel together
+    /// anyway (see [`lrc_core::LrcConfig::coalesce_notices`]).
+    pub fn coalesce_notices(mut self) -> Self {
+        self.params.coalesce_notices = true;
+        self
+    }
+
     /// Ships whole pages on warm misses (lazy protocols only; the ablation
     /// of [`lrc_core::LrcConfig::full_page_misses`]).
     pub fn full_page_misses(mut self) -> Self {
@@ -109,11 +116,14 @@ impl DsmBuilder {
         self
     }
 
-    /// Arms the failure detector: a processor blocked acquiring a lock for
-    /// longer than `timeout` suspects the holder has crashed, declares it
-    /// dead ([`Dsm::declare_dead`] — flushing its open interval and
-    /// force-releasing its locks), and retries the acquire. Lazy protocols
-    /// only; the eager baseline has no crash story. Default: never suspect.
+    /// Arms the failure detector: a processor blocked *waiting* for longer
+    /// than `timeout` presumes the processor it waits on has crashed and
+    /// declares it dead ([`Dsm::declare_dead`]). A lock waiter suspects
+    /// the holder (its open interval is flushed, its locks force-released)
+    /// and retries the acquire; a barrier waiter suspects every live
+    /// processor yet to arrive, completing the episode on their behalf.
+    /// Lazy protocols only; the eager baseline has no crash story.
+    /// Default: never suspect.
     ///
     /// Distinct from [`DsmBuilder::wait_timeout`], which *panics* on a
     /// stuck wait — this one recovers.

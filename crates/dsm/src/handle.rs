@@ -213,6 +213,31 @@ impl ProcHandle {
             BarrierArrival::Waiting { .. } => {
                 let mut episodes = self.cluster.episodes.lock();
                 while episodes[barrier.index()] < target {
+                    if let Some(suspect_after) = self.cluster.holder_timeout {
+                        // Failure-detector path, mirroring the lock wait:
+                        // an episode stuck past the deadline means a
+                        // processor died before arriving. Suspect every
+                        // live absentee; declaring one dead completes the
+                        // episode on its behalf and advances the counter
+                        // this loop re-checks. (The episodes lock is
+                        // dropped first — suspicion takes the engine
+                        // hierarchy and re-enters this counter to
+                        // propagate completions.)
+                        let result = self
+                            .cluster
+                            .barrier_cv
+                            .wait_for(&mut episodes, suspect_after);
+                        if result.timed_out() && episodes[barrier.index()] < target {
+                            drop(episodes);
+                            for absent in self.cluster.engine.barrier_absentees(barrier) {
+                                if absent != self.proc {
+                                    self.cluster.suspect(absent);
+                                }
+                            }
+                            episodes = self.cluster.episodes.lock();
+                        }
+                        continue;
+                    }
                     match self.cluster.wait_timeout {
                         None => self.cluster.barrier_cv.wait(&mut episodes),
                         Some(limit) => {

@@ -27,6 +27,12 @@ pub struct EagerConfig {
     pub n_barriers: usize,
     /// Data-movement policy: update (EU) or invalidate (EI). Default EI.
     pub policy: Policy,
+    /// Merge same-destination protocol messages that travel together
+    /// anyway — for the eager engines, the per-page writeback replies an
+    /// EI invalidation round collects from one destination. Same bytes,
+    /// fewer message headers (see [`lrc_core::LrcConfig::coalesce_notices`]).
+    /// Default `false`.
+    pub coalesce_notices: bool,
     /// Measurement baseline: serialize every slow path on one engine-wide
     /// mutex, reproducing the pre-split `protocol`-mutex architecture (see
     /// [`lrc_core::LrcConfig::serialize_slow_paths`]). Benchmarks only.
@@ -45,6 +51,7 @@ impl EagerConfig {
             n_locks: 16,
             n_barriers: 4,
             policy: Policy::Invalidate,
+            coalesce_notices: false,
             serialize_slow_paths: false,
         }
     }
@@ -70,6 +77,13 @@ impl EagerConfig {
     /// Sets the number of barriers.
     pub fn barriers(mut self, n: usize) -> Self {
         self.n_barriers = n;
+        self
+    }
+
+    /// Enables same-destination message coalescing (see
+    /// [`EagerConfig::coalesce_notices`]).
+    pub fn coalesce_notices(mut self) -> Self {
+        self.coalesce_notices = true;
         self
     }
 

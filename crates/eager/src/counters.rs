@@ -20,6 +20,7 @@ pub(crate) struct SharedEagerCounters {
     pub slow_waits: AtomicU64,
     pub slow_waits_avoided: AtomicU64,
     pub miss_inflight_peak: AtomicU64,
+    pub coalesced_msgs: AtomicU64,
 }
 
 /// Adds `n` to a counter field (statistics only — relaxed ordering).
@@ -46,6 +47,7 @@ impl SharedEagerCounters {
             slow_waits: get(&self.slow_waits),
             slow_waits_avoided: get(&self.slow_waits_avoided),
             miss_inflight_peak: get(&self.miss_inflight_peak),
+            coalesced_msgs: get(&self.coalesced_msgs),
         }
     }
 }
@@ -86,6 +88,11 @@ pub struct EagerCounters {
     pub slow_waits_avoided: u64,
     /// High-water mark of directory misses resolving concurrently.
     pub miss_inflight_peak: u64,
+    /// Protocol messages *not sent* because `coalesce_notices` merged them
+    /// into another message bound for the same destination (an EI
+    /// invalidation round's writeback replies sharing one frame). Each
+    /// unit is one saved message header.
+    pub coalesced_msgs: u64,
 }
 
 impl EagerCounters {

@@ -240,6 +240,13 @@ impl EagerEngine {
         self.locks.lock().holder(lock)
     }
 
+    /// The live processors the current episode of `barrier` is still
+    /// waiting for (empty for unknown barriers) — diagnostics for stuck
+    /// barrier waits.
+    pub fn barrier_absentees(&self, barrier: BarrierId) -> Vec<ProcId> {
+        self.barriers.lock().absent(barrier)
+    }
+
     /// The engine's configuration.
     pub fn config(&self) -> &EagerConfig {
         &self.cfg
@@ -757,9 +764,22 @@ impl EagerEngine {
                     }
                 }
             }
+            if self.cfg.coalesce_notices && writebacks.len() > 1 {
+                // Coalescing: one invalidation round's writebacks all go
+                // from `dest` to the releaser — one reply carries every
+                // diff. Same bytes, one header instead of several.
+                let payload: u64 = writebacks
+                    .iter()
+                    .map(|(_, wb)| wb.encoded_size() as u64)
+                    .sum();
+                self.net.send(dest, p, MsgKind::WritebackReply, payload);
+                bump(&self.counters.coalesced_msgs, writebacks.len() as u64 - 1);
+            }
             for (g, wb) in &writebacks {
-                self.net
-                    .send(dest, p, MsgKind::WritebackReply, wb.encoded_size() as u64);
+                if !self.cfg.coalesce_notices || writebacks.len() <= 1 {
+                    self.net
+                        .send(dest, p, MsgKind::WritebackReply, wb.encoded_size() as u64);
+                }
                 bump(&self.counters.writebacks, 1);
                 let mut releaser = self.shard(p);
                 let copy = releaser.pages[g.index()]

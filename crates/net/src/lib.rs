@@ -43,17 +43,25 @@
 //! assert_eq!(a.stats().bytes_sent, frame.wire_len() as u64);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
-#![forbid(unsafe_code)]
+// The default build carries no unsafe code at all; the `reactor` feature
+// adds exactly one `#[allow]`ed module (the poll(2) FFI in `reactor::sys`),
+// so even then new unsafe cannot appear elsewhere in the crate.
+#![cfg_attr(not(feature = "reactor"), forbid(unsafe_code))]
+#![cfg_attr(feature = "reactor", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod channel;
 mod fault;
+#[cfg(feature = "reactor")]
+mod reactor;
 mod tcp;
 mod transport;
 pub mod wire;
 
 pub use channel::{ChannelNet, ChannelTransport};
 pub use fault::{FaultPlan, FaultRule, FaultyTransport};
+#[cfg(feature = "reactor")]
+pub use reactor::{BatchStats, ReactorHub, ReactorTransport};
 pub use tcp::{TcpHub, TcpTransport};
 pub use transport::{NetError, NodeId, Transport, WireMeter, WireStats};
 pub use wire::{

@@ -1,0 +1,767 @@
+//! The reactor transport: every peer socket behind **one** readiness
+//! thread (feature `reactor`).
+//!
+//! The thread-per-peer [`crate::TcpTransport`] spends `2·peers` OS
+//! threads per endpoint; a hub serving hundreds of spokes drowns in
+//! threads before the protocol's message savings matter. This backend
+//! keeps the same topology, framing, handshake, and metering, but runs
+//! **one reactor thread** that owns every connected socket:
+//!
+//! * sockets are non-blocking; readiness comes from a minimal `poll(2)`
+//!   wrapper over raw fds (std already links libc — no crates.io);
+//! * senders enqueue encoded frames onto a **wakeable submission queue**
+//!   ([`Transport::send`] never touches a socket); a byte down a
+//!   `UnixStream` pair wakes the reactor only on the empty→non-empty
+//!   transition;
+//! * the reactor drains the whole queue each cycle into **per-peer
+//!   staging buffers**, so every frame bound for the same destination
+//!   that accumulated since the last cycle flushes in a *single* write
+//!   syscall — the writev-style batch the protocol-level coalescing
+//!   builds on. [`ReactorTransport::batch_stats`] reports frames per
+//!   syscall in both directions;
+//! * reads pull whatever the socket has into a per-peer buffer and parse
+//!   complete length-prefixed frames out of it incrementally
+//!   ([`Frame::peek_body_len`] + [`Frame::from_wire_parts`]), so a read
+//!   syscall can likewise deliver many frames.
+//!
+//! Death semantics match the TCP backend: EOF, a failed write, or a
+//! corrupt stream poisons that peer's flag (later sends report
+//! [`NetError::Closed`]); once every peer is gone the reactor retires and
+//! a blocked [`Transport::recv`] resolves to `Closed` instead of hanging.
+//! [`FaultyTransport`](crate::FaultyTransport) wraps this backend
+//! unchanged — it is generic over [`Transport`].
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::lockdep::classes;
+use parking_lot::Mutex;
+
+use crate::tcp::accept_spokes;
+use crate::transport::{NetError, NodeId, Transport, WireMeter, WireStats};
+use crate::wire::{Frame, WireMsg, FRAME_HEADER_BYTES};
+
+/// Minimal readiness wrapper: `poll(2)` over raw fds. The only unsafe
+/// code in the crate, confined to this module; std links libc, so the
+/// symbol is already there.
+#[allow(unsafe_code)]
+mod sys {
+    use std::os::raw::{c_int, c_ulong};
+
+    /// One registered fd, `struct pollfd`-compatible.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// Blocks until at least one registered fd is ready; retries EINTR.
+    pub fn poll_fds(fds: &mut [PollFd]) -> std::io::Result<usize> {
+        loop {
+            // SAFETY: `fds` is a valid, exclusively borrowed slice of
+            // repr(C) pollfd records for the duration of the call.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, -1) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// Syscall-level batching counters of one reactor endpoint: how many
+/// frames each read/write syscall actually moved.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BatchStats {
+    /// Successful write syscalls issued (EAGAIN probes excluded).
+    pub write_syscalls: u64,
+    /// Frames fully written to sockets.
+    pub frames_written: u64,
+    /// Successful read syscalls issued.
+    pub read_syscalls: u64,
+    /// Frames fully parsed off sockets.
+    pub frames_read: u64,
+}
+
+impl BatchStats {
+    /// Same-destination frames flushed per write syscall (the batching
+    /// figure of merit; `> 1` means aggregation engaged).
+    pub fn frames_per_write(&self) -> f64 {
+        self.frames_written as f64 / self.write_syscalls.max(1) as f64
+    }
+}
+
+/// Atomic mirror of [`BatchStats`], bumped from the reactor thread.
+#[derive(Debug, Default)]
+struct SharedBatch {
+    write_syscalls: AtomicU64,
+    frames_written: AtomicU64,
+    read_syscalls: AtomicU64,
+    frames_read: AtomicU64,
+}
+
+/// State shared between sender threads and the reactor thread. Sockets
+/// are deliberately *not* here: the reactor owns them privately, so the
+/// I/O hot path takes no locks at all.
+struct Shared {
+    /// Encoded frames awaiting the reactor, in submission order.
+    submit: Mutex<VecDeque<(NodeId, Vec<u8>)>>,
+    /// Per-peer death flags (the send-side view of liveness).
+    peers: Mutex<HashMap<NodeId, Arc<AtomicBool>>>,
+    /// Set by [`Drop`]; the reactor exits at the next wake.
+    shutdown: AtomicBool,
+    batch: SharedBatch,
+}
+
+/// A [`Transport`] endpoint whose sockets are all served by one reactor
+/// thread (versus the TCP backend's send+recv thread pair per peer).
+///
+/// Wire-compatible with [`crate::TcpTransport`]: the two backends
+/// interoperate on the same session and meter identical bytes.
+pub struct ReactorTransport {
+    node: NodeId,
+    shared: Arc<Shared>,
+    /// Write side of the wake pipe (non-blocking; a full pipe already
+    /// guarantees a pending wake).
+    wake_tx: UnixStream,
+    incoming: Mutex<Receiver<Frame>>,
+    meter: Arc<WireMeter>,
+    reactor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReactorTransport {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and returns a hub handle; call
+    /// [`ReactorHub::accept`] / [`ReactorHub::accept_within`] to take the
+    /// spoke connections and start the reactor.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures binding the listener.
+    pub fn bind(addr: &str, node: NodeId) -> Result<ReactorHub, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(ReactorHub { node, listener })
+    }
+
+    /// Connects to a hub at `addr` as `node`, opening with the same
+    /// transport-level [`WireMsg::Hello`] the TCP spoke sends (the hubs
+    /// are interchangeable).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures reaching the hub.
+    pub fn connect(addr: &str, node: NodeId, hub: NodeId) -> Result<ReactorTransport, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let transport = ReactorTransport::start(node, vec![(hub, stream)])?;
+        transport.send(
+            &WireMsg::Hello {
+                node,
+                procs: Vec::new(),
+            },
+            hub,
+            0,
+        )?;
+        Ok(transport)
+    }
+
+    /// Wires up the shared state and spawns the reactor thread over the
+    /// already-connected `conns`.
+    fn start(node: NodeId, conns: Vec<(NodeId, TcpStream)>) -> Result<ReactorTransport, NetError> {
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            submit: Mutex::new_in(VecDeque::new(), classes::NET_REACTOR_SUBMIT),
+            peers: Mutex::new_in(HashMap::new(), classes::NET_REACTOR_PEERS),
+            shutdown: AtomicBool::new(false),
+            batch: SharedBatch::default(),
+        });
+        let (incoming_tx, incoming_rx) = channel();
+        let mut peer_io = HashMap::new();
+        {
+            let mut peers = shared.peers.lock();
+            for (peer, stream) in conns {
+                stream.set_nonblocking(true)?;
+                let dead = Arc::new(AtomicBool::new(false));
+                peers.insert(peer, Arc::clone(&dead));
+                peer_io.insert(peer, PeerIo::new(stream, dead));
+            }
+        }
+        let reactor = Reactor {
+            shared: Arc::clone(&shared),
+            wake_rx,
+            peers: peer_io,
+            incoming: incoming_tx,
+        };
+        let thread = std::thread::Builder::new()
+            .name(format!("lrc-net-reactor-{node}"))
+            .spawn(move || reactor.run())
+            .expect("spawn reactor thread");
+        Ok(ReactorTransport {
+            node,
+            shared,
+            wake_tx,
+            incoming: Mutex::new_in(incoming_rx, classes::NET_INCOMING),
+            meter: Arc::new(WireMeter::default()),
+            reactor: Some(thread),
+        })
+    }
+
+    /// Syscall-level batching counters of this endpoint.
+    pub fn batch_stats(&self) -> BatchStats {
+        let b = &self.shared.batch;
+        BatchStats {
+            write_syscalls: b.write_syscalls.load(Ordering::Relaxed),
+            frames_written: b.frames_written.load(Ordering::Relaxed),
+            read_syscalls: b.read_syscalls.load(Ordering::Relaxed),
+            frames_read: b.frames_read.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ReactorTransport {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let _ = (&self.wake_tx).write(&[1]);
+        if let Some(thread) = self.reactor.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Transport for ReactorTransport {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn send(&self, msg: &WireMsg, dst: NodeId, seq: u64) -> Result<(), NetError> {
+        let bytes = crate::transport::encode_frame_checked(msg, self.node, dst, seq)?;
+        let len = bytes.len();
+        let dead = {
+            let peers = self.shared.peers.lock();
+            Arc::clone(peers.get(&dst).ok_or(NetError::UnknownPeer(dst))?)
+        };
+        if dead.load(Ordering::Acquire) {
+            return Err(NetError::Closed);
+        }
+        let was_empty = {
+            let mut submit = self.shared.submit.lock();
+            let was_empty = submit.is_empty();
+            submit.push_back((dst, bytes));
+            was_empty
+        };
+        // One wake byte per empty→non-empty transition is enough: the
+        // reactor drains the queue whole under the lock, so every frame
+        // pushed onto a non-empty queue is covered by the wake already in
+        // flight for its head.
+        if was_empty {
+            let _ = (&self.wake_tx).write(&[1]);
+        }
+        self.meter.count_sent(msg.kind(), len);
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Frame, NetError> {
+        let frame = self.incoming.lock().recv().map_err(|_| NetError::Closed)?;
+        self.meter.count_received(frame.wire_len());
+        Ok(frame)
+    }
+
+    fn stats(&self) -> WireStats {
+        self.meter.stats()
+    }
+}
+
+impl std::fmt::Debug for ReactorTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let peers = self.shared.peers.lock();
+        write!(
+            f,
+            "ReactorTransport(node {}, {} peers)",
+            self.node,
+            peers.len()
+        )
+    }
+}
+
+/// A bound-but-not-yet-connected reactor hub (see
+/// [`ReactorTransport::bind`]).
+pub struct ReactorHub {
+    node: NodeId,
+    listener: TcpListener,
+}
+
+impl ReactorHub {
+    /// The address peers should connect to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket's local address cannot be read (never on a
+    /// freshly bound listener).
+    pub fn local_addr(&self) -> String {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+            .to_string()
+    }
+
+    /// Accepts exactly `n_peers` connections (consuming each opening
+    /// transport-level `Hello`, as [`crate::TcpHub::accept`] does) and
+    /// starts the reactor over them.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a first frame that is not a valid `Hello`.
+    pub fn accept(self, n_peers: usize) -> Result<ReactorTransport, NetError> {
+        self.accept_conns(n_peers, None)
+    }
+
+    /// Like [`ReactorHub::accept`], but bounded by `timeout`; expiry
+    /// returns [`NetError::AcceptTimeout`] naming the peers that did
+    /// connect.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::AcceptTimeout`] on expiry; otherwise as
+    /// [`ReactorHub::accept`].
+    pub fn accept_within(
+        self,
+        n_peers: usize,
+        timeout: Duration,
+    ) -> Result<ReactorTransport, NetError> {
+        self.accept_conns(n_peers, Some(Instant::now() + timeout))
+    }
+
+    fn accept_conns(
+        self,
+        n_peers: usize,
+        deadline: Option<Instant>,
+    ) -> Result<ReactorTransport, NetError> {
+        let conns = accept_spokes(&self.listener, n_peers, deadline)?;
+        let mut hello_bytes = Vec::with_capacity(conns.len());
+        let conns: Vec<(NodeId, TcpStream)> = conns
+            .into_iter()
+            .map(|(peer, stream, hello_len)| {
+                hello_bytes.push(hello_len);
+                (peer, stream)
+            })
+            .collect();
+        let transport = ReactorTransport::start(self.node, conns)?;
+        for len in hello_bytes {
+            transport.meter.count_received(len);
+        }
+        Ok(transport)
+    }
+}
+
+/// One peer's private I/O state, owned by the reactor thread.
+struct PeerIo {
+    stream: TcpStream,
+    dead: Arc<AtomicBool>,
+    /// Unparsed inbound bytes (a frame may arrive split across reads).
+    inbuf: Vec<u8>,
+    /// Staged outbound bytes; `out[out_pos..]` is still unwritten.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Lengths of the staged frames, front = currently flushing — how
+    /// "frames completed per write syscall" is attributed.
+    frame_lens: VecDeque<usize>,
+    /// Bytes of `frame_lens.front()` already written.
+    head_written: usize,
+}
+
+impl PeerIo {
+    fn new(stream: TcpStream, dead: Arc<AtomicBool>) -> PeerIo {
+        PeerIo {
+            stream,
+            dead,
+            inbuf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            frame_lens: VecDeque::new(),
+            head_written: 0,
+        }
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    fn has_pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Appends one encoded frame to the staging buffer (compacting the
+    /// already-written prefix first).
+    fn stage(&mut self, bytes: Vec<u8>) {
+        if self.out_pos > 0 {
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        self.frame_lens.push_back(bytes.len());
+        self.out.extend_from_slice(&bytes);
+    }
+
+    /// Writes as much staged output as the socket accepts right now —
+    /// one syscall can carry every frame staged since the last cycle.
+    fn flush(&mut self, batch: &SharedBatch) {
+        while self.out_pos < self.out.len() {
+            match (&self.stream).write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    self.dead.store(true, Ordering::Release);
+                    return;
+                }
+                Ok(n) => {
+                    batch.write_syscalls.fetch_add(1, Ordering::Relaxed);
+                    self.out_pos += n;
+                    self.head_written += n;
+                    while let Some(&len) = self.frame_lens.front() {
+                        if self.head_written < len {
+                            break;
+                        }
+                        self.head_written -= len;
+                        self.frame_lens.pop_front();
+                        batch.frames_written.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead.store(true, Ordering::Release);
+                    return;
+                }
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+    }
+
+    /// Pulls whatever the socket has buffered and parses every complete
+    /// frame out of `inbuf`. Returns `false` only when the incoming
+    /// receiver is gone (the transport handle was dropped); peer death is
+    /// recorded in the flag instead.
+    fn read_and_parse(
+        &mut self,
+        scratch: &mut [u8],
+        batch: &SharedBatch,
+        incoming: &Sender<Frame>,
+    ) -> bool {
+        loop {
+            match (&self.stream).read(scratch) {
+                Ok(0) => {
+                    self.dead.store(true, Ordering::Release);
+                    break;
+                }
+                Ok(n) => {
+                    batch.read_syscalls.fetch_add(1, Ordering::Relaxed);
+                    self.inbuf.extend_from_slice(&scratch[..n]);
+                    if n < scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead.store(true, Ordering::Release);
+                    break;
+                }
+            }
+        }
+        let mut consumed = 0;
+        while self.inbuf.len() - consumed >= FRAME_HEADER_BYTES {
+            let header = &self.inbuf[consumed..consumed + FRAME_HEADER_BYTES];
+            let body_len = match Frame::peek_body_len(header) {
+                Ok(len) => len,
+                Err(_) => {
+                    // Corrupt stream: poison the peer, drop the tail.
+                    self.dead.store(true, Ordering::Release);
+                    break;
+                }
+            };
+            if self.inbuf.len() - consumed < FRAME_HEADER_BYTES + body_len {
+                break;
+            }
+            let body_start = consumed + FRAME_HEADER_BYTES;
+            let body = self.inbuf[body_start..body_start + body_len].to_vec();
+            let frame = match Frame::from_wire_parts(header, body) {
+                Ok(frame) => frame,
+                Err(_) => {
+                    self.dead.store(true, Ordering::Release);
+                    break;
+                }
+            };
+            consumed += FRAME_HEADER_BYTES + body_len;
+            batch.frames_read.fetch_add(1, Ordering::Relaxed);
+            if incoming.send(frame).is_err() {
+                return false;
+            }
+        }
+        if consumed > 0 {
+            self.inbuf.drain(..consumed);
+        }
+        true
+    }
+}
+
+/// The reactor thread's private state.
+struct Reactor {
+    shared: Arc<Shared>,
+    wake_rx: UnixStream,
+    peers: HashMap<NodeId, PeerIo>,
+    incoming: Sender<Frame>,
+}
+
+impl Reactor {
+    /// The event loop: poll → drain wake → stage submissions → flush
+    /// staged writes → read/parse inbound → sweep dead peers. Exits on
+    /// shutdown, when every peer has died (dropping the incoming sender,
+    /// which resolves blocked `recv`s to `Closed`), or when the transport
+    /// handle itself is gone.
+    fn run(mut self) {
+        let mut scratch = vec![0u8; 64 * 1024];
+        'outer: loop {
+            if self.shared.shutdown.load(Ordering::Acquire) || self.peers.is_empty() {
+                break;
+            }
+            let ids: Vec<NodeId> = self.peers.keys().copied().collect();
+            let mut fds = Vec::with_capacity(ids.len() + 1);
+            fds.push(sys::PollFd {
+                fd: self.wake_rx.as_raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            for id in &ids {
+                let io = &self.peers[id];
+                let mut events = sys::POLLIN;
+                if io.has_pending_out() {
+                    events |= sys::POLLOUT;
+                }
+                fds.push(sys::PollFd {
+                    fd: io.stream.as_raw_fd(),
+                    events,
+                    revents: 0,
+                });
+            }
+            if sys::poll_fds(&mut fds).is_err() {
+                break;
+            }
+            if fds[0].revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP) != 0 {
+                self.drain_wake_pipe();
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            // Stage everything submitted since the last cycle — the
+            // batching point: same-destination frames now share a flush.
+            let submitted = std::mem::take(&mut *self.shared.submit.lock());
+            for (dst, bytes) in submitted {
+                if let Some(io) = self.peers.get_mut(&dst) {
+                    io.stage(bytes);
+                }
+                // else: the peer died with frames in flight; they vanish,
+                // exactly like bytes queued into a dead TCP send thread.
+            }
+            // Flush optimistically (the first attempt usually succeeds
+            // without a POLLOUT round trip); WouldBlock leaves the rest
+            // staged and the next poll registers POLLOUT for it.
+            for id in &ids {
+                let io = self.peers.get_mut(id).expect("id snapshot of this cycle");
+                if io.has_pending_out() && !io.is_dead() {
+                    io.flush(&self.shared.batch);
+                }
+            }
+            for (i, id) in ids.iter().enumerate() {
+                if fds[i + 1].revents & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) == 0 {
+                    continue;
+                }
+                let io = self.peers.get_mut(id).expect("id snapshot of this cycle");
+                if !io.is_dead()
+                    && !io.read_and_parse(&mut scratch, &self.shared.batch, &self.incoming)
+                {
+                    break 'outer;
+                }
+            }
+            self.peers.retain(|_, io| !io.is_dead());
+        }
+        // Dropping `self` closes every stream (peers see EOF) and the
+        // incoming sender (blocked recvs resolve to Closed).
+    }
+
+    fn drain_wake_pipe(&mut self) {
+        let mut sink = [0u8; 256];
+        loop {
+            match (&self.wake_rx).read(&mut sink) {
+                Ok(0) => break, // every wake sender is gone
+                Ok(n) if n == sink.len() => continue,
+                Ok(_) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // WouldBlock: drained
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireKind;
+    use std::thread;
+
+    fn loopback_pair() -> (ReactorTransport, ReactorTransport) {
+        let hub = ReactorTransport::bind("127.0.0.1:0", 0).expect("bind");
+        let addr = hub.local_addr();
+        let spoke_thread =
+            thread::spawn(move || ReactorTransport::connect(&addr, 1, 0).expect("connect"));
+        let hub = hub.accept(1).expect("accept");
+        (hub, spoke_thread.join().unwrap())
+    }
+
+    #[test]
+    fn hub_and_spoke_exchange_frames_on_loopback() {
+        let (hub, spoke) = loopback_pair();
+        spoke.send(&WireMsg::Shutdown, 0, 5).unwrap();
+        let frame = hub.recv().unwrap();
+        assert_eq!((frame.kind, frame.seq), (WireKind::Shutdown, 5));
+        hub.send(&WireMsg::Shutdown, 1, 6).unwrap();
+        let frame = spoke.recv().unwrap();
+        assert_eq!(
+            (frame.kind, frame.src, frame.seq),
+            (WireKind::Shutdown, 0, 6)
+        );
+        // Metering matches the TCP backend: the link-level Hello counts.
+        assert!(spoke.stats().bytes_sent >= 2 * 32);
+        assert_eq!(spoke.stats().msgs_sent, 2);
+        assert_eq!(hub.stats().msgs_received, 2);
+        assert_eq!(hub.stats().msgs_sent, 1);
+    }
+
+    #[test]
+    fn interoperates_with_the_thread_per_peer_tcp_backend() {
+        // Same wire protocol, same handshake: a reactor spoke against a
+        // thread-per-peer hub (and the reply direction back).
+        let hub = crate::TcpTransport::bind("127.0.0.1:0", 0).expect("bind");
+        let addr = hub.local_addr();
+        let spoke_thread =
+            thread::spawn(move || ReactorTransport::connect(&addr, 1, 0).expect("connect"));
+        let hub = hub.accept(1).expect("accept");
+        let spoke = spoke_thread.join().unwrap();
+        spoke.send(&WireMsg::Shutdown, 0, 11).unwrap();
+        assert_eq!(hub.recv().unwrap().seq, 11);
+        hub.send(&WireMsg::Shutdown, 1, 12).unwrap();
+        assert_eq!(spoke.recv().unwrap().seq, 12);
+    }
+
+    #[test]
+    fn peer_death_surfaces_as_closed_not_a_hang() {
+        let (hub, spoke) = loopback_pair();
+        drop(spoke);
+        assert_eq!(hub.recv().unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn send_after_peer_death_errors_instead_of_queueing_into_the_void() {
+        let (hub, spoke) = loopback_pair();
+        drop(hub);
+        assert_eq!(spoke.recv().unwrap_err(), NetError::Closed);
+        assert_eq!(spoke.send(&WireMsg::Shutdown, 0, 1), Err(NetError::Closed));
+    }
+
+    #[test]
+    fn in_flight_blocking_fetch_unblocks_when_the_peer_dies() {
+        let (hub, spoke) = loopback_pair();
+        spoke.send(&WireMsg::Shutdown, 0, 9).unwrap();
+        let fetch = thread::spawn(move || spoke.recv());
+        hub.recv().unwrap();
+        drop(hub);
+        assert_eq!(fetch.join().unwrap().unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn oversized_body_is_refused_at_the_sender() {
+        let (_hub, spoke) = loopback_pair();
+        let msg = WireMsg::OpReply {
+            result: Ok(vec![0u8; crate::wire::MAX_BODY_BYTES + 1]),
+        };
+        assert!(matches!(
+            spoke.send(&msg, 0, 0),
+            Err(NetError::Wire(crate::wire::WireError::Malformed(_)))
+        ));
+    }
+
+    #[test]
+    fn send_to_unconnected_peer_errors() {
+        let (_hub, spoke) = loopback_pair();
+        assert_eq!(
+            spoke.send(&WireMsg::Shutdown, 7, 0),
+            Err(NetError::UnknownPeer(7))
+        );
+    }
+
+    #[test]
+    fn a_burst_delivers_in_order_with_exact_frame_accounting() {
+        let (hub, spoke) = loopback_pair();
+        const BURST: u64 = 256;
+        for seq in 0..BURST {
+            spoke.send(&WireMsg::Shutdown, 0, seq).unwrap();
+        }
+        for seq in 0..BURST {
+            let frame = hub.recv().unwrap();
+            assert_eq!((frame.kind, frame.seq), (WireKind::Shutdown, seq));
+        }
+        // Give the spoke's reactor a moment to finish attributing the
+        // tail of the burst (the hub has the frames; the spoke's counters
+        // trail the last write by at most one cycle).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let b = spoke.batch_stats();
+            if b.frames_written == BURST + 1 || Instant::now() > deadline {
+                // +1: the link-level Hello.
+                assert_eq!(b.frames_written, BURST + 1, "every frame fully flushed");
+                assert!(
+                    b.write_syscalls <= b.frames_written,
+                    "a write syscall never splits below one frame's worth of credit"
+                );
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        // Hub side: the link-level Hello metered at accept + the burst.
+        assert_eq!(hub.stats().msgs_received, BURST + 1);
+    }
+
+    #[test]
+    fn accept_within_times_out_when_a_spoke_never_connects() {
+        let hub = ReactorTransport::bind("127.0.0.1:0", 0).expect("bind");
+        let err = hub
+            .accept_within(3, Duration::from_millis(100))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::AcceptTimeout {
+                wanted: 3,
+                connected: Vec::new()
+            }
+        );
+    }
+}

@@ -20,6 +20,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::lockdep::classes;
 use parking_lot::Mutex;
@@ -163,24 +164,108 @@ impl TcpHub {
     ///
     /// I/O failures, or a first frame that is not a valid `Hello`.
     pub fn accept(self, n_peers: usize) -> Result<TcpTransport, NetError> {
+        self.accept_conns(n_peers, None)
+    }
+
+    /// Like [`TcpHub::accept`], but bounded: if the full peer set has not
+    /// connected (and identified itself) within `timeout`, returns
+    /// [`NetError::AcceptTimeout`] naming the peers that did make it —
+    /// a spoke that never starts surfaces as a typed error instead of a
+    /// hub blocked in `accept` forever.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::AcceptTimeout`] on expiry; otherwise as
+    /// [`TcpHub::accept`].
+    pub fn accept_within(
+        self,
+        n_peers: usize,
+        timeout: Duration,
+    ) -> Result<TcpTransport, NetError> {
+        self.accept_conns(n_peers, Some(Instant::now() + timeout))
+    }
+
+    fn accept_conns(
+        self,
+        n_peers: usize,
+        deadline: Option<Instant>,
+    ) -> Result<TcpTransport, NetError> {
+        let conns = accept_spokes(&self.listener, n_peers, deadline)?;
         let mut transport = TcpTransport::new(self.node);
-        for _ in 0..n_peers {
-            let (stream, _) = self.listener.accept()?;
-            stream.set_nodelay(true)?;
-            // Read the opening Hello synchronously to learn the peer id.
-            let hello = read_frame(&mut &stream)?;
-            if hello.kind != WireKind::Hello {
-                return Err(NetError::Io(format!(
-                    "peer opened with {} instead of Hello",
-                    hello.kind
-                )));
-            }
-            transport.meter.count_received(hello.wire_len());
-            transport.attach(hello.src, stream);
+        for (peer, stream, hello_len) in conns {
+            transport.meter.count_received(hello_len);
+            transport.attach(peer, stream);
         }
         transport.seal();
         Ok(transport)
     }
+}
+
+/// Accepts `n_peers` spoke connections off `listener` and consumes each
+/// spoke's opening transport-level [`WireMsg::Hello`], returning
+/// `(peer id, stream, hello wire length)` triples. `None` deadline blocks
+/// forever; with a deadline, both the accepts and the hello reads are
+/// bounded, and expiry reports the peers collected so far. Shared by the
+/// thread-per-peer hub and the reactor hub.
+pub(crate) fn accept_spokes(
+    listener: &TcpListener,
+    n_peers: usize,
+    deadline: Option<Instant>,
+) -> Result<Vec<(NodeId, TcpStream, usize)>, NetError> {
+    let timed_out = |conns: &[(NodeId, TcpStream, usize)]| NetError::AcceptTimeout {
+        wanted: n_peers,
+        connected: conns.iter().map(|&(peer, _, _)| peer).collect(),
+    };
+    if deadline.is_some() {
+        listener.set_nonblocking(true)?;
+    }
+    let mut conns: Vec<(NodeId, TcpStream, usize)> = Vec::with_capacity(n_peers);
+    while conns.len() < n_peers {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline.expect("WouldBlock only under a deadline") {
+                    return Err(timed_out(&conns));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(false)?;
+        // Read the opening Hello synchronously to learn the peer id;
+        // under a deadline, a connected-but-silent spoke must not wedge
+        // the hub either.
+        if let Some(deadline) = deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(timed_out(&conns));
+            }
+            stream.set_read_timeout(Some(remaining))?;
+        }
+        let hello = match read_frame(&mut &stream) {
+            Ok(hello) => hello,
+            Err(e) => {
+                // A read failure at the deadline is the silent-spoke
+                // case; anything earlier is a genuine I/O error.
+                return Err(if deadline.is_some_and(|d| Instant::now() >= d) {
+                    timed_out(&conns)
+                } else {
+                    e
+                });
+            }
+        };
+        if hello.kind != WireKind::Hello {
+            return Err(NetError::Io(format!(
+                "peer opened with {} instead of Hello",
+                hello.kind
+            )));
+        }
+        stream.set_read_timeout(None)?;
+        conns.push((hello.src, stream, hello.wire_len()));
+    }
+    Ok(conns)
 }
 
 /// Drains the send queue onto the socket; exits when the queue closes or
@@ -359,6 +444,61 @@ mod tests {
         assert_eq!(
             t.send(&WireMsg::Shutdown, 7, 0),
             Err(NetError::UnknownPeer(7))
+        );
+    }
+
+    #[test]
+    fn accept_within_times_out_when_a_spoke_never_connects() {
+        let hub = TcpTransport::bind("127.0.0.1:0", 0).expect("bind");
+        let err = hub
+            .accept_within(2, std::time::Duration::from_millis(100))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::AcceptTimeout {
+                wanted: 2,
+                connected: Vec::new()
+            }
+        );
+        assert!(err.to_string().contains("2 still missing"), "{err}");
+    }
+
+    #[test]
+    fn accept_within_names_the_peers_that_did_connect() {
+        let hub = TcpTransport::bind("127.0.0.1:0", 0).expect("bind");
+        let addr = hub.local_addr();
+        let spoke_thread =
+            thread::spawn(move || TcpTransport::connect(&addr, 3, 0).expect("connect"));
+        let err = hub
+            .accept_within(2, std::time::Duration::from_millis(400))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::AcceptTimeout {
+                wanted: 2,
+                connected: vec![3]
+            },
+            "the one spoke that connected is named; the missing one is deducible"
+        );
+        drop(spoke_thread.join().unwrap());
+    }
+
+    #[test]
+    fn accept_within_bounds_a_connected_but_silent_spoke() {
+        let hub = TcpTransport::bind("127.0.0.1:0", 0).expect("bind");
+        let addr = hub.local_addr();
+        // A raw connection that never sends its Hello: without the
+        // deadline this wedged accept forever.
+        let _silent = std::net::TcpStream::connect(&addr).expect("connect");
+        let err = hub
+            .accept_within(1, std::time::Duration::from_millis(200))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::AcceptTimeout {
+                wanted: 1,
+                connected: Vec::new()
+            }
         );
     }
 }

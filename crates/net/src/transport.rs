@@ -30,6 +30,17 @@ pub enum NetError {
     Io(String),
     /// The byte stream did not decode.
     Wire(WireError),
+    /// A hub's bounded accept phase expired before every expected spoke
+    /// connected (or an accepted spoke never sent its opening `Hello`).
+    /// Names the peers that *did* make it, so the missing ones are
+    /// deducible from the deployment's node list.
+    AcceptTimeout {
+        /// How many spokes the hub expected.
+        wanted: usize,
+        /// Node ids of the spokes that connected and identified
+        /// themselves before the deadline.
+        connected: Vec<NodeId>,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -39,6 +50,13 @@ impl fmt::Display for NetError {
             NetError::UnknownPeer(n) => write!(f, "no connection to node {n}"),
             NetError::Io(e) => write!(f, "i/o error: {e}"),
             NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::AcceptTimeout { wanted, connected } => write!(
+                f,
+                "accept timed out: {}/{wanted} peers connected (nodes {connected:?}), \
+                 {} still missing",
+                connected.len(),
+                wanted - connected.len()
+            ),
         }
     }
 }

@@ -40,6 +40,10 @@ pub struct EngineParams {
     pub n_barriers: usize,
     /// Disable write-notice piggybacking (lazy engines only; ablation).
     pub piggyback_notices: bool,
+    /// Merge same-destination protocol messages that travel together
+    /// anyway (see [`lrc_core::LrcConfig::coalesce_notices`]). Both
+    /// families.
+    pub coalesce_notices: bool,
     /// Ship whole pages on warm misses (lazy engines only; ablation).
     pub full_page_misses: bool,
     /// Garbage-collect consistency information at barriers (lazy engines
@@ -69,6 +73,7 @@ impl Default for EngineParams {
             n_locks: 16,
             n_barriers: 4,
             piggyback_notices: true,
+            coalesce_notices: false,
             full_page_misses: false,
             gc_at_barriers: false,
             mutation: ProtocolMutation::Stock,
@@ -93,6 +98,9 @@ impl AnyEngine {
             if !params.piggyback_notices {
                 cfg = cfg.no_piggyback();
             }
+            if params.coalesce_notices {
+                cfg = cfg.coalesce_notices();
+            }
             if params.full_page_misses {
                 cfg = cfg.full_page_misses();
             }
@@ -115,6 +123,9 @@ impl AnyEngine {
                 .policy(kind.policy())
                 .locks(params.n_locks)
                 .barriers(params.n_barriers);
+            if params.coalesce_notices {
+                cfg = cfg.coalesce_notices();
+            }
             if params.serialize_slow_paths {
                 cfg = cfg.serialize_slow_paths();
             }
@@ -229,6 +240,16 @@ impl AnyEngine {
         }
     }
 
+    /// The live processors the current episode of `barrier` is still
+    /// waiting for (empty for unknown barriers) — the failure detector's
+    /// suspect list when a barrier wait times out.
+    pub fn barrier_absentees(&self, barrier: BarrierId) -> Vec<ProcId> {
+        match self {
+            AnyEngine::Lazy(e) => e.barrier_absentees(barrier),
+            AnyEngine::Eager(e) => e.barrier_absentees(barrier),
+        }
+    }
+
     /// Installs the miss-fetch instrumentation hook on either engine
     /// family (see [`lrc_core::LrcEngine::set_fetch_hook`]).
     ///
@@ -333,16 +354,20 @@ impl AnyEngine {
     ///
     /// # Errors
     ///
-    /// Propagates [`CheckpointError`]; an eager engine or an eager
-    /// checkpoint is [`CheckpointError::Incompatible`].
+    /// Propagates [`CheckpointError`]. An eager *engine* cannot rejoin at
+    /// all — that is [`CheckpointError::Unsupported`] (no checkpoint could
+    /// make it work). A lazy engine handed an eager *checkpoint* is
+    /// [`CheckpointError::Incompatible`] (a matching checkpoint would).
     pub fn rejoin(&self, p: ProcId, ckpt: &AnyCheckpoint) -> Result<(), CheckpointError> {
-        let (engine, ckpt) = match (self.as_lazy(), ckpt) {
-            (Some(e), AnyCheckpoint::Lazy(c)) => (e, c),
-            _ => {
-                return Err(CheckpointError::Incompatible(
-                    "rejoin is a lazy-engine feature".into(),
-                ))
-            }
+        let Some(engine) = self.as_lazy() else {
+            return Err(CheckpointError::Unsupported(
+                "rejoin is a lazy-engine feature; the eager baseline has no crash story".into(),
+            ));
+        };
+        let AnyCheckpoint::Lazy(ckpt) = ckpt else {
+            return Err(CheckpointError::Incompatible(
+                "cannot rejoin a lazy engine from an eager-family checkpoint".into(),
+            ));
         };
         engine.rejoin(p, ckpt)
     }

@@ -264,6 +264,23 @@ impl BarrierSet {
         self.dead.get(p.index()).copied().unwrap_or(false)
     }
 
+    /// The *live* processors the current episode of `barrier` is still
+    /// waiting for — the failure detector's suspect list when a barrier
+    /// wait times out. Empty for an out-of-range barrier (the waiter's
+    /// arrival already validated the id; the detector need not re-panic).
+    pub fn absent(&self, barrier: BarrierId) -> Vec<ProcId> {
+        let Some(arrived) = self.arrived.get(barrier.index()) else {
+            return Vec::new();
+        };
+        arrived
+            .iter()
+            .zip(&self.dead)
+            .enumerate()
+            .filter(|&(_, (&arrived, &dead))| !arrived && !dead)
+            .map(|(i, _)| ProcId::new(i as u16))
+            .collect()
+    }
+
     /// Records the arrival of `p` at `barrier`.
     ///
     /// # Errors

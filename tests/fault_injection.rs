@@ -248,6 +248,72 @@ fn killed_node_mid_barrier_releases_the_parked_survivor() {
     ));
 }
 
+/// The barrier-wait hole in the failure detector, closed: a node dies
+/// *before arriving* at a barrier while `holder_timeout` is armed. No one
+/// holds a lock, so the lock-path detector never engages — the barrier
+/// waiter itself must time out, suspect the absentee, and complete the
+/// episode on its behalf. Unlike
+/// [`killed_node_mid_barrier_releases_the_parked_survivor`] there is no
+/// explicit `declare_dead` here; the detector does it.
+#[test]
+fn barrier_waiter_suspects_an_absentee_without_explicit_declaration() {
+    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 14)
+        .page_size(256)
+        .wait_timeout(WAIT)
+        .holder_timeout(SUSPECT_AFTER)
+        .build()
+        .unwrap();
+    let recorder = HistoryRecorder::new(2);
+    dsm.attach_recorder(Arc::clone(&recorder));
+
+    let mut mesh = ChannelNet::mesh(2);
+    let victim_end = mesh.pop().unwrap();
+    let server_end = mesh.pop().unwrap();
+    let server = NodeServer::new(dsm.clone(), server_end);
+    let serving = std::thread::spawn(move || server.serve());
+
+    // Frame 3 (the barrier arrival) dies with the process: the victim
+    // never arrives, and nobody else will declare it dead.
+    let plan = FaultPlan::new().kill_after_sends(3);
+    let victim_proc = ProcId::new(1);
+    let barrier = BarrierId::new(0);
+    let mut victim = RawPeer::hello(FaultyTransport::new(victim_end, plan), victim_proc);
+    victim
+        .op(EngineOp::Write {
+            addr: 0,
+            data: 3u64.to_le_bytes().to_vec(),
+        })
+        .unwrap();
+    assert_eq!(
+        victim.send_op(EngineOp::Barrier(barrier)).unwrap_err(),
+        NetError::Closed,
+        "the kill rule fires on the barrier arrival"
+    );
+
+    // The survivor arrives and parks. With the victim silent past the
+    // suspicion deadline, the barrier waiter's own detector declares it
+    // dead and falls through the completed episode.
+    let mut survivor = dsm.handle(ProcId::new(0));
+    survivor.write_u64(8, 5);
+    survivor.barrier(barrier).unwrap();
+    assert!(
+        dsm.is_dead(victim_proc),
+        "the barrier waiter suspected the absentee on its own"
+    );
+    assert_eq!(survivor.read_u64(8), 5);
+
+    recorder
+        .finish()
+        .check(&CheckBudget::default())
+        .expect("survivor history passes after a suspected barrier absentee");
+
+    drop(victim);
+    assert!(matches!(
+        serving.join().unwrap(),
+        Err(NodeError::Net(NetError::Closed))
+    ));
+}
+
 /// A node killed with a miss reply in flight: its page miss is serviced
 /// and the reply sent, but the process dies before consuming it. The
 /// servicing must leave the engine consistent for the survivors, and the
@@ -327,6 +393,112 @@ fn killed_node_with_a_miss_reply_in_flight_leaves_survivors_consistent() {
         serving.join().unwrap(),
         Err(NodeError::Net(NetError::Closed))
     ));
+}
+
+/// A connected loopback (hub, spoke) pair of reactor transports: the hub
+/// is node 0 (where the engine lives), the spoke node 1.
+#[cfg(feature = "reactor")]
+fn reactor_pair() -> (lrc::net::ReactorTransport, lrc::net::ReactorTransport) {
+    use lrc::net::ReactorTransport;
+    let hub = ReactorTransport::bind("127.0.0.1:0", 0).expect("bind loopback");
+    let addr = hub.local_addr();
+    let connecting =
+        std::thread::spawn(move || ReactorTransport::connect(&addr, 1, 0).expect("connect"));
+    let server_end = hub.accept(1).expect("accept");
+    (server_end, connecting.join().expect("connect thread"))
+}
+
+/// The fault layer composes with the reactor backend unchanged
+/// ([`FaultyTransport`] is generic over [`Transport`]): the same scripted
+/// kill-after-sends plan that drives the channel-transport crash suite
+/// kills a real socket endpoint at the same frame, and the survivor's
+/// failure detector resolves it identically.
+#[cfg(feature = "reactor")]
+#[test]
+fn killed_lock_holder_is_detected_over_the_reactor_backend() {
+    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, 1 << 14)
+        .page_size(256)
+        .wait_timeout(WAIT)
+        .holder_timeout(SUSPECT_AFTER)
+        .build()
+        .unwrap();
+    let recorder = HistoryRecorder::new(2);
+    dsm.attach_recorder(Arc::clone(&recorder));
+
+    let (server_end, spoke) = reactor_pair();
+    let server = NodeServer::new(dsm.clone(), server_end);
+    let serving = std::thread::spawn(move || server.serve());
+
+    // Frame 4 (the release) is where the process dies. The connect-time
+    // link hello went out before the fault layer wrapped the spoke, so
+    // the frame indices match the channel-transport test exactly.
+    let plan = FaultPlan::new().kill_after_sends(4);
+    let victim_proc = ProcId::new(1);
+    let lock = LockId::new(0);
+    let mut victim = RawPeer::hello(FaultyTransport::new(spoke, plan), victim_proc);
+    victim.op(EngineOp::Acquire(lock)).unwrap();
+    victim
+        .op(EngineOp::Write {
+            addr: 64,
+            data: 7u64.to_le_bytes().to_vec(),
+        })
+        .unwrap();
+    assert_eq!(
+        victim.send_op(EngineOp::Release(lock)).unwrap_err(),
+        NetError::Closed,
+        "the kill rule fires on the release frame"
+    );
+
+    let mut survivor = dsm.handle(ProcId::new(0));
+    survivor.acquire(lock).unwrap();
+    assert!(
+        dsm.is_dead(victim_proc),
+        "the silent holder was declared dead"
+    );
+    assert_eq!(
+        survivor.read_u64(64),
+        7,
+        "the dead holder's write was flushed before the force-release"
+    );
+    survivor.release(lock).unwrap();
+
+    recorder
+        .finish()
+        .check(&CheckBudget::default())
+        .expect("survivor history passes after a mid-transfer kill over sockets");
+
+    // Dropping the victim closes its socket; the hub's reactor surfaces
+    // the death and the server retires with a transport close.
+    drop(victim);
+    assert!(matches!(
+        serving.join().unwrap(),
+        Err(NodeError::Net(NetError::Closed))
+    ));
+}
+
+/// Scripted frame drops compose with the reactor too: a dropped frame
+/// never reaches the staging buffers, every delivered frame arrives
+/// intact and in order, and the drop is visible only in the fault layer's
+/// own counter — the reactor's accounting covers what actually moved.
+#[cfg(feature = "reactor")]
+#[test]
+fn scripted_drops_compose_with_the_reactor_backend() {
+    let (hub, spoke) = reactor_pair();
+    let faulty = FaultyTransport::new(spoke, FaultPlan::new().drop_nth(None, 2));
+    for seq in 1..=3u64 {
+        faulty
+            .send(&WireMsg::Shutdown, 0, seq)
+            .expect("drops are silent: the caller still sees Ok");
+    }
+    let seqs: Vec<u64> = (0..2).map(|_| hub.recv().unwrap().seq).collect();
+    assert_eq!(seqs, vec![1, 3], "exactly the second frame vanished");
+    assert_eq!(faulty.dropped(), 1);
+    assert_eq!(
+        faulty.stats().msgs_sent,
+        3,
+        "connect-time link hello + the two delivered frames; the dropped \
+         frame never reached the reactor"
+    );
 }
 
 /// The full crash-tolerance arc, seeded and deterministic: a node

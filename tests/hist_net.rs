@@ -53,6 +53,31 @@ fn node_runtime_forced_flow_passes_under_ablations() {
     }
 }
 
+/// The same seeded sweep over the reactor backend: real loopback sockets,
+/// one reactor thread per endpoint, batched flushes — and histories that
+/// must pass the identical conformance check. A frame corrupted by the
+/// staging buffers, coalesced wrongly, or delivered out of order shows up
+/// as an unjustifiable read here.
+#[cfg(feature = "reactor")]
+#[test]
+fn reactor_backend_histories_pass_conformance() {
+    use hist_support::run_over_reactor_nodes;
+    let shape = ProgramShape::default();
+    let kinds = ProtocolKind::ALL;
+    for seed in 0..8u64 {
+        let cfg = RunConfig::stock(
+            kinds[seed as usize % kinds.len()],
+            if seed % 2 == 0 { 256 } else { 1024 },
+        );
+        let prog = ThreadProgram::generate(seed, &shape);
+        let hist = run_over_reactor_nodes(&prog, &cfg);
+        assert_eq!(hist.len(), prog.op_count(), "remote operations recorded");
+        if let Err(err) = hist.check(&CheckBudget::default()) {
+            panic!("{}", failure_report(seed, &cfg, &prog, &err, &hist));
+        }
+    }
+}
+
 /// The checker guards the remote path too: a broken protocol behind the
 /// node runtime is rejected from the history alone.
 #[test]

@@ -77,14 +77,33 @@ fn sim_replay(
     (stats, mem)
 }
 
-/// The system under test: the same trace, but the last `n_remote`
-/// processors live on a second node and act through the wire.
+/// The system under test over the channel transport (the default mesh).
 fn node_replay(
     trace: &Trace,
     kind: ProtocolKind,
     page: usize,
     options: &SimOptions,
     n_remote: usize,
+) -> (NetStats, Vec<u8>, lrc::net::WireStats) {
+    let mut mesh = ChannelNet::mesh(2);
+    let client_end = mesh.pop().unwrap();
+    let server_end = mesh.pop().unwrap();
+    node_replay_over(trace, kind, page, options, n_remote, server_end, client_end)
+}
+
+/// The system under test: the same trace, but the last `n_remote`
+/// processors live on a second node and act through the wire — over
+/// whichever [`lrc::net::Transport`] pair the caller built, so the same
+/// conformance sweep pins every backend (channel, thread-per-peer TCP,
+/// reactor) to the simulator.
+fn node_replay_over(
+    trace: &Trace,
+    kind: ProtocolKind,
+    page: usize,
+    options: &SimOptions,
+    n_remote: usize,
+    server_end: impl lrc::net::Transport + 'static,
+    client_end: impl lrc::net::Transport + 'static,
 ) -> (NetStats, Vec<u8>, lrc::net::WireStats) {
     let meta = trace.meta();
     let n = meta.n_procs();
@@ -106,9 +125,6 @@ fn node_replay(
     }
     let dsm = builder.build().expect("valid config");
 
-    let mut mesh = ChannelNet::mesh(2);
-    let client_end = mesh.pop().unwrap();
-    let server_end = mesh.pop().unwrap();
     let server = NodeServer::new(dsm.clone(), server_end);
     let serving = std::thread::spawn(move || server.serve());
 
@@ -333,4 +349,90 @@ fn threaded_nodes_with_locks_and_barriers_stay_consistent() {
     );
     client.shutdown().unwrap();
     serving.join().unwrap().unwrap();
+}
+
+/// A connected loopback (hub, spoke) pair of reactor transports: the hub
+/// is node 0 (where the engine lives), the spoke node 1.
+#[cfg(feature = "reactor")]
+fn reactor_pair() -> (lrc::net::ReactorTransport, lrc::net::ReactorTransport) {
+    use lrc::net::ReactorTransport;
+    let hub = ReactorTransport::bind("127.0.0.1:0", 0).expect("bind loopback");
+    let addr = hub.local_addr();
+    let connecting =
+        std::thread::spawn(move || ReactorTransport::connect(&addr, 1, 0).expect("connect"));
+    let server_end = hub.accept(1).expect("accept");
+    (server_end, connecting.join().expect("connect thread"))
+}
+
+/// The reactor backend is *indistinguishable* too: the same traces over
+/// real loopback sockets owned by one reactor thread per endpoint produce
+/// byte-identical protocol counters and final memory versus the
+/// single-threaded simulator — and hence versus the channel and
+/// thread-per-peer TCP backends pinned by the sweep above.
+#[cfg(feature = "reactor")]
+#[test]
+fn reactor_backend_equals_simulator_on_lock_workloads() {
+    for (name, trace) in [
+        ("migratory", migratory(4, 30, 16)),
+        ("producer_consumer", producer_consumer(4, 20, 8)),
+    ] {
+        for kind in ProtocolKind::ALL {
+            for n_remote in [1usize, 3] {
+                let (sim_stats, sim_mem) = sim_replay(&trace, kind, 512, &SimOptions::fast());
+                let (server_end, client_end) = reactor_pair();
+                let (node_stats, node_mem, wire) = node_replay_over(
+                    &trace,
+                    kind,
+                    512,
+                    &SimOptions::fast(),
+                    n_remote,
+                    server_end,
+                    client_end,
+                );
+                assert_eq!(
+                    sim_stats, node_stats,
+                    "{name}/{kind} remote={n_remote}: protocol counters diverge over the reactor"
+                );
+                assert_eq!(
+                    sim_mem, node_mem,
+                    "{name}/{kind} remote={n_remote}: final memory diverges over the reactor"
+                );
+                assert!(
+                    wire.bytes_sent > 0,
+                    "{name}/{kind}: remote operations really used the socket"
+                );
+            }
+        }
+    }
+}
+
+/// Byte accounting stays exact over the reactor: the spoke sends its
+/// link-level hello at connect, the node-runtime hello, and one request
+/// per remote operation — batching changes how frames share syscalls,
+/// never how many frames (or bytes) exist.
+#[cfg(feature = "reactor")]
+#[test]
+fn op_plane_accounting_is_exact_over_the_reactor() {
+    let trace = migratory(4, 10, 8);
+    let remote_ops = trace
+        .events()
+        .iter()
+        .filter(|e| e.proc.index() >= 2)
+        .count() as u64;
+    let (server_end, client_end) = reactor_pair();
+    let (_, _, wire) = node_replay_over(
+        &trace,
+        ProtocolKind::LazyInvalidate,
+        512,
+        &SimOptions::fast(),
+        2,
+        server_end,
+        client_end,
+    );
+    assert_eq!(
+        wire.msgs_sent,
+        remote_ops + 2,
+        "link hello + node hello + one request per remote op"
+    );
+    assert_eq!(wire.msgs_received, remote_ops, "one reply per remote op");
 }

@@ -148,6 +148,39 @@ fn mid_interval_checkpoint_captures_committed_state_only() {
     assert_eq!(r2.read_u64(8), 0xDEAD, "the committed write is captured");
 }
 
+/// Rejoin is a lazy-engine feature: asking an eager runtime to rejoin a
+/// processor is refused with the *typed* [`CheckpointError::Unsupported`]
+/// — a property of the engine, distinct from [`CheckpointError::Incompatible`]
+/// (a property of the checkpoint), so callers can tell "retry with a
+/// better checkpoint" apart from "this engine has no crash story".
+#[test]
+fn rejoin_on_an_eager_engine_is_a_typed_unsupported_error() {
+    for kind in [ProtocolKind::EagerInvalidate, ProtocolKind::EagerUpdate] {
+        let dsm = build(kind);
+        committed_phase(&dsm, 1);
+        let ckpt = dsm.checkpoint();
+        match dsm.rejoin(ProcId::new(1), &ckpt) {
+            Err(CheckpointError::Unsupported(why)) => assert!(
+                why.contains("lazy"),
+                "{kind}: the refusal should name the supported family, got: {why}"
+            ),
+            other => panic!("{kind}: expected Unsupported, got {other:?}"),
+        }
+        // The refusal is a clean no-op: the runtime stays fully usable.
+        committed_phase(&dsm, 2);
+    }
+
+    // The complementary confusion — a lazy engine offered an eager-family
+    // checkpoint — is the checkpoint's fault, not the engine's.
+    let lazy = build(ProtocolKind::LazyInvalidate);
+    let eager = build(ProtocolKind::EagerInvalidate);
+    committed_phase(&eager, 1);
+    assert!(matches!(
+        lazy.rejoin(ProcId::new(1), &eager.checkpoint()),
+        Err(CheckpointError::Incompatible(_))
+    ));
+}
+
 /// Family and shape mismatches are rejected, and corrupt bytes are
 /// reported as corrupt — never misdecoded.
 #[test]
