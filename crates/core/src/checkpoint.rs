@@ -130,6 +130,13 @@ pub enum CheckpointError {
     /// checkpoint cannot succeed. Mirrors
     /// [`crate::ConfigError::UnsupportedMutation`].
     Unsupported(String),
+    /// The dead processor's rejoin lease expired: garbage collection
+    /// advanced the store era past the checkpoint's, so the catch-up
+    /// history this checkpoint needs is gone *by policy* (see
+    /// [`LrcConfig::death_lease_episodes`](crate::LrcConfig)). Retrying
+    /// with the same checkpoint cannot succeed — cold-join from the
+    /// latest checkpoint cut after the collection instead.
+    LeaseExpired(String),
 }
 
 impl fmt::Display for CheckpointError {
@@ -139,6 +146,9 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Incompatible(why) => write!(f, "incompatible checkpoint: {why}"),
             CheckpointError::Unsupported(why) => {
                 write!(f, "unsupported checkpoint operation: {why}")
+            }
+            CheckpointError::LeaseExpired(why) => {
+                write!(f, "rejoin lease expired: {why}")
             }
         }
     }

@@ -152,6 +152,19 @@ pub struct LrcConfig {
     /// then all interval records and diffs are discarded. Cold misses
     /// afterwards fetch whole pages from the last writer. Default `false`.
     pub gc_at_barriers: bool,
+    /// How many barrier episodes a dead processor's *rejoin lease* lasts.
+    /// While any dead processor's lease is live, barrier-time garbage
+    /// collection is deferred (counted in
+    /// [`LazyCounters::gc_deferrals`](crate::LazyCounters)) so the
+    /// catch-up history a rejoin needs survives. Once every dead
+    /// processor has been dead for at least this many completed episodes,
+    /// GC proceeds: the store era advances, and a rejoin from a
+    /// checkpoint of the old era is refused with
+    /// [`CheckpointError::LeaseExpired`](crate::CheckpointError) — the
+    /// node must cold-join from a checkpoint cut after the collection.
+    /// `None` (the default) means leases never expire: GC pauses for as
+    /// long as any processor is dead, the pre-lease behavior.
+    pub death_lease_episodes: Option<u64>,
     /// Deliberately-broken protocol variant for mutation testing the
     /// checker stack. Default [`ProtocolMutation::Stock`] (faithful).
     pub mutation: ProtocolMutation,
@@ -179,6 +192,7 @@ impl LrcConfig {
             coalesce_notices: false,
             full_page_misses: false,
             gc_at_barriers: false,
+            death_lease_episodes: None,
             mutation: ProtocolMutation::Stock,
             serialize_slow_paths: false,
         }
@@ -230,6 +244,13 @@ impl LrcConfig {
     /// Enables barrier-time garbage collection of consistency information.
     pub fn gc_at_barriers(mut self) -> Self {
         self.gc_at_barriers = true;
+        self
+    }
+
+    /// Bounds how long a dead processor defers garbage collection (see
+    /// [`LrcConfig::death_lease_episodes`]).
+    pub fn death_lease(mut self, episodes: u64) -> Self {
+        self.death_lease_episodes = Some(episodes);
         self
     }
 

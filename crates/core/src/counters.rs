@@ -24,6 +24,9 @@ pub(crate) struct SharedLazyCounters {
     pub miss_inflight_peak: AtomicU64,
     pub snapshot_retries: AtomicU64,
     pub coalesced_msgs: AtomicU64,
+    pub gc_deferrals: AtomicU64,
+    pub checkpoints_cut: AtomicU64,
+    pub delta_bytes: AtomicU64,
 }
 
 /// Adds `n` to a counter field (statistics only — relaxed ordering).
@@ -53,6 +56,9 @@ impl SharedLazyCounters {
             miss_inflight_peak: get(&self.miss_inflight_peak),
             snapshot_retries: get(&self.snapshot_retries),
             coalesced_msgs: get(&self.coalesced_msgs),
+            gc_deferrals: get(&self.gc_deferrals),
+            checkpoints_cut: get(&self.checkpoints_cut),
+            delta_bytes: get(&self.delta_bytes),
         }
     }
 }
@@ -107,6 +113,19 @@ pub struct LazyCounters {
     /// notice batch riding its grant, or a base-copy request folded into a
     /// diff request). Each unit is one saved message header.
     pub coalesced_msgs: u64,
+    /// Barrier-time garbage-collection rounds *deferred* because a dead
+    /// processor's rejoin lease was still live (clearing the history
+    /// would have stranded its catch-up). Bounded by
+    /// [`LrcConfig::death_lease_episodes`](crate::LrcConfig): once the
+    /// lease expires, GC proceeds and the era advances.
+    pub gc_deferrals: u64,
+    /// Checkpoints cut through
+    /// [`LrcEngine::note_checkpoint`](crate::LrcEngine::note_checkpoint)
+    /// — the runtime's automatic policy cuts, full and delta alike.
+    pub checkpoints_cut: u64,
+    /// Encoded bytes of those checkpoints as shipped to the sink (deltas
+    /// count their delta size, not the full cut they stand for).
+    pub delta_bytes: u64,
 }
 
 impl LazyCounters {

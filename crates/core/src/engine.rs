@@ -1,3 +1,4 @@
+use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, OnceLock};
 
@@ -37,6 +38,16 @@ struct ProcShard {
     /// was flushed first) but its frames are reset and every public
     /// operation on it asserts.
     dead: bool,
+    /// Barrier-episode count at the moment of death — the start of the
+    /// rejoin lease (see [`LrcConfig::death_lease_episodes`]).
+    dead_since: u64,
+    /// True once garbage collection advanced the store era while this
+    /// processor's lease had expired: rejoin from any pre-collection
+    /// checkpoint is refused with
+    /// [`CheckpointError::LeaseExpired`](crate::CheckpointError::LeaseExpired)
+    /// instead of the generic era mismatch, directing the node to
+    /// cold-join from the latest shipped checkpoint.
+    lease_expired: bool,
 }
 
 /// What [`LrcEngine::declare_dead`] did on the survivors' behalf.
@@ -103,11 +114,12 @@ pub struct DeathReport {
 ///
 /// Lock order: serialization mutex (baseline flag only) → lock gate /
 /// page gate → lock-table / barrier-set mutexes → store lock → gc-owner
-/// map → shard mutexes. A shard mutex may be taken while holding the
-/// store lock, never the reverse; no path holds two gates of the same
-/// kind or two shard mutexes at once; the gc-owner map is only ever taken
-/// while the store lock is held (both its writers and its readers), and
-/// never held across acquiring anything else.
+/// map → shard mutexes → death escrow. A shard mutex may be taken while
+/// holding the store lock, never the reverse; no path holds two gates of
+/// the same kind or two shard mutexes at once; the gc-owner map is only
+/// ever taken while the store lock is held (both its writers and its
+/// readers), and never held across acquiring anything else; the death
+/// escrow is taken last, on the death and collection paths only.
 ///
 /// Two assumptions bound the concurrency (both enforced by the `lrc-dsm`
 /// runtime and trivially true single-threaded): each processor is driven
@@ -128,6 +140,11 @@ pub struct LrcEngine {
     /// After garbage collection: the processor holding the authoritative
     /// copy of each page whose diff history was discarded.
     gc_owner: Mutex<Vec<Option<ProcId>>>,
+    /// Committed contents of pages whose post-GC authoritative owner
+    /// died, parked at [`LrcEngine::declare_dead`] (the dead frames are
+    /// reset) and consumed when a lease-expired collection re-homes the
+    /// pages onto live frames.
+    escrow: Mutex<HashMap<PageId, PageBuf>>,
     /// Per-lock gates: acquire/release of one lock serialize here; distinct
     /// locks proceed concurrently.
     lock_gates: Vec<Mutex<()>>,
@@ -175,6 +192,8 @@ impl LrcEngine {
                         dirty: Vec::new(),
                         pages: (0..space.n_pages()).map(|_| PageEntry::default()).collect(),
                         dead: false,
+                        dead_since: 0,
+                        lease_expired: false,
                     },
                     classes::ENGINE_SHARD,
                 )
@@ -190,6 +209,7 @@ impl LrcEngine {
                 classes::SYNC_BARRIER_SET,
             ),
             gc_owner: Mutex::new_in(vec![None; space.n_pages() as usize], classes::CORE_GC_OWNER),
+            escrow: Mutex::new_in(HashMap::new(), classes::CORE_ESCROW),
             lock_gates: (0..cfg.n_locks)
                 .map(|l| Mutex::new_in((), classes::ENGINE_LOCK_GATE.with_order(l as u64)))
                 .collect(),
@@ -1268,12 +1288,39 @@ impl LrcEngine {
             }
         }
         bump(&self.counters.barrier_episodes, 1);
-        // Garbage collection pauses while any processor is down: clearing
-        // the interval history would strand both the rejoin catch-up (the
-        // era guard would reject the checkpoint) and cold misses whose
-        // authoritative owner is the dead processor's reset frame.
-        if self.cfg.gc_at_barriers && !dead.iter().any(|&d| d) {
-            self.collect_garbage(&mut store);
+        // Garbage collection normally pauses while any processor is down:
+        // clearing the interval history would strand both the rejoin
+        // catch-up (the era guard would reject the checkpoint) and cold
+        // misses whose authoritative owner is the dead processor's reset
+        // frame. A configured death lease bounds that pause: once every
+        // dead processor has missed at least `death_lease_episodes`
+        // completed episodes, its lease is marked expired and collection
+        // proceeds — re-homing dead-owned pages onto live frames first —
+        // after which an expired processor can only cold-join from a
+        // checkpoint of the new era. Each deferred round bumps
+        // `gc_deferrals`, so the stall stays observable and bounded.
+        if self.cfg.gc_at_barriers {
+            let any_dead = dead.iter().any(|&d| d);
+            if !any_dead {
+                self.collect_garbage(&mut store, &dead);
+            } else {
+                let episode = self.counters.snapshot().barrier_episodes;
+                let all_dead = dead.iter().all(|&d| d);
+                let leases_expired = !all_dead
+                    && self.cfg.death_lease_episodes.is_some_and(|lease| {
+                        ProcId::all(n)
+                            .filter(|r| dead[r.index()])
+                            .all(|r| episode.saturating_sub(self.shard(r).dead_since) >= lease)
+                    });
+                if leases_expired {
+                    for r in ProcId::all(n).filter(|r| dead[r.index()]) {
+                        self.shard(r).lease_expired = true;
+                    }
+                    self.collect_garbage(&mut store, &dead);
+                } else {
+                    bump(&self.counters.gc_deferrals, 1);
+                }
+            }
         }
     }
 
@@ -1284,11 +1331,16 @@ impl LrcEngine {
     /// store's snapshot version so any in-flight plan would revalidate.
     /// Safe exactly at barrier completion, when every interval has
     /// performed everywhere.
-    fn collect_garbage(&self, store: &mut IntervalStore) {
+    fn collect_garbage(&self, store: &mut IntervalStore, dead: &[bool]) {
         let n = self.cfg.n_procs;
         // Validate every resident copy (the update policy already did).
         if self.cfg.policy == Policy::Invalidate {
             for r in ProcId::all(n) {
+                if dead[r.index()] {
+                    // A dead processor's frames were reset at death:
+                    // nothing resident to validate.
+                    continue;
+                }
                 let needed = self.needed_for_cached_pages(r);
                 if needed.is_empty() {
                     continue;
@@ -1316,6 +1368,9 @@ impl LrcEngine {
                 gc_owner[page.index()] = Some(owner);
             }
         }
+        if dead.iter().any(|&d| d) {
+            self.rehome_dead_owned_pages(store, dead);
+        }
         for r in ProcId::all(n) {
             let mut shard = self.shard(r);
             for entry in &mut shard.pages {
@@ -1324,6 +1379,80 @@ impl LrcEngine {
         }
         store.clear();
         bump(&self.counters.gc_rounds, 1);
+    }
+
+    /// Re-homes every page whose post-GC authoritative owner is dead onto
+    /// a live processor, so the history can be collected while the owner
+    /// is down without losing the only committed copy (a dead processor's
+    /// frames were reset at death, so it can supply nothing).
+    ///
+    /// Per page, in preference order: a live processor already holding a
+    /// resident copy — just brought fully up to date by the collection
+    /// pass — becomes the owner with no data movement; otherwise the page
+    /// is materialized from the death escrow (its committed contents at
+    /// the owner's death, zero if it was never written before this era)
+    /// plus the current era's diff chain applied in happened-before
+    /// order, and installed valid into the lowest-numbered live
+    /// processor's frame. Installing valid is sound exactly here, at
+    /// barrier completion: every recorded interval has performed at every
+    /// live processor. The bytes come from the local escrow replica, not
+    /// the fabric, so no messages are charged.
+    fn rehome_dead_owned_pages(&self, store: &IntervalStore, dead: &[bool]) {
+        let n = self.cfg.n_procs;
+        let orphaned: Vec<PageId> = {
+            let gc_owner = self.gc_owner.lock();
+            gc_owner
+                .iter()
+                .enumerate()
+                .filter(|(_, owner)| owner.is_some_and(|o| dead[o.index()]))
+                .map(|(gi, _)| PageId::new(gi as u32))
+                .collect()
+        };
+        if orphaned.is_empty() {
+            return;
+        }
+        let fallback = ProcId::all(n)
+            .find(|r| !dead[r.index()])
+            .expect("re-homing requires a live processor");
+        for page in orphaned {
+            let resident = ProcId::all(n)
+                .find(|&r| !dead[r.index()] && self.shard(r).pages[page.index()].copy.is_some());
+            let new_owner = match resident {
+                Some(r) => r,
+                None => {
+                    let mut buf = self
+                        .escrow
+                        .lock()
+                        .get(&page)
+                        .cloned()
+                        .unwrap_or_else(|| PageBuf::zeroed(self.space.page_size()));
+                    let mut chain = store.diff_intervals_of_page(page);
+                    chain.sort_by_key(|&iv| {
+                        let w = store
+                            .stamp(iv)
+                            .expect("recorded interval has a stamp")
+                            .clock()
+                            .weight();
+                        (w, iv.proc(), iv.seq())
+                    });
+                    for iv in chain {
+                        store
+                            .diff(iv, page)
+                            .expect("listed diff exists")
+                            .apply_to(&mut buf);
+                    }
+                    {
+                        let mut shard = self.shard(fallback);
+                        let entry = &mut shard.pages[page.index()];
+                        entry.copy = Some(buf);
+                        entry.valid = true;
+                    }
+                    fallback
+                }
+            };
+            self.gc_owner.lock()[page.index()] = Some(new_owner);
+            self.escrow.lock().remove(&page);
+        }
     }
 
     // ---- crash tolerance ----
@@ -1335,6 +1464,24 @@ impl LrcEngine {
     /// Panics if `p` is out of range.
     pub fn is_dead(&self, p: ProcId) -> bool {
         self.shard(p).dead
+    }
+
+    /// True while any processor is dead with an *unexpired* rejoin lease.
+    ///
+    /// This is the window in which automatic checkpoint cuts must pause:
+    /// death resets the processor's frames, so a cut taken now would
+    /// record empty frames under a clock that still claims knowledge of
+    /// the processor's own intervals — poisoning it as a rejoin source
+    /// (the catch-up delivery would skip exactly the history the frames
+    /// no longer hold). The pre-death death cut stays the newest
+    /// recoverable state until the processor rejoins, or its lease
+    /// expires and garbage collection re-homes its pages — after which
+    /// post-GC cuts are valid cold-join sources again.
+    pub fn awaiting_rejoin(&self) -> bool {
+        ProcId::all(self.cfg.n_procs).any(|p| {
+            let shard = self.shard(p);
+            shard.dead && !shard.lease_expired
+        })
     }
 
     /// Declares `p` dead on the survivors' behalf.
@@ -1368,6 +1515,7 @@ impl LrcEngine {
             let mut shard = self.shard(p);
             assert!(!shard.dead, "processor {p} is already dead");
             shard.dead = true;
+            shard.dead_since = self.counters.snapshot().barrier_episodes;
         }
         // Flush: every write of the open interval becomes durable history.
         self.close_interval(p);
@@ -1394,6 +1542,41 @@ impl LrcEngine {
         }
         if let Some(rec) = self.recorder() {
             rec.crash(p);
+        }
+        // Park the committed contents of every page whose post-GC
+        // authoritative owner is `p`: the frames are about to be reset,
+        // and a lease-expired collection must still be able to re-home
+        // those pages onto live frames (cold misses would otherwise read
+        // zeros). The store read lock serializes this scan with a
+        // concurrent collection rewriting the owner map. Consumed by
+        // `rehome_dead_owned_pages`.
+        let owned: Vec<PageId> = {
+            let _store = self.store.read();
+            let gc_owner = self.gc_owner.lock();
+            gc_owner
+                .iter()
+                .enumerate()
+                .filter(|(_, owner)| **owner == Some(p))
+                .map(|(gi, _)| PageId::new(gi as u32))
+                .collect()
+        };
+        if !owned.is_empty() {
+            let shard = self.shard(p);
+            let mut escrow = self.escrow.lock();
+            for page in owned {
+                let entry = &shard.pages[page.index()];
+                // Post-flush, the committed contents are the copy (the
+                // twin-first match mirrors the cold-miss supplier path and
+                // covers a capture racing an open interval).
+                let committed = match (&entry.twin, &entry.copy) {
+                    (Some(twin), _) => Some(twin.clone()),
+                    (None, Some(copy)) => Some(copy.clone()),
+                    (None, None) => None,
+                };
+                if let Some(buf) = committed {
+                    escrow.insert(page, buf);
+                }
+            }
         }
         {
             let mut shard = self.shard(p);
@@ -1463,6 +1646,17 @@ impl LrcEngine {
         entry.pending = frame.pending.clone();
     }
 
+    /// Records one checkpoint cut shipped by the runtime's automatic
+    /// policy: bumps [`LazyCounters::checkpoints_cut`] and adds the
+    /// encoded bytes that went to the sink (a delta counts its delta
+    /// size, not the full cut it stands for) to
+    /// [`LazyCounters::delta_bytes`]. Pure statistics — the cut itself is
+    /// [`LrcEngine::checkpoint`].
+    pub fn note_checkpoint(&self, shipped_bytes: u64) {
+        bump(&self.counters.checkpoints_cut, 1);
+        bump(&self.counters.delta_bytes, shipped_bytes);
+    }
+
     /// Captures a checkpoint of the whole engine.
     ///
     /// Call at a synchronization point — in practice right after a barrier
@@ -1527,11 +1721,14 @@ impl LrcEngine {
         let mut store = self.store.write();
         *store = IntervalStore::import(self.cfg.n_procs, ckpt.store_era, &ckpt.store);
         *self.gc_owner.lock() = ckpt.owners.clone();
+        self.escrow.lock().clear();
         for p in ProcId::all(self.cfg.n_procs) {
             let mut shard = self.shard(p);
             shard.clock = ckpt.procs[p.index()].clock.clone();
             shard.dirty.clear();
             shard.dead = false;
+            shard.dead_since = 0;
+            shard.lease_expired = false;
             for entry in &mut shard.pages {
                 *entry = PageEntry::default();
             }
@@ -1564,6 +1761,11 @@ impl LrcEngine {
     /// `p` is not dead, or the store has been garbage-collected since the
     /// checkpoint was captured (the catch-up history is gone — restart
     /// from a full restore instead).
+    /// [`crate::CheckpointError::LeaseExpired`] when that collection was
+    /// the deliberate result of `p`'s rejoin lease running out
+    /// ([`LrcConfig::death_lease_episodes`]): no pre-collection checkpoint
+    /// can ever succeed again, so the node must cold-join from the latest
+    /// checkpoint shipped after the collection.
     ///
     /// # Panics
     ///
@@ -1578,12 +1780,20 @@ impl LrcEngine {
         {
             let store = self.store.read();
             if store.version() != ckpt.store_era {
-                return Err(crate::CheckpointError::Incompatible(format!(
+                let why = format!(
                     "store era {} differs from checkpoint era {}: the \
                      catch-up history was garbage-collected",
                     store.version(),
                     ckpt.store_era
-                )));
+                );
+                // A lease-expired processor's history was collected *on
+                // purpose*: the typed error tells the runtime to cold-join
+                // from the latest shipped checkpoint instead of retrying.
+                return Err(if self.shard(p).lease_expired {
+                    crate::CheckpointError::LeaseExpired(why)
+                } else {
+                    crate::CheckpointError::Incompatible(why)
+                });
             }
             // Target knowledge: the checkpoint's own view, every live
             // survivor's knowledge, and p's own flushed intervals.
@@ -1642,6 +1852,8 @@ impl LrcEngine {
             clock.set(p, ckpt_clock.get(p).max(latest + 1));
             shard.clock = clock;
             shard.dead = false;
+            shard.dead_since = 0;
+            shard.lease_expired = false;
         }
         self.barriers.lock().revive(p);
         Ok(())

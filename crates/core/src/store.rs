@@ -209,6 +209,18 @@ impl IntervalStore {
         self.diffs.values().map(|d| d.encoded_size() as u64).sum()
     }
 
+    /// All recorded intervals carrying a diff for `page` (unordered) —
+    /// the garbage collector's re-homing pass materializes a dead-owned
+    /// page by applying this set in happened-before order over its
+    /// escrowed base.
+    pub(crate) fn diff_intervals_of_page(&self, page: PageId) -> Vec<IntervalId> {
+        self.diffs
+            .keys()
+            .filter(|&&(_, g)| g == page)
+            .map(|&(iv, _)| iv)
+            .collect()
+    }
+
     /// The causally-latest recorded writer of every written page (by stamp
     /// weight, ties broken by processor id) — the processor a cold miss
     /// falls back to after the history is garbage-collected.

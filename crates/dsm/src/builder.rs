@@ -1,9 +1,12 @@
+use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use lrc_core::{ConfigError, ProtocolMutation};
 use lrc_sim::{AnyEngine, EngineParams, ProtocolKind};
 
 use crate::cluster::Dsm;
+use crate::recovery::{AutoCheckpointer, CheckpointPolicy, CheckpointSink, MemorySink};
 
 /// Configures and builds a [`Dsm`] runtime.
 ///
@@ -21,12 +24,29 @@ use crate::cluster::Dsm;
 /// assert_eq!(dsm.n_procs(), 2);
 /// # Ok::<(), lrc_core::ConfigError>(())
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct DsmBuilder {
     kind: ProtocolKind,
     params: EngineParams,
     wait_timeout: Option<Duration>,
     holder_timeout: Option<Duration>,
+    checkpoint_policy: Option<CheckpointPolicy>,
+    checkpoint_sink: Option<Arc<dyn CheckpointSink>>,
+    supervise: Option<Duration>,
+}
+
+impl fmt::Debug for DsmBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DsmBuilder")
+            .field("kind", &self.kind)
+            .field("params", &self.params)
+            .field("wait_timeout", &self.wait_timeout)
+            .field("holder_timeout", &self.holder_timeout)
+            .field("checkpoint_policy", &self.checkpoint_policy)
+            .field("has_sink", &self.checkpoint_sink.is_some())
+            .field("supervise", &self.supervise)
+            .finish()
+    }
 }
 
 impl DsmBuilder {
@@ -42,6 +62,9 @@ impl DsmBuilder {
             },
             wait_timeout: None,
             holder_timeout: None,
+            checkpoint_policy: None,
+            checkpoint_sink: None,
+            supervise: None,
         }
     }
 
@@ -141,13 +164,74 @@ impl DsmBuilder {
         self
     }
 
+    /// Arms the automatic checkpointer: cuts happen per `policy` (episode
+    /// cuts by the closing barrier arrival, time cuts by the supervisor)
+    /// and ship to the configured [`CheckpointSink`] — an in-memory
+    /// replica ([`MemorySink`]) unless [`DsmBuilder::checkpoint_sink`]
+    /// chose otherwise. See the [`crate::recovery` semantics in the type
+    /// docs](CheckpointPolicy).
+    pub fn checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint_policy = Some(policy);
+        self
+    }
+
+    /// Ships automatic cuts to `sink` instead of the default in-memory
+    /// replica. Implies nothing by itself — pair with
+    /// [`DsmBuilder::checkpoint_policy`].
+    pub fn checkpoint_sink(mut self, sink: Arc<dyn CheckpointSink>) -> Self {
+        self.checkpoint_sink = Some(sink);
+        self
+    }
+
+    /// Spawns the recovery supervisor, polling every `poll`: it drives
+    /// the wall-time checkpoint trigger between barrier episodes.
+    /// (Revival of dead processors is reconnect-driven — a returning
+    /// spoke's hello, or [`Dsm::try_revive`] — never unsolicited.)
+    /// Requires a checkpoint policy; pairs with
+    /// [`DsmBuilder::holder_timeout`] for fully hands-off recovery. The
+    /// supervisor thread ends itself when the last [`Dsm`] clone drops.
+    pub fn auto_recover(mut self, poll: Duration) -> Self {
+        self.supervise = Some(poll);
+        self
+    }
+
+    /// Bounds how long a dead processor's rejoin lease keeps barrier-time
+    /// garbage collection on hold, in barrier episodes (lazy protocols
+    /// with [`DsmBuilder::gc_at_barriers`]; see
+    /// [`lrc_core::LrcConfig::death_lease_episodes`]). While the lease is
+    /// live, GC defers (bounded `gc_deferrals` in the counters) so the
+    /// dead processor can still rejoin from pre-death cuts; once it
+    /// expires, GC proceeds, the store era advances, and rejoin needs a
+    /// post-GC cut (the supervisor's cold-join path). Default: hold GC
+    /// forever.
+    pub fn death_lease(mut self, episodes: u64) -> Self {
+        self.params.death_lease_episodes = Some(episodes);
+        self
+    }
+
     /// Builds the runtime.
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] if the parameters do not validate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`DsmBuilder::auto_recover`] was requested without a
+    /// [`DsmBuilder::checkpoint_policy`] — the supervisor would have
+    /// nothing to rejoin from.
     pub fn build(self) -> Result<Dsm, ConfigError> {
         let engine = AnyEngine::build(self.kind, &self.params)?;
+        let recovery = self.checkpoint_policy.map(|policy| {
+            let sink = self
+                .checkpoint_sink
+                .unwrap_or_else(|| Arc::new(MemorySink::new()));
+            Arc::new(AutoCheckpointer::new(policy, sink))
+        });
+        assert!(
+            self.supervise.is_none() || recovery.is_some(),
+            "auto_recover requires a checkpoint_policy to rejoin from"
+        );
         Ok(Dsm::from_engine(
             engine,
             self.kind,
@@ -155,6 +239,8 @@ impl DsmBuilder {
             self.params.n_barriers,
             self.wait_timeout,
             self.holder_timeout,
+            recovery,
+            self.supervise,
         ))
     }
 }

@@ -7,7 +7,7 @@ use lrc_core::{CheckpointError, DeathReport};
 use lrc_hist::HistoryRecorder;
 use lrc_sim::{AnyCheckpoint, AnyEngine, ProtocolKind};
 use lrc_simnet::NetStats;
-use lrc_sync::{BarrierError, LockError};
+use lrc_sync::{BarrierError, BarrierId, LockError, LockId};
 use lrc_vclock::ProcId;
 use parking_lot::lockdep::classes;
 
@@ -99,13 +99,53 @@ pub(crate) struct Cluster {
     /// panics on a double `declare_dead`, so check-and-declare must be
     /// atomic across waiters.
     pub(crate) suspicion: parking_lot::Mutex<()>,
+    /// The automatic checkpointer, when a [`crate::CheckpointPolicy`] is
+    /// configured: closing barrier arrivals and the supervisor feed it,
+    /// and revival reads its latest shipped cut.
+    pub(crate) recovery: Option<Arc<crate::recovery::AutoCheckpointer>>,
 }
 
 impl Cluster {
-    /// Declares `p` dead unless another waiter got there first. Returns
-    /// whether this call was the one that declared it.
-    pub(crate) fn suspect(&self, p: ProcId) -> bool {
+    /// Declares `p` dead on behalf of a lock waiter that timed out while
+    /// the release generation of `lock` sat at `generation` — unless the
+    /// grievance went stale while the waiter assembled it. Between the
+    /// waiter's timeout and this call the hand-off may have happened (the
+    /// generation moved) or the holder may have changed; declaring on
+    /// stale evidence would kill a healthy processor, so both are
+    /// re-checked under the suspicion lock, atomically with the
+    /// declaration. Returns whether this call declared the death.
+    pub(crate) fn suspect_lock_holder(&self, lock: LockId, generation: u64, p: ProcId) -> bool {
         let _serialized = self.suspicion.lock();
+        let current = *self.lock_slots[lock.index()].generation.lock();
+        if current != generation || self.engine.lock_holder(lock) != Some(p) {
+            return false;
+        }
+        if self.engine.is_dead(p) {
+            return false;
+        }
+        self.declare_dead(p);
+        true
+    }
+
+    /// Declares `p` dead on behalf of a barrier waiter stuck on
+    /// `barrier`'s episode `target` — unless that episode completed while
+    /// the waiter assembled its suspicion. A concurrent death declaration
+    /// can complete the stuck episode between the waiter's timeout and
+    /// its absentee scan, in which case the scan describes the *next*
+    /// episode, whose processors are merely not there yet — not dead. The
+    /// episode counter is re-checked under the suspicion lock, atomically
+    /// with the declaration. Returns whether this call declared the
+    /// death.
+    pub(crate) fn suspect_barrier_absentee(
+        &self,
+        barrier: BarrierId,
+        target: u64,
+        p: ProcId,
+    ) -> bool {
+        let _serialized = self.suspicion.lock();
+        if self.episodes.lock()[barrier.index()] >= target {
+            return false;
+        }
         if self.engine.is_dead(p) {
             return false;
         }
@@ -120,6 +160,16 @@ impl Cluster {
     /// advances the runtime's episode counter (so parked arrivals fall
     /// through).
     pub(crate) fn declare_dead(&self, p: ProcId) -> DeathReport {
+        // Cut *before* the engine processes the death: declaring `p` dead
+        // resets its frames, and committed contents only `p` held would
+        // vanish from every later cut — a revival would then cold-miss
+        // into the page home's zeros. Captured pre-death, the cut holds
+        // `p`'s committed pages (twin-first, so its still-open interval
+        // leaks nothing), and the flush below lands in the interval store
+        // where rejoin's catch-up delivery finds it.
+        if let Some(auto) = self.recovery.as_ref() {
+            auto.cut_now(&self.engine);
+        }
         let report = self.engine.declare_dead(p);
         for &lock in &report.released {
             if let Some(slot) = self.lock_slots.get(lock.index()) {
@@ -158,6 +208,9 @@ pub struct Dsm {
 }
 
 impl Dsm {
+    // A crate-internal constructor mirroring the builder's knobs 1:1;
+    // bundling them into a struct would just restate DsmBuilder.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_engine(
         engine: AnyEngine,
         kind: ProtocolKind,
@@ -165,30 +218,37 @@ impl Dsm {
         n_barriers: usize,
         wait_timeout: Option<Duration>,
         holder_timeout: Option<Duration>,
+        recovery: Option<Arc<crate::recovery::AutoCheckpointer>>,
+        supervise: Option<Duration>,
     ) -> Self {
         let n_procs = match &engine {
             AnyEngine::Lazy(e) => e.config().n_procs,
             AnyEngine::Eager(e) => e.config().n_procs,
         };
+        let cluster = Arc::new(Cluster {
+            engine,
+            lock_slots: (0..n_locks)
+                .map(|l| LockSlot {
+                    generation: parking_lot::Mutex::new_in(
+                        0,
+                        classes::DSM_LOCK_SLOT.with_order(l as u64),
+                    ),
+                    released: parking_lot::Condvar::new(),
+                })
+                .collect(),
+            barrier_cv: parking_lot::Condvar::new(),
+            episodes: parking_lot::Mutex::new_in(vec![0; n_barriers], classes::DSM_EPISODES),
+            n_procs,
+            wait_timeout,
+            holder_timeout,
+            suspicion: parking_lot::Mutex::new_in((), classes::DSM_SUSPICION),
+            recovery,
+        });
+        if let Some(poll) = supervise {
+            crate::recovery::spawn_supervisor(&cluster, poll);
+        }
         Dsm {
-            cluster: Arc::new(Cluster {
-                engine,
-                lock_slots: (0..n_locks)
-                    .map(|l| LockSlot {
-                        generation: parking_lot::Mutex::new_in(
-                            0,
-                            classes::DSM_LOCK_SLOT.with_order(l as u64),
-                        ),
-                        released: parking_lot::Condvar::new(),
-                    })
-                    .collect(),
-                barrier_cv: parking_lot::Condvar::new(),
-                episodes: parking_lot::Mutex::new_in(vec![0; n_barriers], classes::DSM_EPISODES),
-                n_procs,
-                wait_timeout,
-                holder_timeout,
-                suspicion: parking_lot::Mutex::new_in((), classes::DSM_SUSPICION),
-            }),
+            cluster,
             kind,
             n_locks,
             n_barriers,
@@ -334,6 +394,28 @@ impl Dsm {
     /// Propagates [`CheckpointError`].
     pub fn rejoin(&self, p: ProcId, ckpt: &AnyCheckpoint) -> Result<(), CheckpointError> {
         self.cluster.engine.rejoin(p, ckpt)
+    }
+
+    // ---- self-healing runtime ----
+
+    /// The newest automatically shipped checkpoint, reconstructed from
+    /// the configured [`crate::CheckpointSink`] (full cut plus delta
+    /// chain), with the engine episode count it covers. `None` without a
+    /// [`crate::DsmBuilder::checkpoint_policy`] or before the first cut.
+    pub fn latest_checkpoint(&self) -> Option<(AnyCheckpoint, u64)> {
+        self.cluster.recovery.as_ref()?.latest()
+    }
+
+    /// Attempts automatic revival of `p`: rejoin from the latest shipped
+    /// cut, cold-joining from a fresh post-GC cut if the shipped chain
+    /// was invalidated by lease expiry. Returns whether `p` is alive
+    /// afterwards (`false` without a checkpoint policy or before any
+    /// cut). This is what the node server calls when a reconnecting
+    /// spoke re-announces a processor that was declared dead; local
+    /// applications call it to hand a crashed processor back to a new
+    /// driving thread.
+    pub fn try_revive(&self, p: ProcId) -> bool {
+        self.cluster.try_revive(p)
     }
 }
 

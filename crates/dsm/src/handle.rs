@@ -104,7 +104,7 @@ impl ProcHandle {
                                 drop(current);
                                 if let Some(holder) = self.cluster.engine.lock_holder(lock) {
                                     if holder != self.proc {
-                                        self.cluster.suspect(holder);
+                                        self.cluster.suspect_lock_holder(lock, generation, holder);
                                     }
                                 }
                                 break;
@@ -204,6 +204,13 @@ impl ProcHandle {
         };
         match self.cluster.engine.barrier(self.proc, barrier)? {
             BarrierArrival::Complete { .. } => {
+                // The closing arrival drives the episode-based checkpoint
+                // trigger *before* advancing the runtime counter: every
+                // other processor is still parked below, so the cut is a
+                // consistent synchronization point.
+                if let Some(auto) = self.cluster.recovery.as_ref() {
+                    auto.maybe_cut(&self.cluster.engine);
+                }
                 let mut episodes = self.cluster.episodes.lock();
                 episodes[barrier.index()] += 1;
                 drop(episodes);
@@ -231,7 +238,8 @@ impl ProcHandle {
                             drop(episodes);
                             for absent in self.cluster.engine.barrier_absentees(barrier) {
                                 if absent != self.proc {
-                                    self.cluster.suspect(absent);
+                                    self.cluster
+                                        .suspect_barrier_absentee(barrier, target, absent);
                                 }
                             }
                             episodes = self.cluster.episodes.lock();

@@ -53,8 +53,10 @@ mod builder;
 mod cluster;
 mod handle;
 mod node;
+mod recovery;
 
 pub use builder::DsmBuilder;
 pub use cluster::{Dsm, DsmError};
 pub use handle::ProcHandle;
 pub use node::{NodeClient, NodeError, NodeServer, RemoteHandle};
+pub use recovery::{CheckpointChain, CheckpointPolicy, CheckpointSink, FileSink, MemorySink};

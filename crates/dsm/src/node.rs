@@ -42,12 +42,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::lockdep::classes;
 use parking_lot::Mutex;
@@ -104,6 +105,69 @@ impl From<lrc_net::WireError> for NodeError {
     }
 }
 
+/// How many executed results the server's at-most-once cache retains.
+/// Replays arrive within a reconnect window (one link generation), so a
+/// small bound suffices; older entries evict FIFO.
+const REPLY_CACHE_CAP: usize = 1024;
+
+/// The server's at-most-once layer: executed results (so a replayed
+/// request is answered from cache instead of re-applied) and in-flight
+/// marks (so a replay of a request still executing is dropped — its
+/// eventual reply satisfies the same sequence number client-side).
+///
+/// Keys are `(client node, sequence number)`. A client that restarts its
+/// sequence space must present a fresh node id (or the rejoin handshake);
+/// the healing path — same incarnation, same id, monotonic sequences —
+/// is the one this cache serves.
+#[derive(Default)]
+struct ReplyCache {
+    executed: HashMap<(NodeId, u64), Result<Vec<u8>, String>>,
+    order: VecDeque<(NodeId, u64)>,
+    inflight: HashSet<(NodeId, u64)>,
+}
+
+/// The dispatch loop's verdict on an incoming operation request.
+enum Admission {
+    /// Never seen: execute it.
+    Fresh,
+    /// Executing right now: drop the replay, the reply is coming.
+    InFlight,
+    /// Already executed: answer from cache without re-applying.
+    Replay(Result<Vec<u8>, String>),
+}
+
+impl ReplyCache {
+    fn admit(&mut self, key: (NodeId, u64)) -> Admission {
+        if let Some(result) = self.executed.get(&key) {
+            return Admission::Replay(result.clone());
+        }
+        if !self.inflight.insert(key) {
+            return Admission::InFlight;
+        }
+        Admission::Fresh
+    }
+
+    fn record(&mut self, key: (NodeId, u64), result: Result<Vec<u8>, String>) {
+        self.inflight.remove(&key);
+        if self.executed.insert(key, result).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > REPLY_CACHE_CAP {
+                if let Some(old) = self.order.pop_front() {
+                    self.executed.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Un-admits a request that never produced a result (dropped before
+    /// dispatch, or its engine call panicked at a death boundary). Without
+    /// this the key would stay in-flight forever and the client's replay
+    /// would be dropped instead of executed.
+    fn forget(&mut self, key: (NodeId, u64)) {
+        self.inflight.remove(&key);
+    }
+}
+
 /// The engine node's service loop: decodes incoming frames and dispatches
 /// remote processors' operations into the shared [`Dsm`].
 ///
@@ -115,6 +179,7 @@ pub struct NodeServer {
     dsm: Dsm,
     transport: Arc<dyn Transport>,
     ctx: WireCtx,
+    cache: Arc<Mutex<ReplyCache>>,
 }
 
 impl NodeServer {
@@ -127,6 +192,10 @@ impl NodeServer {
             dsm,
             transport: Arc::new(transport),
             ctx,
+            cache: Arc::new(Mutex::new_in(
+                ReplyCache::default(),
+                classes::DSM_REPLY_CACHE,
+            )),
         }
     }
 
@@ -141,15 +210,36 @@ impl NodeServer {
         let (tx, rx) = channel::<(u64, NodeId, EngineOp)>();
         let mut handle = self.dsm.handle(proc);
         let transport = Arc::clone(&self.transport);
+        let cache = Arc::clone(&self.cache);
         let thread = std::thread::Builder::new()
             .name(format!("lrc-node-worker-{proc}"))
             .spawn(move || {
                 while let Ok((seq, src, op)) = rx.recv() {
-                    let result = handle.apply(&op).map_err(|e| e.to_string());
+                    // Contain engine panics: declaring this processor dead
+                    // mid-operation panics the blocked call (locks force-
+                    // released, episodes completed on its behalf). The
+                    // request is *forgotten* — not recorded as executed —
+                    // so the client's replay after the revival handshake
+                    // executes fresh instead of hitting a stale verdict.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle.apply(&op).map_err(|e| e.to_string())
+                    }));
+                    let result = match outcome {
+                        Ok(result) => result,
+                        Err(_) => {
+                            cache.lock().forget((src, seq));
+                            continue;
+                        }
+                    };
+                    // Record before replying: once the result is cached,
+                    // a replay of this request (the reply lost with a dead
+                    // link) is answered from cache, never re-applied.
+                    cache.lock().record((src, seq), result.clone());
                     let reply = WireMsg::OpReply { result };
-                    if transport.send(&reply, src, seq).is_err() {
-                        break;
-                    }
+                    // A failed reply send means the client's link is down
+                    // right now — keep draining; the client replays after
+                    // its link heals and hits the cache.
+                    let _ = transport.send(&reply, src, seq);
                 }
             })
             .expect("spawn node worker");
@@ -175,7 +265,7 @@ impl NodeServer {
     /// `Shutdown` before any `Hello` from that node).
     pub fn serve(&self) -> Result<(), NodeError> {
         let mut workers: HashMap<ProcId, Sender<(u64, NodeId, EngineOp)>> = HashMap::new();
-        let mut worker_threads: Vec<JoinHandle<()>> = Vec::new();
+        let mut worker_threads: HashMap<ProcId, JoinHandle<()>> = HashMap::new();
         let mut greeted: Vec<NodeId> = Vec::new();
         let mut peers: Vec<NodeId> = Vec::new();
         // Which node hosts each remote processor — so a rejoin from a
@@ -205,36 +295,119 @@ impl NodeServer {
                             "node {node} announced out-of-range processor {bad}"
                         )));
                     }
-                    if let Some(dup) = procs.iter().find(|p| workers.contains_key(p)) {
-                        // Replacing the worker would let two threads drive
-                        // one processor concurrently, breaking per-
-                        // processor program order.
-                        break Err(NodeError::Protocol(format!(
-                            "processor {dup} is already hosted by another announcement"
-                        )));
-                    }
-                    for proc in procs {
+                    let mut failure = None;
+                    for &proc in &procs {
+                        let dead = self.dsm.is_dead(proc);
+                        match hosts.get(&proc).copied() {
+                            // A resumable hello: the same node re-announces
+                            // after a link heal and its processor never
+                            // died — the worker is intact, nothing to do.
+                            Some(host) if host == node && !dead => continue,
+                            // Two live nodes claiming one processor would
+                            // let two threads drive it concurrently,
+                            // breaking per-processor program order.
+                            Some(host) if host != node && !dead => {
+                                failure = Some(format!(
+                                    "processor {proc} is already hosted by node {host}"
+                                ));
+                                break;
+                            }
+                            // Dead incarnation (either node) or a fresh
+                            // announcement: supersede below.
+                            _ => {}
+                        }
+                        // Retire the stale worker first. Its pending
+                        // operations finished or panicked when the death
+                        // was declared (locks force-released, episodes
+                        // completed), so the join is bounded — and joining
+                        // *before* the revival guarantees no old-
+                        // incarnation retry runs against the revived
+                        // processor.
+                        workers.remove(&proc);
+                        if let Some(thread) = worker_threads.remove(&proc) {
+                            let _ = thread.join();
+                        }
+                        // A dead processor must be revived in-engine
+                        // before any operation runs on its behalf.
+                        if dead && !self.dsm.try_revive(proc) {
+                            failure = Some(format!(
+                                "processor {proc} is dead and no shipped checkpoint \
+                                 can revive it (configure a checkpoint policy, or \
+                                 rejoin explicitly with a saved checkpoint)"
+                            ));
+                            break;
+                        }
                         let (tx, thread) = self.spawn_worker(proc);
                         workers.insert(proc, tx);
-                        worker_threads.push(thread);
-                        hosts.insert(proc, node);
+                        worker_threads.insert(proc, thread);
+                        if let Some(old) = hosts.insert(proc, node) {
+                            // The announcing node supersedes whichever
+                            // node hosted this processor before: if that
+                            // node now hosts nothing, stop waiting for its
+                            // Shutdown — it is gone and will never send
+                            // one.
+                            if old != node && !hosts.values().any(|&n| n == old) {
+                                peers.retain(|&n| n != old);
+                            }
+                        }
+                    }
+                    if let Some(detail) = failure {
+                        break Err(NodeError::Protocol(detail));
                     }
                 }
-                WireMsg::OpRequest { proc, op } => match workers.get(&proc) {
-                    Some(tx) => {
-                        if tx.send((frame.seq, frame.src, op)).is_err() {
-                            break Err(NodeError::Protocol(format!("worker for {proc} is gone")));
+                WireMsg::OpRequest { proc, op } => {
+                    let key = (frame.src, frame.seq);
+                    match self.cache.lock().admit(key) {
+                        Admission::Replay(result) => {
+                            // Answered once already — the reply died with
+                            // the old link. Resend from cache; if this
+                            // send fails too, the next replay retries.
+                            let _ = self.transport.send(
+                                &WireMsg::OpReply { result },
+                                frame.src,
+                                frame.seq,
+                            );
+                            continue;
+                        }
+                        Admission::InFlight => continue,
+                        Admission::Fresh => {}
+                    }
+                    // A request for a dead processor would panic the
+                    // worker if dispatched. But an operation from the
+                    // processor's *current* host is a live driver showing
+                    // up — exactly the revival trigger. This covers both
+                    // a request that outran its incarnation's resumable
+                    // hello (the link healed mid-send) and a false
+                    // suspicion (a slow-but-alive processor declared dead
+                    // over a healthy link, which will never re-hello). If
+                    // revival is impossible — no recovery configured, or
+                    // the request straggled in from a superseded node —
+                    // drop and forget, so a later replay of the same
+                    // sequence number is admitted fresh.
+                    if self.dsm.is_dead(proc)
+                        && !(hosts.get(&proc) == Some(&frame.src) && self.dsm.try_revive(proc))
+                    {
+                        self.cache.lock().forget(key);
+                        continue;
+                    }
+                    match workers.get(&proc) {
+                        Some(tx) => {
+                            if tx.send((frame.seq, frame.src, op)).is_err() {
+                                break Err(NodeError::Protocol(format!(
+                                    "worker for {proc} is gone"
+                                )));
+                            }
+                        }
+                        None => {
+                            let result = Err(format!("processor {proc} is not hosted remotely"));
+                            self.cache.lock().record(key, result.clone());
+                            let reply = WireMsg::OpReply { result };
+                            if let Err(e) = self.transport.send(&reply, frame.src, frame.seq) {
+                                break Err(NodeError::from(e));
+                            }
                         }
                     }
-                    None => {
-                        let reply = WireMsg::OpReply {
-                            result: Err(format!("processor {proc} is not hosted remotely")),
-                        };
-                        if let Err(e) = self.transport.send(&reply, frame.src, frame.seq) {
-                            break Err(NodeError::from(e));
-                        }
-                    }
-                },
+                }
                 WireMsg::RejoinRequest {
                     node,
                     proc,
@@ -267,9 +440,12 @@ impl NodeServer {
                         // dropping its sender drains it to exit, and the
                         // revived processor gets a fresh one.
                         workers.remove(&proc);
+                        if let Some(thread) = worker_threads.remove(&proc) {
+                            let _ = thread.join();
+                        }
                         let (tx, thread) = self.spawn_worker(proc);
                         workers.insert(proc, tx);
-                        worker_threads.push(thread);
+                        worker_threads.insert(proc, thread);
                         // The restarted incarnation supersedes whichever
                         // node hosted this processor before the crash: if
                         // that node now hosts nothing, stop waiting for
@@ -308,7 +484,7 @@ impl NodeServer {
             }
         };
         drop(workers); // close the channels so workers drain and exit
-        for thread in worker_threads {
+        for (_, thread) in worker_threads {
             let _ = thread.join();
         }
         result
@@ -330,11 +506,53 @@ impl fmt::Debug for NodeServer {
 /// error.
 type ReplySlot = Sender<Result<Vec<u8>, String>>;
 
+/// How often a blocked caller re-checks the link generation while waiting
+/// for its reply. Legitimate waits (contended locks, barrier parking) can
+/// be arbitrarily long, so a timeout alone never fails an operation —
+/// only a *generation change* (the link died and healed under us)
+/// triggers a replay of the same sequence number.
+const REPLAY_POLL: Duration = Duration::from_millis(100);
+
 struct ClientInner {
     transport: Arc<dyn Transport>,
     engine_node: NodeId,
+    procs: Vec<ProcId>,
     next_seq: AtomicU64,
+    /// The link generation this client last announced itself for. After a
+    /// heal (generation moved) the first replaying caller re-sends the
+    /// `Hello` — the *resumable hello* that supersedes the server's stale
+    /// peer mapping and revives processors declared dead while the link
+    /// was down — before replaying its operation.
+    hello_generation: AtomicU64,
     pending: Mutex<HashMap<u64, ReplySlot>>,
+}
+
+impl ClientInner {
+    /// Re-announces this node once per healed link generation (the first
+    /// caller to observe the new generation wins the race; the rest see
+    /// the updated marker and skip).
+    fn resume_hello(&self, generation: u64) {
+        let last = self.hello_generation.load(Ordering::Acquire);
+        if generation <= last {
+            return;
+        }
+        if self
+            .hello_generation
+            .compare_exchange(last, generation, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            let hello = WireMsg::Hello {
+                node: self.transport.node(),
+                procs: self.procs.clone(),
+            };
+            // Best effort: if this send fails the link is down again and
+            // the next replay round re-runs the handshake. Roll the
+            // marker back so it does.
+            if self.transport.send(&hello, self.engine_node, 0).is_err() {
+                self.hello_generation.store(last, Ordering::Release);
+            }
+        }
+    }
 }
 
 /// A peer node's connection to the engine node.
@@ -345,7 +563,6 @@ struct ClientInner {
 /// number, so handles on different threads share one connection.
 pub struct NodeClient {
     inner: Arc<ClientInner>,
-    procs: Vec<ProcId>,
     demux: Option<JoinHandle<()>>,
 }
 
@@ -365,17 +582,14 @@ impl NodeClient {
         let inner = Arc::new(ClientInner {
             transport: Arc::new(transport),
             engine_node,
+            procs: procs.clone(),
             next_seq: AtomicU64::new(1),
+            hello_generation: AtomicU64::new(0),
             pending: Mutex::new_in(HashMap::new(), classes::NET_PENDING),
         });
-        inner.transport.send(
-            &WireMsg::Hello {
-                node,
-                procs: procs.clone(),
-            },
-            engine_node,
-            0,
-        )?;
+        inner
+            .transport
+            .send(&WireMsg::Hello { node, procs }, engine_node, 0)?;
         let demux_inner = Arc::clone(&inner);
         let demux = std::thread::Builder::new()
             .name(format!("lrc-node-demux-{node}"))
@@ -383,7 +597,6 @@ impl NodeClient {
             .expect("spawn reply demultiplexer");
         Ok(NodeClient {
             inner,
-            procs,
             demux: Some(demux),
         })
     }
@@ -412,7 +625,9 @@ impl NodeClient {
         let inner = Arc::new(ClientInner {
             transport: Arc::new(transport),
             engine_node,
+            procs: vec![proc],
             next_seq: AtomicU64::new(1),
+            hello_generation: AtomicU64::new(0),
             pending: Mutex::new_in(HashMap::new(), classes::NET_PENDING),
         });
         inner.transport.send(
@@ -448,7 +663,6 @@ impl NodeClient {
         Ok((
             NodeClient {
                 inner,
-                procs: vec![proc],
                 demux: Some(demux),
             },
             episode,
@@ -457,7 +671,7 @@ impl NodeClient {
 
     /// The processors this node announced.
     pub fn procs(&self) -> &[ProcId] {
-        &self.procs
+        &self.inner.procs
     }
 
     /// A handle driving `proc` over the wire.
@@ -468,7 +682,7 @@ impl NodeClient {
     /// would reject its operations).
     pub fn handle(&self, proc: ProcId) -> RemoteHandle {
         assert!(
-            self.procs.contains(&proc),
+            self.inner.procs.contains(&proc),
             "processor {proc} was not announced by this node"
         );
         RemoteHandle {
@@ -504,7 +718,7 @@ impl fmt::Debug for NodeClient {
             f,
             "NodeClient(node {}, {} procs)",
             self.inner.transport.node(),
-            self.procs.len()
+            self.inner.procs.len()
         )
     }
 }
@@ -556,10 +770,21 @@ impl RemoteHandle {
 
     /// Sends one operation and blocks for its outcome.
     ///
+    /// Over a self-healing transport ([`lrc_net::SelfHealing`]) the
+    /// operation survives link death: if the link's generation moves while
+    /// this call waits, the reply is presumed lost with the old link and
+    /// the *same* request (same sequence number) is replayed — preceded by
+    /// a resumable `Hello` so the server supersedes its stale peer mapping
+    /// and revives this processor if it was declared dead meanwhile. The
+    /// server's at-most-once cache guarantees a replayed operation is
+    /// never applied twice.
+    ///
     /// # Errors
     ///
     /// [`NodeError::Remote`] for engine-side failures (lock/barrier
-    /// misuse), [`NodeError::Net`] for transport failures.
+    /// misuse), [`NodeError::Net`] for transport failures (including
+    /// [`NetError::ConnectTimeout`] when a healing transport's reconnect
+    /// budget is spent).
     pub fn apply(&mut self, op: &EngineOp) -> Result<Vec<u8>, NodeError> {
         let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel();
@@ -568,18 +793,54 @@ impl RemoteHandle {
             proc: self.proc,
             op: op.clone(),
         };
-        if let Err(e) = self
-            .inner
-            .transport
-            .send(&request, self.inner.engine_node, seq)
-        {
-            self.inner.pending.lock().remove(&seq);
-            return Err(e.into());
-        }
-        match rx.recv() {
-            Ok(Ok(bytes)) => Ok(bytes),
-            Ok(Err(remote)) => Err(NodeError::Remote(remote)),
-            Err(_) => Err(NodeError::Net(NetError::Closed)),
+        let result = loop {
+            let generation = self.inner.transport.generation();
+            if generation > 0 {
+                // The link healed at least once since connect: make sure
+                // the server has seen this incarnation's hello on the
+                // current link before (re)sending the operation.
+                self.inner.resume_hello(generation);
+            }
+            if let Err(e) = self
+                .inner
+                .transport
+                .send(&request, self.inner.engine_node, seq)
+            {
+                break Err(NodeError::from(e));
+            }
+            match self.wait_reply(&rx, generation) {
+                Some(result) => break result,
+                None => continue, // generation moved: replay the same seq
+            }
+        };
+        self.inner.pending.lock().remove(&seq);
+        result
+    }
+
+    /// Blocks for the reply to an in-flight request sent on link
+    /// generation `sent_on`. Returns `None` when the generation moved
+    /// (replay), `Some` with the outcome otherwise.
+    fn wait_reply(
+        &self,
+        rx: &Receiver<Result<Vec<u8>, String>>,
+        sent_on: u64,
+    ) -> Option<Result<Vec<u8>, NodeError>> {
+        loop {
+            match rx.recv_timeout(REPLAY_POLL) {
+                Ok(Ok(bytes)) => return Some(Ok(bytes)),
+                Ok(Err(remote)) => return Some(Err(NodeError::Remote(remote))),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.inner.transport.generation() != sent_on {
+                        return None;
+                    }
+                    // Same link, no reply yet: a legitimately blocked
+                    // operation (contended lock, barrier wait) — keep
+                    // waiting.
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Some(Err(NodeError::Net(NetError::Closed)))
+                }
+            }
         }
     }
 

@@ -21,6 +21,8 @@ pub(crate) struct SharedEagerCounters {
     pub slow_waits_avoided: AtomicU64,
     pub miss_inflight_peak: AtomicU64,
     pub coalesced_msgs: AtomicU64,
+    pub checkpoints_cut: AtomicU64,
+    pub delta_bytes: AtomicU64,
 }
 
 /// Adds `n` to a counter field (statistics only — relaxed ordering).
@@ -48,6 +50,8 @@ impl SharedEagerCounters {
             slow_waits_avoided: get(&self.slow_waits_avoided),
             miss_inflight_peak: get(&self.miss_inflight_peak),
             coalesced_msgs: get(&self.coalesced_msgs),
+            checkpoints_cut: get(&self.checkpoints_cut),
+            delta_bytes: get(&self.delta_bytes),
         }
     }
 }
@@ -93,6 +97,13 @@ pub struct EagerCounters {
     /// invalidation round's writeback replies sharing one frame). Each
     /// unit is one saved message header.
     pub coalesced_msgs: u64,
+    /// Checkpoints cut through [`EagerEngine::note_checkpoint`](crate::EagerEngine::note_checkpoint)
+    /// (the runtime's automatic policy cuts, full and delta alike) —
+    /// parity with [`LazyCounters`](lrc_core::LazyCounters).
+    pub checkpoints_cut: u64,
+    /// Encoded bytes of those checkpoints as shipped to the sink (deltas
+    /// count their delta size, not the full cut they stand for).
+    pub delta_bytes: u64,
 }
 
 impl EagerCounters {

@@ -272,6 +272,16 @@ impl EagerEngine {
         self.counters.snapshot()
     }
 
+    /// Records one checkpoint cut shipped by the runtime's automatic
+    /// policy: bumps [`EagerCounters::checkpoints_cut`] and adds the
+    /// encoded bytes that went to the sink to
+    /// [`EagerCounters::delta_bytes`]. Pure statistics — the cut itself
+    /// is [`EagerEngine::checkpoint`].
+    pub fn note_checkpoint(&self, shipped_bytes: u64) {
+        bump(&self.counters.checkpoints_cut, 1);
+        bump(&self.counters.delta_bytes, shipped_bytes);
+    }
+
     /// True if `p` holds a valid copy of `page` (the initial home copy
     /// counts, even before materialization).
     ///

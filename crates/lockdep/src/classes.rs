@@ -17,12 +17,27 @@ use crate::Class;
 /// Serializes concurrent failure-detector suspicions; held across
 /// `declare_dead`, which takes the whole engine hierarchy below it.
 pub const DSM_SUSPICION: Class = Class::new("dsm.suspicion", 10);
+/// The recovery supervisor's death-observation bookkeeping (when a dead
+/// processor was first seen). Never held across engine calls.
+pub const DSM_SUPERVISOR: Class = Class::new("dsm.supervisor", 12);
 /// A lock's wait-queue generation counter. Held across the condvar wait
 /// for a hand-off and, on the stuck-waiter diagnostic path, while reading
 /// the lock table — so it sits below every engine class.
 pub const DSM_LOCK_SLOT: Class = Class::new("dsm.lock_slot", 15);
 /// The barrier episode counters (runtime parking).
 pub const DSM_EPISODES: Class = Class::new("dsm.episodes", 16);
+/// The automatic checkpointer's cut state (last episode/era/base cut).
+/// Held across `checkpoint()` (the engine hierarchy below) and the sink
+/// write, so it sits above the engine classes and the sink.
+pub const DSM_CKPT_STATE: Class = Class::new("dsm.ckpt_state", 20);
+/// A checkpoint sink's internal store (memory replica or file index);
+/// taken while the checkpointer's cut state is held, below the engine.
+pub const DSM_CKPT_SINK: Class = Class::new("dsm.ckpt_sink", 21);
+/// The node server's at-most-once reply cache (executed results plus
+/// in-flight marks, keyed by client node and sequence number). Taken by
+/// the dispatch loop before enqueueing and by workers after the engine
+/// call returns — never held across engine locks.
+pub const DSM_REPLY_CACHE: Class = Class::new("dsm.reply_cache", 22);
 
 // ---- engine slow-path gates ----
 
@@ -58,6 +73,10 @@ pub const CORE_GC_OWNER: Class = Class::new("core.gc_owner", 65);
 /// holds two shards at once — cross-processor copies stage through
 /// locals — so the class has no order key: nesting two is a violation.
 pub const ENGINE_SHARD: Class = Class::new("engine.shard", 70);
+/// The death-escrow page buffers (authoritative contents of pages whose
+/// post-GC owner died, parked until garbage collection re-homes them).
+/// Taken after a shard lock on the death and GC paths.
+pub const CORE_ESCROW: Class = Class::new("core.escrow", 75);
 
 // ---- leaf instrumentation (held-nothing-else-after tiers) ----
 
@@ -73,6 +92,11 @@ pub const SIMNET_TRACE: Class = Class::new("simnet.trace", 95);
 
 // ---- wire transports (disjoint from the protocol plane) ----
 
+/// A self-healing transport's current-connection slot (a `RwLock`
+/// around the live inner transport); the inner transport's own locks
+/// (pending table, peer maps, queues) are taken while a snapshot of this
+/// slot is held, so it sits just below them.
+pub const NET_HEAL: Class = Class::new("net.heal", 79);
 /// A node client's pending-reply table.
 pub const NET_PENDING: Class = Class::new("net.pending", 80);
 /// The reactor transport's per-peer liveness map (dead flags only; the

@@ -70,6 +70,28 @@ pub enum FaultRule {
         /// Drop probability denominator (> 0).
         denom: u32,
     },
+    /// A transient sever that heals: counting *attempted* sends to
+    /// `peer` (1-based), attempts `1..=after` deliver, the next
+    /// `down_for` attempts fail with [`NetError::Closed`], and every
+    /// attempt after that delivers again — a link flap the self-healing
+    /// transport must ride out with backoff rather than declare dead.
+    SeverThenHeal {
+        /// The peer whose link flaps.
+        peer: NodeId,
+        /// Attempted sends to that peer that succeed before the cut.
+        after: u64,
+        /// Attempted sends that fail while the link is down.
+        down_for: u64,
+    },
+    /// Silently discard the first `n` sends of `kind` (any kind if
+    /// `None`), 1-based among *attempted* matching sends — lossy-start
+    /// pressure for retry paths.
+    DropFirstN {
+        /// Which kind to match, or any.
+        kind: Option<WireKind>,
+        /// How many leading matching sends to drop.
+        n: u64,
+    },
 }
 
 /// A scripted set of [`FaultRule`]s plus the seed for [`FaultRule::DropRandom`].
@@ -130,6 +152,25 @@ impl FaultPlan {
     pub fn drop_nth(self, kind: Option<WireKind>, nth: u64) -> FaultPlan {
         self.rule(FaultRule::DropNth { kind, nth })
     }
+
+    /// Shorthand: flap the link to `peer` — deliver `after` attempts,
+    /// fail the next `down_for`, then heal (see
+    /// [`FaultRule::SeverThenHeal`]).
+    #[must_use]
+    pub fn sever_then_heal(self, peer: NodeId, after: u64, down_for: u64) -> FaultPlan {
+        self.rule(FaultRule::SeverThenHeal {
+            peer,
+            after,
+            down_for,
+        })
+    }
+
+    /// Shorthand: drop the first `n` sends of `kind` (see
+    /// [`FaultRule::DropFirstN`]).
+    #[must_use]
+    pub fn drop_first_n(self, kind: Option<WireKind>, n: u64) -> FaultPlan {
+        self.rule(FaultRule::DropFirstN { kind, n })
+    }
 }
 
 /// Mutable fault-decision state, advanced on every send.
@@ -141,6 +182,10 @@ struct FaultState {
     sends_by_kind: [u64; WireKind::COUNT],
     /// Frames delivered per destination (for [`FaultRule::SeverPeer`]).
     delivered_to: Vec<u64>,
+    /// Sends *attempted* per destination, delivered or not (for
+    /// [`FaultRule::SeverThenHeal`], whose window must not stretch when
+    /// the caller retries into the cut).
+    attempted_to: Vec<u64>,
     /// xorshift64 state for [`FaultRule::DropRandom`].
     rng: u64,
 }
@@ -181,6 +226,7 @@ impl<T: Transport> FaultyTransport<T> {
                     sends: 0,
                     sends_by_kind: [0; WireKind::COUNT],
                     delivered_to: Vec::new(),
+                    attempted_to: Vec::new(),
                     rng: seed,
                 },
                 classes::NET_FAULT_STATE,
@@ -222,6 +268,11 @@ impl<T: Transport> FaultyTransport<T> {
         if st.delivered_to.len() <= dst as usize {
             st.delivered_to.resize(dst as usize + 1, 0);
         }
+        if st.attempted_to.len() <= dst as usize {
+            st.attempted_to.resize(dst as usize + 1, 0);
+        }
+        st.attempted_to[dst as usize] += 1;
+        let attempted = st.attempted_to[dst as usize];
         let mut verdict = Verdict::Deliver;
         for rule in &self.plan.rules {
             match *rule {
@@ -249,6 +300,20 @@ impl<T: Transport> FaultyTransport<T> {
                     {
                         verdict = Verdict::Drop;
                     }
+                }
+                FaultRule::SeverThenHeal {
+                    peer,
+                    after,
+                    down_for,
+                } if peer == dst && attempted > after && attempted <= after + down_for => {
+                    verdict = Verdict::Sever;
+                }
+                FaultRule::DropFirstN { kind: k, n }
+                    if k.is_none_or(|k| k == kind)
+                        && (if k.is_some() { kind_sends } else { sends }) <= n
+                        && !matches!(verdict, Verdict::Sever) =>
+                {
+                    verdict = Verdict::Drop;
                 }
                 FaultRule::DelayNth { nth, delay } if nth == sends => {
                     if matches!(verdict, Verdict::Deliver) {
@@ -414,6 +479,43 @@ mod tests {
         assert!(first.len() < 32, "some frames dropped");
         assert!(!first.is_empty(), "some frames delivered");
         assert_ne!(first, run(1234), "different seed, different drops");
+    }
+
+    #[test]
+    fn sever_then_heal_windows_on_attempted_sends() {
+        let mut mesh = ChannelNet::mesh(2);
+        let b = mesh.pop().unwrap();
+        let a = FaultyTransport::new(
+            mesh.pop().unwrap(),
+            FaultPlan::new().sever_then_heal(1, 2, 3),
+        );
+        a.send(&hello(), 1, 0).unwrap(); // attempt 1: delivered
+        a.send(&hello(), 1, 1).unwrap(); // attempt 2: delivered
+        for seq in 2..5 {
+            // Attempts 3..=5 fail — retries into the cut count, so the
+            // window does not stretch.
+            assert_eq!(a.send(&hello(), 1, seq), Err(NetError::Closed));
+        }
+        a.send(&hello(), 1, 5).unwrap(); // attempt 6: healed
+        let seqs: Vec<u64> = (0..3).map(|_| b.recv().unwrap().seq).collect();
+        assert_eq!(seqs, vec![0, 1, 5]);
+    }
+
+    #[test]
+    fn drop_first_n_loses_the_leading_frames_only() {
+        let mut mesh = ChannelNet::mesh(2);
+        let b = mesh.pop().unwrap();
+        let a = FaultyTransport::new(
+            mesh.pop().unwrap(),
+            FaultPlan::new().drop_first_n(Some(WireKind::Hello), 2),
+        );
+        a.send(&WireMsg::Shutdown, 1, 0).unwrap(); // other kinds unaffected
+        a.send(&hello(), 1, 1).unwrap(); // 1st Hello: dropped, still Ok
+        a.send(&hello(), 1, 2).unwrap(); // 2nd Hello: dropped
+        a.send(&hello(), 1, 3).unwrap(); // 3rd Hello: delivered
+        assert_eq!(a.dropped(), 2);
+        let seqs: Vec<u64> = (0..2).map(|_| b.recv().unwrap().seq).collect();
+        assert_eq!(seqs, vec![0, 3]);
     }
 
     #[test]

@@ -52,6 +52,7 @@
 
 mod channel;
 mod fault;
+mod heal;
 #[cfg(feature = "reactor")]
 mod reactor;
 mod tcp;
@@ -60,10 +61,11 @@ pub mod wire;
 
 pub use channel::{ChannelNet, ChannelTransport};
 pub use fault::{FaultPlan, FaultRule, FaultyTransport};
+pub use heal::{Connector, SelfHealing};
 #[cfg(feature = "reactor")]
 pub use reactor::{BatchStats, ReactorHub, ReactorTransport};
 pub use tcp::{TcpHub, TcpTransport};
-pub use transport::{NetError, NodeId, Transport, WireMeter, WireStats};
+pub use transport::{Backoff, NetError, NodeId, Transport, WireMeter, WireStats};
 pub use wire::{
     Frame, NoticeBatch, NoticeInterval, WireCtx, WireDiff, WireError, WireKind, WireMsg,
     FRAME_HEADER_BYTES, MAX_BODY_BYTES, WIRE_MAGIC, WIRE_VERSION,

@@ -26,7 +26,7 @@ use parking_lot::lockdep::classes;
 use parking_lot::Mutex;
 use std::thread;
 
-use crate::transport::{NetError, NodeId, Transport, WireMeter, WireStats};
+use crate::transport::{Backoff, NetError, NodeId, Transport, WireMeter, WireStats};
 use crate::wire::{Frame, WireKind, WireMsg, FRAME_HEADER_BYTES};
 
 /// One peer link: its send queue plus a death flag poisoned by whichever
@@ -43,15 +43,21 @@ struct PeerLink {
 /// A TCP endpoint (hub or spoke).
 pub struct TcpTransport {
     node: NodeId,
-    /// Per-peer send queues (consumed by that peer's send thread).
-    peers: Mutex<HashMap<NodeId, PeerLink>>,
+    /// Per-peer send queues (consumed by that peer's send thread). Shared
+    /// with a healing hub's acceptor thread, which re-attaches
+    /// reconnecting spokes ([`TcpHub::accept_healing`]).
+    peers: Arc<Mutex<HashMap<NodeId, PeerLink>>>,
     incoming: Mutex<Receiver<Frame>>,
     /// Held only during setup; [`TcpTransport::seal`] drops it so that
     /// once every peer's recv thread exits (EOF, error), the incoming
     /// channel closes and [`Transport::recv`] reports
-    /// [`NetError::Closed`] instead of blocking forever.
+    /// [`NetError::Closed`] instead of blocking forever. A healing hub's
+    /// acceptor thread keeps its own clone, so such a hub stays open
+    /// while it can still heal.
     incoming_tx: Option<Sender<Frame>>,
     meter: Arc<WireMeter>,
+    /// Set on drop; a healing hub's acceptor thread polls it and exits.
+    stop: Arc<AtomicBool>,
 }
 
 impl TcpTransport {
@@ -59,10 +65,11 @@ impl TcpTransport {
         let (incoming_tx, incoming_rx) = channel();
         TcpTransport {
             node,
-            peers: Mutex::new_in(HashMap::new(), classes::NET_PEERS),
+            peers: Arc::new(Mutex::new_in(HashMap::new(), classes::NET_PEERS)),
             incoming: Mutex::new_in(incoming_rx, classes::NET_INCOMING),
             incoming_tx: Some(incoming_tx),
             meter: Arc::new(WireMeter::default()),
+            stop: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -109,28 +116,66 @@ impl TcpTransport {
         Ok(transport)
     }
 
+    /// Like [`TcpTransport::connect`], but retries refused or failed
+    /// connection attempts under `backoff` — the shape a spoke starting
+    /// concurrently with (or reconnecting to) its hub needs, since a
+    /// single `connect()` races the hub's `bind`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ConnectTimeout`] once the backoff budget is spent.
+    pub fn connect_retry(
+        addr: &str,
+        node: NodeId,
+        hub: NodeId,
+        backoff: &Backoff,
+    ) -> Result<TcpTransport, NetError> {
+        backoff.retry(|| TcpTransport::connect(addr, node, hub))
+    }
+
     /// Wires up the send and recv threads for one connected peer.
     fn attach(&self, peer: NodeId, stream: TcpStream) {
-        let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = channel();
-        let dead = Arc::new(AtomicBool::new(false));
-        let write_half = stream.try_clone().expect("clone TCP stream");
-        let send_dead = Arc::clone(&dead);
-        thread::Builder::new()
-            .name(format!("lrc-net-send-{}-{peer}", self.node))
-            .spawn(move || send_loop(write_half, rx, send_dead))
-            .expect("spawn send thread");
         let incoming = self
             .incoming_tx
             .as_ref()
-            .expect("attach only runs during setup, before seal()")
-            .clone();
-        let recv_dead = Arc::clone(&dead);
-        thread::Builder::new()
-            .name(format!("lrc-net-recv-{}-{peer}", self.node))
-            .spawn(move || recv_loop(stream, incoming, recv_dead))
-            .expect("spawn recv thread");
-        self.peers.lock().insert(peer, PeerLink { tx, dead });
+            .expect("attach only runs during setup, before seal()");
+        attach_link(self.node, peer, stream, incoming, &self.peers);
     }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+/// Wires up the send and recv threads for one connected peer and
+/// installs (or **replaces**) its entry in the shared peer map. On
+/// replacement the old link's queue sender drops, so its send thread
+/// exits; its recv thread exits on EOF when the stale socket dies —
+/// a reconnecting spoke thereby supersedes its own stale mapping.
+fn attach_link(
+    node: NodeId,
+    peer: NodeId,
+    stream: TcpStream,
+    incoming_tx: &Sender<Frame>,
+    peers: &Mutex<HashMap<NodeId, PeerLink>>,
+) {
+    let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = channel();
+    let dead = Arc::new(AtomicBool::new(false));
+    let write_half = stream.try_clone().expect("clone TCP stream");
+    let send_dead = Arc::clone(&dead);
+    thread::Builder::new()
+        .name(format!("lrc-net-send-{node}-{peer}"))
+        .spawn(move || send_loop(write_half, rx, send_dead))
+        .expect("spawn send thread");
+    let incoming = incoming_tx.clone();
+    let recv_dead = Arc::clone(&dead);
+    thread::Builder::new()
+        .name(format!("lrc-net-recv-{node}-{peer}"))
+        .spawn(move || recv_loop(stream, incoming, recv_dead))
+        .expect("spawn recv thread");
+    peers.lock().insert(peer, PeerLink { tx, dead });
 }
 
 /// A bound-but-not-yet-connected hub (see [`TcpTransport::bind`]).
@@ -198,6 +243,92 @@ impl TcpHub {
         }
         transport.seal();
         Ok(transport)
+    }
+
+    /// Like [`TcpHub::accept_within`], but the hub keeps healing after
+    /// setup: the listener moves to a background acceptor thread that
+    /// accepts late connections for as long as the transport lives, reads
+    /// each one's transport-level [`WireMsg::Hello`], and **re-attaches**
+    /// the peer — a reconnecting spoke supersedes its stale link, so a
+    /// severed spoke can dial back in ([`TcpTransport::connect_retry`])
+    /// without the hub restarting.
+    ///
+    /// Because the acceptor holds a sender into the incoming queue, a
+    /// healing hub's [`Transport::recv`] never reports
+    /// [`NetError::Closed`] merely because every current link died; it
+    /// closes when the transport is dropped.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpHub::accept_within`] for the initial peer set.
+    pub fn accept_healing(
+        self,
+        n_peers: usize,
+        timeout: Duration,
+    ) -> Result<TcpTransport, NetError> {
+        let deadline = Instant::now() + timeout;
+        let conns = accept_spokes(&self.listener, n_peers, Some(deadline))?;
+        let mut transport = TcpTransport::new(self.node);
+        for (peer, stream, hello_len) in conns {
+            transport.meter.count_received(hello_len);
+            transport.attach(peer, stream);
+        }
+        let incoming_tx = transport.incoming_tx.as_ref().expect("before seal").clone();
+        transport.seal();
+        let node = self.node;
+        let peers = Arc::clone(&transport.peers);
+        let meter = Arc::clone(&transport.meter);
+        let stop = Arc::clone(&transport.stop);
+        // accept_spokes left the listener nonblocking, which is exactly
+        // what the polling acceptor loop needs.
+        thread::Builder::new()
+            .name(format!("lrc-net-heal-accept-{node}"))
+            .spawn(move || heal_accept_loop(node, self.listener, incoming_tx, peers, meter, stop))
+            .expect("spawn healing acceptor");
+        Ok(transport)
+    }
+}
+
+/// The healing hub's background acceptor: accepts late spokes off the
+/// (nonblocking) listener, consumes each one's transport-level Hello
+/// under a bounded read, and re-attaches the peer link. Exits when the
+/// owning transport drops (`stop`) or the listener dies.
+fn heal_accept_loop(
+    node: NodeId,
+    listener: TcpListener,
+    incoming_tx: Sender<Frame>,
+    peers: Arc<Mutex<HashMap<NodeId, PeerLink>>>,
+    meter: Arc<WireMeter>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Acquire) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            Err(_) => break,
+        };
+        // A malformed or silent late connection is dropped, not fatal:
+        // the hub must survive anything a flaky reconnect throws at it.
+        let ok = stream.set_nodelay(true).is_ok()
+            && stream.set_nonblocking(false).is_ok()
+            && stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .is_ok();
+        if !ok {
+            continue;
+        }
+        let hello = match read_frame(&mut &stream) {
+            Ok(hello) if hello.kind == WireKind::Hello => hello,
+            _ => continue,
+        };
+        if stream.set_read_timeout(None).is_err() {
+            continue;
+        }
+        meter.count_received(hello.wire_len());
+        attach_link(node, hello.src, stream, &incoming_tx, &peers);
     }
 }
 
@@ -481,6 +612,47 @@ mod tests {
             "the one spoke that connected is named; the missing one is deducible"
         );
         drop(spoke_thread.join().unwrap());
+    }
+
+    #[test]
+    fn healing_hub_reattaches_a_reconnecting_spoke() {
+        let hub = TcpTransport::bind("127.0.0.1:0", 0).expect("bind");
+        let addr = hub.local_addr();
+        let connect_addr = addr.clone();
+        let spoke_thread =
+            thread::spawn(move || TcpTransport::connect(&connect_addr, 1, 0).expect("connect"));
+        let hub = hub
+            .accept_healing(1, Duration::from_secs(5))
+            .expect("accept");
+        let spoke = spoke_thread.join().unwrap();
+        spoke.send(&WireMsg::Shutdown, 0, 1).unwrap();
+        assert_eq!(hub.recv().unwrap().seq, 1);
+        // The spoke dies without warning...
+        drop(spoke);
+        // ...and a replacement dials back in under the same node id,
+        // superseding the stale link.
+        let spoke =
+            TcpTransport::connect_retry(&addr, 1, 0, &Backoff::default()).expect("reconnect");
+        spoke.send(&WireMsg::Shutdown, 0, 2).unwrap();
+        let frame = hub.recv().unwrap();
+        assert_eq!((frame.src, frame.seq), (1, 2));
+        // The hub's reply routes over the new link.
+        hub.send(&WireMsg::Shutdown, 1, 3).unwrap();
+        assert_eq!(spoke.recv().unwrap().seq, 3);
+    }
+
+    #[test]
+    fn connect_retry_times_out_with_a_typed_error() {
+        // Reserve an ephemeral port, then free it so nothing listens.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let backoff = Backoff::new(Duration::from_millis(1), Duration::from_millis(2), 2);
+        let err = TcpTransport::connect_retry(&addr, 1, 0, &backoff).unwrap_err();
+        assert!(
+            matches!(err, NetError::ConnectTimeout { attempts: 2, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use crate::wire::{Frame, WireError, WireKind, WireMsg};
 
@@ -41,6 +42,14 @@ pub enum NetError {
         /// themselves before the deadline.
         connected: Vec<NodeId>,
     },
+    /// A bounded retry/backoff budget ([`Backoff`]) ran out before a
+    /// connection (or reconnection) succeeded.
+    ConnectTimeout {
+        /// Connection attempts made before giving up.
+        attempts: u32,
+        /// The last underlying failure, rendered.
+        last: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -57,6 +66,10 @@ impl fmt::Display for NetError {
                 connected.len(),
                 wanted - connected.len()
             ),
+            NetError::ConnectTimeout { attempts, last } => write!(
+                f,
+                "connect gave up after {attempts} attempts (last error: {last})"
+            ),
         }
     }
 }
@@ -72,6 +85,103 @@ impl From<WireError> for NetError {
 impl From<std::io::Error> for NetError {
     fn from(e: std::io::Error) -> Self {
         NetError::Io(e.to_string())
+    }
+}
+
+/// A bounded, jittered exponential backoff schedule for connection
+/// retries (initial connects and self-healing reconnects alike).
+///
+/// The schedule is a pure function of its parameters: attempt `i`
+/// (0-based) sleeps `min(cap, base · 2^i)` scaled by a jitter factor in
+/// `[0.5, 1.0]` drawn from a seeded xorshift stream — randomized enough
+/// to de-synchronize a thundering herd, deterministic enough that a
+/// failing run replays exactly (the same property the fault plans lean
+/// on). Once `attempts` tries have failed, the caller reports
+/// [`NetError::ConnectTimeout`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempts: u32,
+    seed: u64,
+}
+
+impl Default for Backoff {
+    /// 8 attempts, 25 ms doubling toward a 1 s cap — under 4 s worst
+    /// case, long enough to ride out a restarting peer.
+    fn default() -> Self {
+        Backoff::new(Duration::from_millis(25), Duration::from_secs(1), 8)
+    }
+}
+
+impl Backoff {
+    /// A schedule of `attempts` tries, sleeping `base · 2^i` (capped at
+    /// `cap`, jittered) after the i-th failure.
+    pub fn new(base: Duration, cap: Duration, attempts: u32) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            attempts,
+            seed: 0x2545_f491_4f6c_dd1d,
+        }
+    }
+
+    /// Sets the jitter seed (`0` is mapped to `1`; xorshift has no zero
+    /// state).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Backoff {
+        self.seed = if seed == 0 { 1 } else { seed };
+        self
+    }
+
+    /// The try budget.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// The jittered sleep after the `attempt`-th failure (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.cap);
+        // One xorshift64 step per prior attempt keeps the draw a pure
+        // function of (seed, attempt).
+        let mut rng = self.seed;
+        for _ in 0..=attempt {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+        }
+        let jitter_millis = (exp.as_millis() as u64 / 2).saturating_mul(rng % 1000) / 1000;
+        exp / 2 + Duration::from_millis(jitter_millis)
+    }
+
+    /// Runs `try_once` up to the attempt budget, sleeping the jittered
+    /// schedule between failures.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ConnectTimeout`] carrying the attempt count and the
+    /// last underlying failure once the budget is spent.
+    pub fn retry<T>(
+        &self,
+        mut try_once: impl FnMut() -> Result<T, NetError>,
+    ) -> Result<T, NetError> {
+        let mut last = NetError::Closed;
+        for attempt in 0..self.attempts.max(1) {
+            match try_once() {
+                Ok(v) => return Ok(v),
+                Err(e) => last = e,
+            }
+            if attempt + 1 < self.attempts.max(1) {
+                std::thread::sleep(self.delay(attempt));
+            }
+        }
+        Err(NetError::ConnectTimeout {
+            attempts: self.attempts.max(1),
+            last: last.to_string(),
+        })
     }
 }
 
@@ -191,6 +301,15 @@ pub trait Transport: Send + Sync {
 
     /// Measured traffic of this endpoint.
     fn stats(&self) -> WireStats;
+
+    /// The link's reconnect generation: bumped by self-healing wrappers
+    /// ([`crate::SelfHealing`]) every time the underlying connection is
+    /// replaced; `0` forever on plain transports. Callers snapshot it
+    /// around a blocking request/reply and re-send (same correlation id)
+    /// when it moved — the in-flight reply died with the old link.
+    fn generation(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,10 @@ use crate::ProtocolKind;
 ///
 /// The simulator, the runtime DSM, and the benches all drive protocols
 /// through this type so a run is parameterized by [`ProtocolKind`] alone.
+// The variants' sizes diverge as the lazy engine grows recovery state,
+// but every construction site makes exactly one engine and keeps it for
+// the whole run — boxing would tax every access to save one allocation.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum AnyEngine {
     /// A lazy release consistency engine (LI or LU).
@@ -58,6 +62,11 @@ pub struct EngineParams {
     /// measurement baseline (see
     /// [`lrc_core::LrcConfig::serialize_slow_paths`]). Benchmarks only.
     pub serialize_slow_paths: bool,
+    /// Bound on how many barrier episodes a dead processor may hold back
+    /// garbage collection before its rejoin lease expires (lazy engines
+    /// only; `None` defers GC for as long as any processor is dead — see
+    /// [`lrc_core::LrcConfig::death_lease_episodes`]).
+    pub death_lease_episodes: Option<u64>,
 }
 
 impl Default for EngineParams {
@@ -78,6 +87,7 @@ impl Default for EngineParams {
             gc_at_barriers: false,
             mutation: ProtocolMutation::Stock,
             serialize_slow_paths: false,
+            death_lease_episodes: None,
         }
     }
 }
@@ -109,6 +119,9 @@ impl AnyEngine {
             }
             if params.serialize_slow_paths {
                 cfg = cfg.serialize_slow_paths();
+            }
+            if let Some(lease) = params.death_lease_episodes {
+                cfg = cfg.death_lease(lease);
             }
             cfg = cfg.mutate(params.mutation);
             Ok(AnyEngine::Lazy(LrcEngine::new(cfg)?))
@@ -279,6 +292,16 @@ impl AnyEngine {
         }
     }
 
+    /// Records one checkpoint cut shipped by the runtime's automatic
+    /// policy on either engine family (pure statistics — see
+    /// [`lrc_core::LrcEngine::note_checkpoint`]).
+    pub fn note_checkpoint(&self, shipped_bytes: u64) {
+        match self {
+            AnyEngine::Lazy(e) => e.note_checkpoint(shipped_bytes),
+            AnyEngine::Eager(e) => e.note_checkpoint(shipped_bytes),
+        }
+    }
+
     /// Snapshot of the network statistics.
     pub fn net_stats(&self) -> NetStats {
         match self {
@@ -347,6 +370,13 @@ impl AnyEngine {
     /// engines, which have no crash story).
     pub fn is_dead(&self, p: ProcId) -> bool {
         self.as_lazy().is_some_and(|e| e.is_dead(p))
+    }
+
+    /// Whether any processor is dead with an unexpired rejoin lease (see
+    /// [`lrc_core::LrcEngine::awaiting_rejoin`]; always `false` on eager
+    /// engines).
+    pub fn awaiting_rejoin(&self) -> bool {
+        self.as_lazy().is_some_and(LrcEngine::awaiting_rejoin)
     }
 
     /// Rejoins a dead processor from a checkpoint (lazy engines only —

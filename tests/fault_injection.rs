@@ -17,10 +17,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use lrc::core::EngineOp;
-use lrc::dsm::{DsmBuilder, NodeClient, NodeError, NodeServer};
+use lrc::dsm::{CheckpointPolicy, Dsm, DsmBuilder, NodeClient, NodeError, NodeServer};
 use lrc::hist::{CheckBudget, HistoryRecorder};
 use lrc::net::{
-    ChannelNet, FaultPlan, FaultyTransport, NetError, Transport, WireCtx, WireKind, WireMsg,
+    Backoff, ChannelNet, Connector, FaultPlan, FaultyTransport, Frame, NetError, NodeId,
+    SelfHealing, TcpTransport, Transport, WireCtx, WireKind, WireMsg, WireStats,
 };
 use lrc::pagemem::{AddrSpace, PageSize};
 use lrc::sim::{AnyEngine, EngineParams, ProtocolKind};
@@ -664,4 +665,273 @@ fn killed_node_rejoins_from_checkpoint_and_converges() {
         .unwrap()
         .expect("rejoin supersedes the crashed peer; the server retires cleanly");
     drop(victim);
+}
+
+/// Deterministic xorshift64: the soak's kill/sever schedule is seeded,
+/// not wall-clock or thread-schedule dependent.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Keeps a handle on the healing wrapper while a [`NodeClient`] owns the
+/// transport seat, so the soak can assert the sever really forced a
+/// reconnect (generation bump).
+struct SharedHealing(Arc<SelfHealing>);
+
+impl Transport for SharedHealing {
+    fn node(&self) -> NodeId {
+        self.0.node()
+    }
+    fn send(&self, msg: &WireMsg, dst: NodeId, seq: u64) -> Result<(), NetError> {
+        self.0.send(msg, dst, seq)
+    }
+    fn recv(&self) -> Result<Frame, NetError> {
+        self.0.recv()
+    }
+    fn stats(&self) -> WireStats {
+        self.0.stats()
+    }
+    fn generation(&self) -> u64 {
+        self.0.generation()
+    }
+}
+
+/// Where processor `p` writes on iteration `iter`: one 8-byte cell per
+/// iteration inside its own page, so the final memory image encodes
+/// exactly which iterations each processor lived through.
+fn soak_slot(p: usize, iter: u64) -> u64 {
+    (p * 256) as u64 + iter * 8
+}
+
+/// What it writes there — unique per (processor, iteration).
+fn soak_value(p: usize, iter: u64) -> u64 {
+    p as u64 * 1000 + iter + 1
+}
+
+/// The self-healing runtime end to end: four processors over the TCP
+/// healing hub, a seeded schedule of two process kills and one link
+/// sever, and **zero manual recovery calls** — the survivors' barrier
+/// waits suspect the silent processors, death ships an automatic
+/// checkpoint cut, garbage collection defers while the rejoin lease is
+/// live, and each restarted incarnation revives its processor simply by
+/// reconnecting under a fresh node id. The run must converge to memory
+/// byte-identical to a crash-free single-threaded replay of the writes
+/// that survived.
+#[test]
+fn seeded_kill_and_heal_soak_converges_without_manual_recovery() {
+    const PAGE: usize = 256;
+    const MEM: u64 = 1 << 13;
+    const ITERS: u64 = 8;
+    // Generous suspicion deadline: remote spokes recover from a false
+    // positive (the server revives a dead processor when its host's next
+    // operation arrives), but the locally-driven p0 would panic, so the
+    // soak trades crash-window latency for a wide margin on loaded CI.
+    const SOAK_SUSPECT: Duration = Duration::from_millis(1000);
+    let kind = ProtocolKind::LazyInvalidate;
+    let barrier = BarrierId::new(0);
+    let backoff = || Backoff::new(Duration::from_millis(5), Duration::from_millis(50), 10);
+
+    // The seeded schedule: p1 dies early, p2 dies late (one death at a
+    // time), p3's link is severed but the process lives throughout.
+    let mut seed = 0x1992_0551_u64;
+    let crashes = [
+        (1usize, 1 + xorshift(&mut seed) % 3), // iteration in 1..=3
+        (2usize, 4 + xorshift(&mut seed) % 3), // iteration in 4..=6
+    ];
+    let sever_iter = 1 + xorshift(&mut seed) % 5;
+
+    let dsm = DsmBuilder::new(kind, 4, MEM)
+        .page_size(PAGE)
+        .gc_at_barriers()
+        .death_lease(2)
+        .wait_timeout(WAIT)
+        .holder_timeout(SOAK_SUSPECT)
+        .checkpoint_policy(CheckpointPolicy::every_episodes(1))
+        .auto_recover(Duration::from_millis(50))
+        .build()
+        .unwrap();
+    let recorder = HistoryRecorder::new(4);
+    dsm.attach_recorder(Arc::clone(&recorder));
+
+    let hub = TcpTransport::bind("127.0.0.1:0", 0).expect("bind loopback");
+    let addr = hub.local_addr();
+    let serving = std::thread::spawn({
+        let dsm = dsm.clone();
+        move || {
+            let transport = hub
+                .accept_healing(3, Duration::from_secs(10))
+                .expect("accept the three spokes");
+            NodeServer::new(dsm, transport).serve()
+        }
+    });
+
+    // Lockstep across the driver threads: the *processes* under test
+    // crash and heal freely, but the test's iteration fronts stay
+    // aligned so a revived processor rejoins the episode the survivors
+    // are parked in, not one they raced past.
+    let sync = Arc::new(std::sync::Barrier::new(4));
+
+    let mut killed = Vec::new();
+    for (idx, crash_at) in crashes {
+        let addr = addr.clone();
+        let dsm: Dsm = dsm.clone();
+        let sync = Arc::clone(&sync);
+        let backoff = backoff();
+        killed.push(std::thread::spawn(move || {
+            let proc = ProcId::new(idx as u16);
+            let transport = TcpTransport::connect_retry(&addr, idx as NodeId, 0, &backoff).unwrap();
+            let mut client = Some(NodeClient::connect(transport, 0, vec![proc]).unwrap());
+            for iter in 0..ITERS {
+                sync.wait();
+                if iter == crash_at {
+                    // The process dies: no shutdown, no goodbye — the
+                    // link just closes. A survivor's barrier wait will
+                    // suspect and declare it; this thread only waits for
+                    // the verdict (observation, not declaration).
+                    drop(client.take());
+                    while !dsm.is_dead(proc) {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    // The restarted incarnation: a fresh node id (the
+                    // old one's sequence space died with it) and a plain
+                    // hello, which supersedes the crashed peer and
+                    // revives the processor from the automatic death
+                    // cut. The probe read of an untouched page confirms
+                    // the revival completed before rejoining the
+                    // lockstep — everything after it is ordinary.
+                    let transport =
+                        TcpTransport::connect_retry(&addr, 10 + idx as NodeId, 0, &backoff)
+                            .unwrap();
+                    let fresh = NodeClient::connect(transport, 0, vec![proc]).unwrap();
+                    fresh.handle(proc).read_u64(MEM - PAGE as u64).unwrap();
+                    client = Some(fresh);
+                    continue; // this iteration's write died with the process
+                }
+                let mut h = client.as_ref().unwrap().handle(proc);
+                h.write_u64(soak_slot(idx, iter), soak_value(idx, iter))
+                    .unwrap();
+                h.barrier(barrier).unwrap();
+            }
+            client.take().unwrap().shutdown().unwrap();
+        }));
+    }
+
+    let severed = std::thread::spawn({
+        let addr = addr.clone();
+        let sync = Arc::clone(&sync);
+        let backoff = backoff();
+        move || {
+            let proc = ProcId::new(3);
+            let dial = addr.clone();
+            let connector: Connector = Box::new(move || {
+                TcpTransport::connect(&dial, 3, 0).map(|t| Arc::new(t) as Arc<dyn Transport>)
+            });
+            let healing = Arc::new(SelfHealing::connect(connector, backoff).expect("initial dial"));
+            let client =
+                NodeClient::connect(SharedHealing(Arc::clone(&healing)), 0, vec![proc]).unwrap();
+            let mut h = client.handle(proc);
+            for iter in 0..ITERS {
+                sync.wait();
+                if iter == sever_iter {
+                    // The partition: a throwaway dial under this spoke's
+                    // node id supersedes its link at the healing hub,
+                    // killing the socket mid-run. The next operation
+                    // heals the link and replays behind a resumable
+                    // hello.
+                    let throwaway = TcpTransport::connect(&addr, 3, 0).expect("severing dial");
+                    std::thread::sleep(Duration::from_millis(50));
+                    drop(throwaway);
+                }
+                h.write_u64(soak_slot(3, iter), soak_value(3, iter))
+                    .unwrap();
+                h.barrier(barrier).unwrap();
+            }
+            client.shutdown().unwrap();
+            healing.generation()
+        }
+    });
+
+    // p0 drives locally on this thread.
+    let mut local = dsm.handle(ProcId::new(0));
+    for iter in 0..ITERS {
+        sync.wait();
+        local.write_u64(soak_slot(0, iter), soak_value(0, iter));
+        local.barrier(barrier).unwrap();
+    }
+
+    for spoke in killed {
+        spoke.join().expect("killed-and-restarted spoke completes");
+    }
+    let generation = severed.join().expect("severed spoke completes");
+    assert!(
+        generation >= 1,
+        "the scripted sever must have forced at least one reconnect"
+    );
+    serving
+        .join()
+        .unwrap()
+        .expect("restarts superseded the crashed peers; the server retires cleanly");
+
+    // The automation left its fingerprints: cuts shipped at episode
+    // boundaries and at each death, and GC deferred (bounded by the
+    // lease) instead of collecting under a dead processor.
+    let counters = dsm.engine().as_lazy().unwrap().counters();
+    assert!(
+        counters.checkpoints_cut >= ITERS,
+        "expected a cut per episode, got {}",
+        counters.checkpoints_cut
+    );
+    assert!(
+        counters.gc_deferrals >= 1,
+        "GC must defer at least the death episodes, got {}",
+        counters.gc_deferrals
+    );
+
+    // Every recorded history — two crash/revive arcs included — passes.
+    recorder
+        .finish()
+        .check(&CheckBudget::default())
+        .expect("soak histories pass the checker");
+
+    // The reference: a crash-free single-threaded replay writing exactly
+    // the cells that survived (a killed iteration's write died with the
+    // process and was never retried).
+    let total = AddrSpace::with_capacity(PageSize::new(PAGE).unwrap(), MEM).total_bytes();
+    let node_mem = read_all(&mut |addr, buf| local.read_bytes(addr, buf), total, PAGE);
+    let params = EngineParams {
+        n_procs: 4,
+        mem_bytes: MEM,
+        page_bytes: PAGE,
+        n_barriers: 1,
+        gc_at_barriers: true,
+        ..EngineParams::default()
+    };
+    let engine = AnyEngine::build(kind, &params).unwrap();
+    for iter in 0..ITERS {
+        for p in 0..4usize {
+            if crashes.iter().any(|&(cp, ci)| cp == p && ci == iter) {
+                continue;
+            }
+            engine.write(
+                ProcId::new(p as u16),
+                soak_slot(p, iter),
+                &soak_value(p, iter).to_le_bytes(),
+            );
+        }
+        for p in 0..4u16 {
+            engine.barrier(ProcId::new(p), barrier).unwrap();
+        }
+    }
+    let sim_mem = read_all(
+        &mut |addr, buf| engine.read_into(ProcId::new(0), addr, buf),
+        total,
+        PAGE,
+    );
+    assert_eq!(
+        sim_mem, node_mem,
+        "the healed cluster's memory diverges from the crash-free replay"
+    );
 }

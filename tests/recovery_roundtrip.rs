@@ -4,11 +4,14 @@
 //! incremental deltas between barrier-episode checkpoints must
 //! reconstruct the full snapshot exactly.
 
+use std::time::Duration;
+
 use lrc::core::CheckpointError;
-use lrc::dsm::{Dsm, DsmBuilder};
+use lrc::dsm::{CheckpointPolicy, Dsm, DsmBuilder};
 use lrc::sim::{AnyCheckpoint, ProtocolKind};
-use lrc::sync::LockId;
+use lrc::sync::{BarrierId, LockId};
 use lrc::vclock::ProcId;
+use proptest::prelude::*;
 
 const PAGE: usize = 256;
 const MEM: u64 = 1 << 13;
@@ -228,4 +231,168 @@ fn incompatible_and_corrupt_checkpoints_are_rejected() {
         AnyCheckpoint::decode(&[]),
         Err(CheckpointError::Corrupt(_))
     ));
+}
+
+/// Both processors arrive at barrier 0 (the second from its own thread),
+/// completing one episode.
+fn barrier_both(dsm: &Dsm) {
+    let other = dsm.clone();
+    let arriving = std::thread::spawn(move || {
+        other
+            .handle(ProcId::new(1))
+            .barrier(BarrierId::new(0))
+            .unwrap();
+    });
+    dsm.handle(ProcId::new(0))
+        .barrier(BarrierId::new(0))
+        .unwrap();
+    arriving.join().unwrap();
+}
+
+/// The death-lease arc, end to end: a dead processor's lease defers GC
+/// (bounded, counted), its expiry lets GC advance the store era, a stale
+/// pre-death checkpoint is then refused with the *typed*
+/// [`CheckpointError::LeaseExpired`], and automatic revival falls back to
+/// a cold join from a fresh post-GC cut.
+#[test]
+fn expired_lease_forces_a_cold_join_from_a_post_gc_cut() {
+    let dead = ProcId::new(1);
+    // Episode cuts are effectively off (period 100): the shipped chain is
+    // the baseline + death cut, both from the pre-GC era — exactly the
+    // staleness the cold-join fallback exists for.
+    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, MEM)
+        .page_size(PAGE)
+        .locks(1)
+        .barriers(1)
+        .gc_at_barriers()
+        .death_lease(2)
+        .checkpoint_policy(CheckpointPolicy::every_episodes(100))
+        .wait_timeout(Duration::from_secs(30))
+        .build()
+        .unwrap();
+
+    committed_phase(&dsm, 1);
+    barrier_both(&dsm);
+    let stale = dsm.checkpoint(); // pre-death, pre-GC era
+    dsm.declare_dead(dead); // ships the automatic death cut
+
+    // The survivor drives episodes alone. The first completions defer GC
+    // (the lease is live); once two episodes pass, the lease expires, GC
+    // runs, and the store era advances.
+    let mut survivor = dsm.handle(ProcId::new(0));
+    for salt in 0..6 {
+        survivor.acquire(LockId::new(0)).unwrap();
+        survivor.write_u64(8, 1000 + salt);
+        survivor.release(LockId::new(0)).unwrap();
+        survivor.barrier(BarrierId::new(0)).unwrap();
+    }
+    let counters = dsm.engine().as_lazy().unwrap().counters();
+    assert!(
+        counters.gc_deferrals >= 1,
+        "the live lease must defer at least one GC round, got {}",
+        counters.gc_deferrals
+    );
+    assert!(
+        counters.checkpoints_cut >= 2,
+        "baseline and death cuts must have shipped, got {}",
+        counters.checkpoints_cut
+    );
+
+    // The pre-death cut now belongs to a collected era.
+    match dsm.rejoin(dead, &stale) {
+        Err(CheckpointError::LeaseExpired(why)) => {
+            assert!(
+                why.contains("garbage-collected"),
+                "the refusal should say why: {why}"
+            );
+        }
+        other => panic!("expected LeaseExpired for the stale cut, got {other:?}"),
+    }
+
+    // Automatic revival notices the shipped chain is just as stale, cuts
+    // fresh post-GC state, and cold-joins from that.
+    assert!(dsm.try_revive(dead), "cold join must revive the processor");
+    assert!(!dsm.is_dead(dead));
+
+    // The revived processor is fully usable.
+    committed_phase(&dsm, 2);
+    let mut back = dsm.handle(dead);
+    back.acquire(LockId::new(0)).unwrap();
+    assert_eq!(
+        back.read_u64(8),
+        102,
+        "revived processor sees committed state"
+    );
+    back.release(LockId::new(0)).unwrap();
+}
+
+/// The automatic checkpointer's shipped chain (full cut + deltas, cut by
+/// each episode's closing arrival) reconstructs exactly the state a
+/// direct cut sees — through the public API only.
+#[test]
+fn auto_checkpoint_chain_reconstructs_the_live_state() {
+    let dsm = DsmBuilder::new(ProtocolKind::LazyInvalidate, 2, MEM)
+        .page_size(PAGE)
+        .locks(1)
+        .barriers(1)
+        .checkpoint_policy(CheckpointPolicy::every_episodes(1).rebase_after(3))
+        .wait_timeout(Duration::from_secs(30))
+        .build()
+        .unwrap();
+
+    // Several committed phases, each sealed by a barrier episode: the
+    // closing arrivals cut a baseline full plus deltas (rebasing after 3).
+    for salt in 1..=5 {
+        committed_phase(&dsm, salt);
+        barrier_both(&dsm);
+    }
+
+    let (latest, _) = dsm.latest_checkpoint().expect("cuts have shipped");
+    assert_eq!(
+        latest,
+        dsm.checkpoint(),
+        "the folded sink chain must equal a direct cut of the live engine"
+    );
+    let counters = dsm.engine().as_lazy().unwrap().counters();
+    assert!(
+        counters.checkpoints_cut >= 5,
+        "one cut per episode, got {}",
+        counters.checkpoints_cut
+    );
+    assert!(counters.delta_bytes > 0, "cut traffic must be metered");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// For any sequence of committed phases, the chain of per-phase deltas
+    /// folded onto the original base reconstructs the final full cut
+    /// exactly — and every link survives its codec round trip.
+    #[test]
+    fn delta_chains_fold_back_to_the_full_cut(salts in prop::collection::vec(0u64..50, 1..6)) {
+        let dsm = build(ProtocolKind::LazyInvalidate);
+        committed_phase(&dsm, 99);
+        let AnyCheckpoint::Lazy(origin) = dsm.checkpoint() else {
+            panic!("lazy runtime cuts lazy checkpoints");
+        };
+        let mut base = origin.clone();
+        let mut chain = Vec::new();
+        for &salt in &salts {
+            committed_phase(&dsm, salt);
+            let AnyCheckpoint::Lazy(full) = dsm.checkpoint() else {
+                panic!("lazy runtime cuts lazy checkpoints");
+            };
+            let delta = full.delta_since(&base).expect("same run, same era");
+            let bytes = delta.encode(full.page_bytes, full.n_pages);
+            let decoded = lrc::core::CheckpointDelta::decode(&bytes).expect("delta round trip");
+            prop_assert_eq!(&decoded, &delta);
+            chain.push(delta);
+            base = full;
+        }
+        let mut folded = origin;
+        for delta in &chain {
+            folded = delta.apply_to(&folded).expect("chain link applies");
+        }
+        prop_assert_eq!(folded, base, "folded chain must equal the final cut");
+    }
 }
